@@ -1,0 +1,208 @@
+//! # bench — the benchmark harness for the SIGMOD 2014 evaluation
+//!
+//! This crate regenerates the paper's experiments:
+//!
+//! * **Figure 10** — the flat queries QF1–QF6, comparing query shredding,
+//!   loop-lifting and Links' default flat evaluation while scaling the number
+//!   of departments;
+//! * **Figure 11** — the nested queries Q1–Q6, comparing query shredding and
+//!   loop-lifting over the same scaling sweep;
+//! * **Appendix A** — the quadratic blow-up of Van den Bussche's simulation
+//!   on multiset unions.
+//!
+//! The Criterion benches under `benches/` measure the same workloads with
+//! statistical rigour at a fixed scale; the `experiments` binary prints the
+//! full scaling tables in the same layout as the paper's figures.
+
+use datagen::{generate, organisation_schema, OrgConfig};
+use nrc::schema::{Database, Schema};
+use nrc::term::Term;
+use nrc::value::Value;
+use shredding::error::ShredError;
+use sqlengine::Engine;
+use std::time::{Duration, Instant};
+
+/// The systems compared by the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// Query shredding (this paper).
+    Shredding,
+    /// The loop-lifting baseline (Ferry / Ulrich).
+    LoopLifting,
+    /// Links' default flat query evaluation (flat queries only).
+    Default,
+}
+
+impl std::fmt::Display for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            System::Shredding => write!(f, "shredding"),
+            System::LoopLifting => write!(f, "loop-lifting"),
+            System::Default => write!(f, "default"),
+        }
+    }
+}
+
+/// A prepared benchmark instance: the generated database loaded both into the
+/// λNRC evaluator and the SQL engine.
+pub struct Instance {
+    pub schema: Schema,
+    pub db: Database,
+    pub engine: Engine,
+    pub departments: usize,
+}
+
+impl Instance {
+    /// Generate an instance with the paper's distributions at a given number
+    /// of departments (scaled-down employee counts keep the in-process sweep
+    /// fast; pass a custom config for the full-size data).
+    pub fn at_scale(departments: usize) -> Instance {
+        Instance::with_config(OrgConfig {
+            departments,
+            employees_per_department: 20,
+            contacts_per_department: 5,
+            ..OrgConfig::default()
+        })
+    }
+
+    /// Generate an instance from an explicit configuration.
+    pub fn with_config(config: OrgConfig) -> Instance {
+        let schema = organisation_schema();
+        let db = generate(&config);
+        let engine = shredding::pipeline::engine_from_database(&db)
+            .expect("generated data always loads into the engine");
+        Instance {
+            schema,
+            db,
+            engine,
+            departments: config.departments,
+        }
+    }
+}
+
+/// One measurement: total time to translate the query, evaluate the resulting
+/// SQL and stitch the results (exactly what the paper reports), plus the size
+/// of the produced value as a sanity check.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    pub system: System,
+    pub query: String,
+    pub departments: usize,
+    pub elapsed: Duration,
+    pub result_scalars: usize,
+    pub error: Option<String>,
+}
+
+impl Measurement {
+    /// Elapsed time in milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1000.0
+    }
+}
+
+/// Run one query under one system and measure the end-to-end time.
+pub fn measure(system: System, name: &str, query: &Term, instance: &Instance) -> Measurement {
+    let start = Instant::now();
+    let outcome: Result<Value, ShredError> = match system {
+        System::Shredding => shredding::pipeline::run(query, &instance.schema, &instance.engine),
+        System::LoopLifting => baselines::run_looplift(query, &instance.schema, &instance.engine),
+        System::Default => baselines::run_flat(query, &instance.schema, &instance.engine),
+    };
+    let elapsed = start.elapsed();
+    match outcome {
+        Ok(value) => Measurement {
+            system,
+            query: name.to_string(),
+            departments: instance.departments,
+            elapsed,
+            result_scalars: value.scalar_count(),
+            error: None,
+        },
+        Err(e) => Measurement {
+            system,
+            query: name.to_string(),
+            departments: instance.departments,
+            elapsed,
+            result_scalars: 0,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Run a query under a system `runs` times and keep the median, as in the
+/// paper ("the times are medians of 5 runs").
+pub fn measure_median(
+    system: System,
+    name: &str,
+    query: &Term,
+    instance: &Instance,
+    runs: usize,
+) -> Measurement {
+    let mut measurements: Vec<Measurement> = (0..runs.max(1))
+        .map(|_| measure(system, name, query, instance))
+        .collect();
+    measurements.sort_by(|a, b| a.elapsed.cmp(&b.elapsed));
+    measurements.swap_remove(measurements.len() / 2)
+}
+
+/// Verify that a system's answer matches the nested reference semantics on an
+/// instance (used by the harness's `--check` mode and the integration tests).
+pub fn check_against_reference(
+    system: System,
+    query: &Term,
+    instance: &Instance,
+) -> Result<(), String> {
+    let reference = nrc::eval(query, &instance.db).map_err(|e| e.to_string())?;
+    let value = match system {
+        System::Shredding => shredding::pipeline::run(query, &instance.schema, &instance.engine),
+        System::LoopLifting => baselines::run_looplift(query, &instance.schema, &instance.engine),
+        System::Default => baselines::run_flat(query, &instance.schema, &instance.engine),
+    }
+    .map_err(|e| e.to_string())?;
+    if value.multiset_eq(&reference) {
+        Ok(())
+    } else {
+        Err("result differs from the nested reference semantics".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_report_sensible_values() {
+        let instance = Instance::with_config(OrgConfig::small());
+        let (name, q) = &datagen::queries::flat_queries()[0];
+        let m = measure(System::Shredding, name, q, &instance);
+        assert!(m.error.is_none());
+        assert!(m.millis() >= 0.0);
+    }
+
+    #[test]
+    fn all_three_systems_agree_on_flat_queries() {
+        let instance = Instance::with_config(OrgConfig::small());
+        for (name, q) in datagen::queries::flat_queries() {
+            for system in [System::Shredding, System::LoopLifting, System::Default] {
+                check_against_reference(system, &q, &instance)
+                    .unwrap_or_else(|e| panic!("{} under {}: {}", name, system, e));
+            }
+        }
+    }
+
+    #[test]
+    fn shredding_and_loop_lifting_agree_on_nested_queries() {
+        let instance = Instance::with_config(OrgConfig {
+            departments: 3,
+            employees_per_department: 5,
+            contacts_per_department: 2,
+            ..OrgConfig::default()
+        });
+        for (name, q) in datagen::queries::nested_queries() {
+            for system in [System::Shredding, System::LoopLifting] {
+                check_against_reference(system, &q, &instance)
+                    .unwrap_or_else(|e| panic!("{} under {}: {}", name, system, e));
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Errors raised by the shredding pipeline.
+
+use std::fmt;
+
+/// Errors from normalisation, shredding, let-insertion, SQL generation,
+/// execution and stitching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShredError {
+    /// A λNRC type error in the source query.
+    Type(nrc::TypeError),
+    /// The term is not a query (its type is not a bag type).
+    NotAQuery(String),
+    /// The query's type contains function types, so it is not flat–nested.
+    NotFlatNested(String),
+    /// The rewriting stages exceeded their step bound.
+    RewriteDiverged,
+    /// A term that should have been eliminated by rewriting survived into the
+    /// structural normalisation pass.
+    NotInNormalForm(String),
+    /// A path used for shredding does not point at a bag constructor of the
+    /// query's result type.
+    BadPath(String),
+    /// A runtime evaluation error while computing the reference semantics.
+    Eval(nrc::EvalError),
+    /// An error reported by the SQL engine while executing shredded queries.
+    Engine(sqlengine::EngineError),
+    /// The natural indexing scheme was requested but a table lacks a key.
+    MissingKey(String),
+    /// An indexing scheme produced duplicate indexes (it is not valid for
+    /// this query, in the sense of Section 6).
+    InvalidIndexing(String),
+    /// A shredded result row could not be decoded back into a nested value.
+    Decode(String),
+    /// An internal invariant was violated; indicates a bug in the pipeline.
+    Internal(String),
+}
+
+impl fmt::Display for ShredError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShredError::Type(e) => write!(f, "type error: {}", e),
+            ShredError::NotAQuery(t) => write!(f, "not a query: has type {}", t),
+            ShredError::NotFlatNested(t) => {
+                write!(f, "query type {} is not flat-nested (contains functions)", t)
+            }
+            ShredError::RewriteDiverged => write!(f, "normalisation exceeded its step bound"),
+            ShredError::NotInNormalForm(msg) => write!(f, "not in normal form: {}", msg),
+            ShredError::BadPath(p) => write!(f, "path {} does not address a bag in the result type", p),
+            ShredError::Eval(e) => write!(f, "evaluation error: {}", e),
+            ShredError::Engine(e) => write!(f, "SQL engine error: {}", e),
+            ShredError::MissingKey(t) => {
+                write!(f, "natural indexing requires a key on table {}", t)
+            }
+            ShredError::InvalidIndexing(msg) => write!(f, "invalid indexing scheme: {}", msg),
+            ShredError::Decode(msg) => write!(f, "cannot decode shredded result: {}", msg),
+            ShredError::Internal(msg) => write!(f, "internal error: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for ShredError {}
+
+impl From<nrc::TypeError> for ShredError {
+    fn from(e: nrc::TypeError) -> Self {
+        ShredError::Type(e)
+    }
+}
+
+impl From<nrc::EvalError> for ShredError {
+    fn from(e: nrc::EvalError) -> Self {
+        ShredError::Eval(e)
+    }
+}
+
+impl From<sqlengine::EngineError> for ShredError {
+    fn from(e: sqlengine::EngineError) -> Self {
+        ShredError::Engine(e)
+    }
+}

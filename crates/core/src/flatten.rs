@@ -1,0 +1,336 @@
+//! Record flattening (Appendix E of the paper).
+//!
+//! SQL result rows are flat, but shredded queries return nested records (an
+//! index pair plus an inner record that may itself contain index pairs).
+//! This module defines the *column layout* of a shredded query's SQL
+//! rendering: the flattened column names, how each leaf of the shredded type
+//! maps onto columns, and how to decode (unflatten) result rows back into
+//! indexed flat values for stitching.
+
+use crate::error::ShredError;
+use crate::nf::StaticIndex;
+use crate::semantics::{FlatValue, IndexValue, ShredResult};
+use crate::shred::FlatType;
+use nrc::types::BaseType;
+use nrc::value::Value;
+use sqlengine::{ResultSet, SqlValue};
+
+/// Name of the column holding the static component of the outer index.
+pub const OUTER_TAG_COLUMN: &str = "oidx_tag";
+/// Name of the column holding the dynamic component of the outer index.
+pub const OUTER_ORD_COLUMN: &str = "oidx_ord";
+
+/// One leaf of the flattened shredded type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeafKind {
+    /// A base-typed column.
+    Base(BaseType),
+    /// An inner index, occupying two columns (`…_tag`, `…_ord`).
+    Index,
+}
+
+/// A leaf of the flattened layout: the record path to it and its kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Leaf {
+    /// Record labels from the root of the inner term to this leaf.
+    pub path: Vec<String>,
+    pub kind: LeafKind,
+    /// Flattened column name (for `Index` leaves this is the prefix; the
+    /// actual columns are `{name}_tag` and `{name}_ord`).
+    pub name: String,
+}
+
+/// The column layout of one shredded query's SQL rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultLayout {
+    /// The shredded inner type this layout flattens.
+    pub shape: FlatType,
+    /// The flattened leaves, in column order.
+    pub leaves: Vec<Leaf>,
+}
+
+impl ResultLayout {
+    /// Build the layout for a shredded inner type.
+    pub fn new(shape: &FlatType) -> ResultLayout {
+        let mut leaves = Vec::new();
+        collect_leaves(shape, &mut Vec::new(), &mut leaves);
+        // Disambiguate duplicate flattened names (possible when labels contain
+        // underscores) by appending a position suffix.
+        let mut seen = std::collections::HashSet::new();
+        for (i, leaf) in leaves.iter_mut().enumerate() {
+            if !seen.insert(leaf.name.clone()) {
+                leaf.name = format!("{}_{}", leaf.name, i);
+                seen.insert(leaf.name.clone());
+            }
+        }
+        ResultLayout {
+            shape: shape.clone(),
+            leaves,
+        }
+    }
+
+    /// All SQL column names, in order: the outer index pair followed by the
+    /// flattened inner columns.
+    pub fn columns(&self) -> Vec<String> {
+        let mut cols = vec![OUTER_TAG_COLUMN.to_string(), OUTER_ORD_COLUMN.to_string()];
+        for leaf in &self.leaves {
+            match leaf.kind {
+                LeafKind::Base(_) => cols.push(leaf.name.clone()),
+                LeafKind::Index => {
+                    cols.push(format!("{}_tag", leaf.name));
+                    cols.push(format!("{}_ord", leaf.name));
+                }
+            }
+        }
+        cols
+    }
+
+    /// Decode (unflatten) an engine result set into an indexed shredded
+    /// result, ready for stitching.
+    pub fn decode(&self, rs: &ResultSet) -> Result<ShredResult, ShredError> {
+        let expected = self.columns();
+        if rs.columns != expected {
+            return Err(ShredError::Decode(format!(
+                "result columns {:?} do not match layout {:?}",
+                rs.columns, expected
+            )));
+        }
+        let mut out = Vec::with_capacity(rs.rows.len());
+        for row in &rs.rows {
+            let mut cursor = 0usize;
+            let outer = decode_index(row, &mut cursor)?;
+            let value = decode_value(&self.shape, row, &mut cursor)?;
+            if cursor != row.len() {
+                return Err(ShredError::Decode(format!(
+                    "row has {} columns but {} were consumed",
+                    row.len(),
+                    cursor
+                )));
+            }
+            out.push((outer, value));
+        }
+        Ok(out)
+    }
+}
+
+fn collect_leaves(shape: &FlatType, path: &mut Vec<String>, out: &mut Vec<Leaf>) {
+    match shape {
+        FlatType::Base(b) => out.push(Leaf {
+            path: path.clone(),
+            kind: LeafKind::Base(*b),
+            name: flat_name(path, "item"),
+        }),
+        FlatType::Index => out.push(Leaf {
+            path: path.clone(),
+            kind: LeafKind::Index,
+            name: flat_name(path, "idx"),
+        }),
+        FlatType::Record(fields) => {
+            for (label, field) in fields {
+                path.push(label.clone());
+                collect_leaves(field, path, out);
+                path.pop();
+            }
+        }
+    }
+}
+
+/// Flatten a record path into an SQL-friendly identifier. Tuple labels `#1`
+/// become `t1` and an empty path falls back to the supplied default.
+fn flat_name(path: &[String], default: &str) -> String {
+    if path.is_empty() {
+        return default.to_string();
+    }
+    path.iter()
+        .map(|l| l.replace('#', "t"))
+        .collect::<Vec<_>>()
+        .join("_")
+}
+
+fn decode_index(row: &[SqlValue], cursor: &mut usize) -> Result<IndexValue, ShredError> {
+    let tag = take_int(row, cursor)?;
+    let ordinal = take_int(row, cursor)?;
+    Ok(IndexValue::Flat {
+        tag: StaticIndex(u32::try_from(tag).map_err(|_| {
+            ShredError::Decode(format!("static index column out of range: {}", tag))
+        })?),
+        ordinal,
+    })
+}
+
+fn decode_value(
+    shape: &FlatType,
+    row: &[SqlValue],
+    cursor: &mut usize,
+) -> Result<FlatValue, ShredError> {
+    match shape {
+        FlatType::Base(b) => {
+            let v = take(row, cursor)?;
+            Ok(FlatValue::Base(sql_to_value(v, *b)?))
+        }
+        FlatType::Index => Ok(FlatValue::Index(decode_index(row, cursor)?)),
+        FlatType::Record(fields) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (label, field) in fields {
+                out.push((label.clone(), decode_value(field, row, cursor)?));
+            }
+            Ok(FlatValue::Record(out))
+        }
+    }
+}
+
+fn take<'a>(row: &'a [SqlValue], cursor: &mut usize) -> Result<&'a SqlValue, ShredError> {
+    let v = row
+        .get(*cursor)
+        .ok_or_else(|| ShredError::Decode("row is shorter than the layout".to_string()))?;
+    *cursor += 1;
+    Ok(v)
+}
+
+fn take_int(row: &[SqlValue], cursor: &mut usize) -> Result<i64, ShredError> {
+    let v = take(row, cursor)?;
+    v.as_int()
+        .ok_or_else(|| ShredError::Decode(format!("expected an integer index column, got {}", v)))
+}
+
+/// Convert a SQL scalar back into a λNRC base value of the expected type.
+pub fn sql_to_value(v: &SqlValue, expected: BaseType) -> Result<Value, ShredError> {
+    match (v, expected) {
+        (SqlValue::Int(i), BaseType::Int) => Ok(Value::Int(*i)),
+        (SqlValue::Bool(b), BaseType::Bool) => Ok(Value::Bool(*b)),
+        (SqlValue::Str(s), BaseType::String) => Ok(Value::String(s.clone())),
+        (_, BaseType::Unit) => Ok(Value::Unit),
+        (other, expected) => Err(ShredError::Decode(format!(
+            "column value {} does not have base type {}",
+            other, expected
+        ))),
+    }
+}
+
+/// Convert a λNRC base value into a SQL scalar.
+pub fn value_to_sql(v: &Value) -> Result<SqlValue, ShredError> {
+    match v {
+        Value::Int(i) => Ok(SqlValue::Int(*i)),
+        Value::Bool(b) => Ok(SqlValue::Bool(*b)),
+        Value::String(s) => Ok(SqlValue::Str(s.clone())),
+        Value::Unit => Ok(SqlValue::Int(0)),
+        other => Err(ShredError::Internal(format!(
+            "cannot store non-base value {} in a SQL column",
+            other
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people_shape() -> FlatType {
+        FlatType::Record(vec![
+            ("name".to_string(), FlatType::Base(BaseType::String)),
+            ("tasks".to_string(), FlatType::Index),
+        ])
+    }
+
+    #[test]
+    fn columns_follow_the_flattened_shape() {
+        let layout = ResultLayout::new(&people_shape());
+        assert_eq!(
+            layout.columns(),
+            vec![
+                "oidx_tag".to_string(),
+                "oidx_ord".to_string(),
+                "name".to_string(),
+                "tasks_tag".to_string(),
+                "tasks_ord".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn base_shape_uses_the_item_column() {
+        let layout = ResultLayout::new(&FlatType::Base(BaseType::String));
+        assert_eq!(
+            layout.columns(),
+            vec!["oidx_tag", "oidx_ord", "item"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn decode_round_trips_rows() {
+        let layout = ResultLayout::new(&people_shape());
+        let rs = ResultSet {
+            columns: layout.columns(),
+            rows: vec![vec![
+                SqlValue::Int(1),
+                SqlValue::Int(4),
+                SqlValue::str("Erik"),
+                SqlValue::Int(2),
+                SqlValue::Int(7),
+            ]],
+        };
+        let decoded = layout.decode(&rs).unwrap();
+        assert_eq!(decoded.len(), 1);
+        let (outer, value) = &decoded[0];
+        assert_eq!(
+            outer,
+            &IndexValue::Flat {
+                tag: StaticIndex(1),
+                ordinal: 4
+            }
+        );
+        assert_eq!(
+            value.field("name"),
+            Some(&FlatValue::Base(Value::string("Erik")))
+        );
+        assert_eq!(
+            value.field("tasks"),
+            Some(&FlatValue::Index(IndexValue::Flat {
+                tag: StaticIndex(2),
+                ordinal: 7
+            }))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_mismatched_columns() {
+        let layout = ResultLayout::new(&people_shape());
+        let rs = ResultSet {
+            columns: vec!["x".to_string()],
+            rows: vec![],
+        };
+        assert!(matches!(layout.decode(&rs), Err(ShredError::Decode(_))));
+    }
+
+    #[test]
+    fn duplicate_flattened_names_are_disambiguated() {
+        let shape = FlatType::Record(vec![
+            (
+                "a".to_string(),
+                FlatType::Record(vec![("b".to_string(), FlatType::Base(BaseType::Int))]),
+            ),
+            ("a_b".to_string(), FlatType::Base(BaseType::Int)),
+        ]);
+        let layout = ResultLayout::new(&shape);
+        let cols = layout.columns();
+        let unique: std::collections::HashSet<_> = cols.iter().collect();
+        assert_eq!(unique.len(), cols.len());
+    }
+
+    #[test]
+    fn value_conversions_round_trip() {
+        for v in [Value::Int(4), Value::Bool(true), Value::string("x")] {
+            let sql = value_to_sql(&v).unwrap();
+            let b = match v {
+                Value::Int(_) => BaseType::Int,
+                Value::Bool(_) => BaseType::Bool,
+                Value::String(_) => BaseType::String,
+                _ => unreachable!(),
+            };
+            assert_eq!(sql_to_value(&sql, b).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! # shredding — query shredding for nested multiset queries
+//!
+//! A reference implementation of *"Query shredding: efficient relational
+//! evaluation of queries over nested multisets"* (Cheney, Lindley, Wadler,
+//! SIGMOD 2014). The crate translates nested λNRC queries (from the [`nrc`]
+//! crate) into a fixed number of flat SQL queries — one per bag constructor
+//! of the result type — runs them on a relational engine (the [`sqlengine`]
+//! crate, standing in for PostgreSQL) and stitches the flat results back into
+//! the nested value the original query denotes.
+//!
+//! The pipeline stages mirror the paper:
+//!
+//! | Stage | Paper | Module |
+//! |---|---|---|
+//! | Normalisation | §2.2, App. C | [`normalise`] |
+//! | Normal forms + static indexes | §2.2, §4 | [`nf`] |
+//! | Shredding (types, terms, packages) | §4 | [`shred`] |
+//! | Shredded semantics + indexing schemes | §5–6, Fig. 5 | [`semantics`] |
+//! | Stitching | §5.2 | [`stitch`] |
+//! | Let-insertion | §6.2, Fig. 6–7 | [`letins`] |
+//! | Record flattening | App. E | [`flatten`] |
+//! | SQL generation | §7 | [`sqlgen`] |
+//! | End-to-end pipeline | Fig. 1(c) | [`pipeline`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nrc::builder::*;
+//! use nrc::schema::{Database, Schema, TableSchema};
+//! use nrc::types::BaseType;
+//! use nrc::value::Value;
+//! use shredding::pipeline;
+//!
+//! // A flat schema with departments and employees.
+//! let schema = Schema::new()
+//!     .with_table(TableSchema::new("departments",
+//!         vec![("id", BaseType::Int), ("name", BaseType::String)]).with_key(vec!["id"]))
+//!     .with_table(TableSchema::new("employees",
+//!         vec![("id", BaseType::Int), ("dept", BaseType::String),
+//!              ("name", BaseType::String)]).with_key(vec!["id"]));
+//! let mut db = Database::new(schema.clone());
+//! db.insert_row("departments", vec![("id", Value::Int(1)), ("name", Value::string("Sales"))]).unwrap();
+//! db.insert_row("employees", vec![("id", Value::Int(1)), ("dept", Value::string("Sales")),
+//!                                  ("name", Value::string("Erik"))]).unwrap();
+//!
+//! // A query with a *nested* result: each department with its employees.
+//! let query = for_in("d", table("departments"), singleton(record(vec![
+//!     ("dept", project(var("d"), "name")),
+//!     ("emps", for_where("e", table("employees"),
+//!         eq(project(var("e"), "dept"), project(var("d"), "name")),
+//!         singleton(project(var("e"), "name")))),
+//! ])));
+//!
+//! // Shred to SQL, run on the in-memory engine, stitch back together.
+//! let engine = pipeline::engine_from_database(&db).unwrap();
+//! let result = pipeline::run(&query, &schema, &engine).unwrap();
+//! let direct = pipeline::eval_nested(&query, &db).unwrap();
+//! assert!(result.multiset_eq(&direct));
+//! ```
+
+pub mod error;
+pub mod flatten;
+pub mod letins;
+pub mod nf;
+pub mod normalise;
+pub mod pipeline;
+pub mod semantics;
+pub mod shred;
+pub mod sqlgen;
+pub mod stitch;
+
+pub use error::ShredError;
+pub use flatten::ResultLayout;
+pub use nf::{NormQuery, StaticIndex};
+pub use normalise::{normalise, normalise_with_type};
+pub use pipeline::{compile, engine_from_database, execute, run, run_in_memory, CompiledQuery};
+pub use semantics::{IndexScheme, IndexTables, IndexValue};
+pub use shred::{shred_query, shred_type, Package, ShreddedQuery, ShreddedType};
+pub use stitch::stitch;

@@ -1,0 +1,831 @@
+//! Query normalisation (Section 2.2 and Appendix C of the paper).
+//!
+//! Normalisation proceeds in three stages:
+//!
+//! 1. **Symbolic evaluation** (the rewrite relation ;c): β-reduction for
+//!    functions, records, conditionals and singleton-bag comprehensions, plus
+//!    commuting conversions that hoist `for`, `if`, `∅` and `⊎` out of
+//!    elimination frames. This eliminates all higher-order features.
+//! 2. **If-hoisting** (the rewrite relation ;h): conditionals are hoisted out
+//!    of primitive applications, records, unions and singletons so that every
+//!    conditional ends up directly under a comprehension, where stage 3 can
+//!    turn it into a `where` clause.
+//! 3. A **type-directed structural pass** that produces the normal form of
+//!    [`crate::nf`], assigning a fresh static index to every `return`.
+//!
+//! The two rewrite relations are each strongly normalising (Theorem 15 and
+//! Proposition 17 in the paper); we iterate their union to a fixed point,
+//! which converges on every query expressible in the source language (a large
+//! step bound guards against pathological inputs).
+
+use crate::error::ShredError;
+use crate::nf::{Comprehension, Generator, NfBase, NfTerm, NormQuery, StaticIndex};
+use nrc::schema::Schema;
+use nrc::term::{Constant, PrimOp, Term};
+use nrc::typecheck::{infer, Context};
+use nrc::types::Type;
+
+/// Maximum number of rewrite steps before normalisation gives up. Real
+/// queries use a few hundred steps at most; the bound exists only to turn a
+/// hypothetical divergence into an error.
+const MAX_REWRITE_STEPS: usize = 1_000_000;
+
+/// Normalise a closed flat–nested query to its normal form, assigning fresh
+/// static indexes to every comprehension (Theorem 1).
+pub fn normalise(term: &Term, schema: &Schema) -> Result<NormQuery, ShredError> {
+    normalise_with_type(term, schema).map(|(q, _)| q)
+}
+
+/// Normalise a closed flat–nested query, also returning its (nested) result
+/// type. The type is inferred *after* the rewriting stages, when all
+/// higher-order features have been eliminated, so queries built with
+/// λ-abstractions in argument position are accepted.
+pub fn normalise_with_type(
+    term: &Term,
+    schema: &Schema,
+) -> Result<(NormQuery, Type), ShredError> {
+    let rewritten = rewrite_to_normal_form(term)?;
+    let ty = nrc::typecheck::typecheck(&rewritten, schema).map_err(ShredError::Type)?;
+    let query = normalise_rewritten(&rewritten, &ty, schema)?;
+    Ok((query, ty))
+}
+
+/// Normalise a closed query whose type is already known.
+pub fn normalise_at(term: &Term, ty: &Type, schema: &Schema) -> Result<NormQuery, ShredError> {
+    let rewritten = rewrite_to_normal_form(term)?;
+    normalise_rewritten(&rewritten, ty, schema)
+}
+
+/// Run the structural (stage-3) pass on an already-rewritten term.
+fn normalise_rewritten(
+    rewritten: &Term,
+    ty: &Type,
+    schema: &Schema,
+) -> Result<NormQuery, ShredError> {
+    let elem = match ty {
+        Type::Bag(elem) => elem.as_ref(),
+        other => return Err(ShredError::NotAQuery(other.to_string())),
+    };
+    if !ty.is_nested() {
+        return Err(ShredError::NotFlatNested(ty.to_string()));
+    }
+    let mut normaliser = Normaliser {
+        schema,
+        next_tag: 1,
+        fresh_var: 0,
+    };
+    let branches =
+        normaliser.comprehensions(rewritten, elem, Vec::new(), NfBase::truth(), &Context::empty())?;
+    Ok(NormQuery { branches })
+}
+
+/// Apply the rewrite relations ;c and ;h to a fixed point.
+pub fn rewrite_to_normal_form(term: &Term) -> Result<Term, ShredError> {
+    let mut current = term.clone();
+    for _ in 0..MAX_REWRITE_STEPS {
+        match step(&current) {
+            Some(next) => current = next,
+            None => return Ok(current),
+        }
+    }
+    Err(ShredError::RewriteDiverged)
+}
+
+/// Perform a single rewrite step anywhere in the term (outermost first), or
+/// return `None` if the term is in ;c/;h normal form.
+fn step(term: &Term) -> Option<Term> {
+    if let Some(t) = step_root(term) {
+        return Some(t);
+    }
+    // Recurse into children, left to right.
+    match term {
+        Term::Var(_) | Term::Const(_) | Term::Table(_) | Term::EmptyBag(_) => None,
+        Term::PrimApp(op, args) => step_in_list(args).map(|args| Term::PrimApp(*op, args)),
+        Term::If(c, t, e) => step_in_three(c, t, e)
+            .map(|(c, t, e)| Term::If(Box::new(c), Box::new(t), Box::new(e))),
+        Term::Lam(x, b) => step(b).map(|b| Term::Lam(x.clone(), Box::new(b))),
+        Term::App(f, a) => step_in_two(f, a).map(|(f, a)| Term::App(Box::new(f), Box::new(a))),
+        Term::Record(fields) => {
+            for (i, (_, t)) in fields.iter().enumerate() {
+                if let Some(t2) = step(t) {
+                    let mut fields = fields.clone();
+                    fields[i].1 = t2;
+                    return Some(Term::Record(fields));
+                }
+            }
+            None
+        }
+        Term::Project(t, l) => step(t).map(|t| Term::Project(Box::new(t), l.clone())),
+        Term::Empty(t) => step(t).map(|t| Term::Empty(Box::new(t))),
+        Term::Singleton(t) => step(t).map(|t| Term::Singleton(Box::new(t))),
+        Term::Union(l, r) => {
+            step_in_two(l, r).map(|(l, r)| Term::Union(Box::new(l), Box::new(r)))
+        }
+        Term::For(x, s, b) => {
+            step_in_two(s, b).map(|(s, b)| Term::For(x.clone(), Box::new(s), Box::new(b)))
+        }
+    }
+}
+
+fn step_in_two(a: &Term, b: &Term) -> Option<(Term, Term)> {
+    if let Some(a2) = step(a) {
+        return Some((a2, b.clone()));
+    }
+    step(b).map(|b2| (a.clone(), b2))
+}
+
+fn step_in_three(a: &Term, b: &Term, c: &Term) -> Option<(Term, Term, Term)> {
+    if let Some(a2) = step(a) {
+        return Some((a2, b.clone(), c.clone()));
+    }
+    if let Some(b2) = step(b) {
+        return Some((a.clone(), b2, c.clone()));
+    }
+    step(c).map(|c2| (a.clone(), b.clone(), c2))
+}
+
+fn step_in_list(items: &[Term]) -> Option<Vec<Term>> {
+    for (i, t) in items.iter().enumerate() {
+        if let Some(t2) = step(t) {
+            let mut items = items.to_vec();
+            items[i] = t2;
+            return Some(items);
+        }
+    }
+    None
+}
+
+/// Rename the binder of a comprehension body if it would capture a free
+/// variable of `other`.
+fn avoid_capture(binder: &str, body: &Term, other: &Term) -> (String, Term) {
+    if other.free_vars().contains(&binder.to_string()) {
+        let fresh = format!("{}~", binder);
+        let renamed = body.subst(binder, &Term::Var(fresh.clone()));
+        (fresh, renamed)
+    } else {
+        (binder.to_string(), body.clone())
+    }
+}
+
+/// Try all root-level rewrite rules.
+fn step_root(term: &Term) -> Option<Term> {
+    match term {
+        // ---- β-rules (;c) ----
+        Term::App(f, a) => match f.as_ref() {
+            Term::Lam(x, body) => Some(body.subst(x, a)),
+            // Commuting conversion: hoist `if` out of the function position.
+            Term::If(c, t, e) => Some(Term::If(
+                c.clone(),
+                Box::new(Term::App(t.clone(), a.clone())),
+                Box::new(Term::App(e.clone(), a.clone())),
+            )),
+            _ => None,
+        },
+        Term::Project(t, label) => match t.as_ref() {
+            Term::Record(fields) => fields
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, v)| v.clone()),
+            Term::If(c, l, r) => Some(Term::If(
+                c.clone(),
+                Box::new(Term::Project(l.clone(), label.clone())),
+                Box::new(Term::Project(r.clone(), label.clone())),
+            )),
+            _ => None,
+        },
+        Term::If(c, t, e) => match c.as_ref() {
+            Term::Const(Constant::Bool(true)) => Some((**t).clone()),
+            Term::Const(Constant::Bool(false)) => Some((**e).clone()),
+            // Hoist a conditional out of the condition position.
+            Term::If(c2, t2, e2) => Some(Term::If(
+                c2.clone(),
+                Box::new(Term::If(t2.clone(), t.clone(), e.clone())),
+                Box::new(Term::If(e2.clone(), t.clone(), e.clone())),
+            )),
+            _ => None,
+        },
+        Term::For(x, src, body) => match src.as_ref() {
+            // for (x ← return M) N  ⇝  N[x := M]
+            Term::Singleton(m) => Some(body.subst(x, m)),
+            // for (x ← ∅) N  ⇝  ∅
+            Term::EmptyBag(_) => Some(Term::EmptyBag(None)),
+            // for (x ← M₁ ⊎ M₂) N  ⇝  for (x ← M₁) N ⊎ for (x ← M₂) N
+            Term::Union(m1, m2) => Some(Term::Union(
+                Box::new(Term::For(x.clone(), m1.clone(), body.clone())),
+                Box::new(Term::For(x.clone(), m2.clone(), body.clone())),
+            )),
+            // for (x ← if L then M else N) P  ⇝  if L then … else …
+            Term::If(c, t, e) => Some(Term::If(
+                c.clone(),
+                Box::new(Term::For(x.clone(), t.clone(), body.clone())),
+                Box::new(Term::For(x.clone(), e.clone(), body.clone())),
+            )),
+            // for (x ← for (y ← M) N) P  ⇝  for (y ← M) for (x ← N) P
+            Term::For(y, m, n) => {
+                let (y2, n2) = avoid_capture(y, n, body);
+                Some(Term::For(
+                    y2,
+                    m.clone(),
+                    Box::new(Term::For(x.clone(), Box::new(n2), body.clone())),
+                ))
+            }
+            _ => None,
+        },
+        // ---- if-hoisting (;h) ----
+        Term::PrimApp(op, args) => {
+            for (i, a) in args.iter().enumerate() {
+                if let Term::If(c, t, e) = a {
+                    let mut then_args = args.clone();
+                    then_args[i] = (**t).clone();
+                    let mut else_args = args.clone();
+                    else_args[i] = (**e).clone();
+                    return Some(Term::If(
+                        c.clone(),
+                        Box::new(Term::PrimApp(*op, then_args)),
+                        Box::new(Term::PrimApp(*op, else_args)),
+                    ));
+                }
+            }
+            None
+        }
+        Term::Record(fields) => {
+            for (i, (_, v)) in fields.iter().enumerate() {
+                if let Term::If(c, t, e) = v {
+                    let mut then_fields = fields.clone();
+                    then_fields[i].1 = (**t).clone();
+                    let mut else_fields = fields.clone();
+                    else_fields[i].1 = (**e).clone();
+                    return Some(Term::If(
+                        c.clone(),
+                        Box::new(Term::Record(then_fields)),
+                        Box::new(Term::Record(else_fields)),
+                    ));
+                }
+            }
+            None
+        }
+        Term::Singleton(inner) => match inner.as_ref() {
+            Term::If(c, t, e) => Some(Term::If(
+                c.clone(),
+                Box::new(Term::Singleton(t.clone())),
+                Box::new(Term::Singleton(e.clone())),
+            )),
+            _ => None,
+        },
+        Term::Union(l, r) => {
+            if let Term::If(c, t, e) = l.as_ref() {
+                return Some(Term::If(
+                    c.clone(),
+                    Box::new(Term::Union(t.clone(), r.clone())),
+                    Box::new(Term::Union(e.clone(), r.clone())),
+                ));
+            }
+            if let Term::If(c, t, e) = r.as_ref() {
+                return Some(Term::If(
+                    c.clone(),
+                    Box::new(Term::Union(l.clone(), t.clone())),
+                    Box::new(Term::Union(l.clone(), e.clone())),
+                ));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// The stage-3 structural normaliser.
+struct Normaliser<'a> {
+    schema: &'a Schema,
+    next_tag: u32,
+    fresh_var: usize,
+}
+
+impl<'a> Normaliser<'a> {
+    fn fresh_tag(&mut self) -> StaticIndex {
+        let t = StaticIndex(self.next_tag);
+        self.next_tag += 1;
+        t
+    }
+
+    fn fresh_var(&mut self) -> String {
+        self.fresh_var += 1;
+        format!("η{}", self.fresh_var)
+    }
+
+    /// `B⟦M⟧*_{A, G⃗, L}`: the comprehensions of a bag-typed term.
+    fn comprehensions(
+        &mut self,
+        term: &Term,
+        elem_ty: &Type,
+        gens: Vec<Generator>,
+        cond: NfBase,
+        ctx: &Context,
+    ) -> Result<Vec<Comprehension>, ShredError> {
+        match term {
+            Term::Singleton(body) => {
+                let tag = self.fresh_tag();
+                let body = self.norm_term(body, elem_ty, ctx)?;
+                Ok(vec![Comprehension {
+                    generators: gens,
+                    condition: cond,
+                    tag,
+                    body,
+                }])
+            }
+            Term::For(x, src, body) => match src.as_ref() {
+                Term::Table(t) => {
+                    let table = self
+                        .schema
+                        .table(t)
+                        .ok_or_else(|| ShredError::Type(nrc::TypeError::NoSuchTable(t.clone())))?;
+                    // Rename the bound variable so that all generators of the
+                    // whole normal form are distinct (the paper assumes this
+                    // before let-insertion; it also keeps correlated SQL
+                    // subqueries unambiguous). The name is sanitised so it is
+                    // always a valid SQL identifier, even if rewriting minted
+                    // helper names with punctuation.
+                    self.fresh_var += 1;
+                    let sanitised: String = x
+                        .chars()
+                        .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    let stem = if sanitised.is_empty() { "v" } else { &sanitised };
+                    let fresh = format!("{}_{}", stem, self.fresh_var);
+                    let body = body.subst(x, &Term::Var(fresh.clone()));
+                    let ctx = ctx.extend(&fresh, table.row_type());
+                    let mut gens = gens;
+                    gens.push(Generator::new(&fresh, t));
+                    self.comprehensions(&body, elem_ty, gens, cond, &ctx)
+                }
+                other => Err(ShredError::NotInNormalForm(format!(
+                    "comprehension source is not a table: {}",
+                    other
+                ))),
+            },
+            Term::Table(t) => {
+                // B⟦table t⟧* = B⟦for (x ← t) return x⟧* for fresh x.
+                let x = self.fresh_var();
+                let expanded = Term::For(
+                    x.clone(),
+                    Box::new(Term::Table(t.clone())),
+                    Box::new(Term::Singleton(Box::new(Term::Var(x)))),
+                );
+                self.comprehensions(&expanded, elem_ty, gens, cond, ctx)
+            }
+            Term::EmptyBag(_) => Ok(Vec::new()),
+            Term::Union(l, r) => {
+                let mut out = self.comprehensions(l, elem_ty, gens.clone(), cond.clone(), ctx)?;
+                out.extend(self.comprehensions(r, elem_ty, gens, cond, ctx)?);
+                Ok(out)
+            }
+            Term::If(c, t, e) => {
+                let test = self.norm_base(c, ctx)?;
+                let mut out = self.comprehensions(
+                    t,
+                    elem_ty,
+                    gens.clone(),
+                    cond.clone().and(test.clone()),
+                    ctx,
+                )?;
+                out.extend(self.comprehensions(e, elem_ty, gens, cond.and(test.negate()), ctx)?);
+                Ok(out)
+            }
+            other => Err(ShredError::NotInNormalForm(format!(
+                "unexpected bag-typed term after rewriting: {}",
+                other
+            ))),
+        }
+    }
+
+    /// `⟦M⟧_A`: normalise a term at a given type.
+    fn norm_term(&mut self, term: &Term, ty: &Type, ctx: &Context) -> Result<NfTerm, ShredError> {
+        match ty {
+            Type::Base(_) => Ok(NfTerm::Base(self.norm_base(term, ctx)?)),
+            Type::Record(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (label, field_ty) in fields {
+                    let projected = self.project_field(term, label)?;
+                    out.push((label.clone(), self.norm_term(&projected, field_ty, ctx)?));
+                }
+                Ok(NfTerm::Record(out))
+            }
+            Type::Bag(elem) => {
+                let branches =
+                    self.comprehensions(term, elem, Vec::new(), NfBase::truth(), ctx)?;
+                Ok(NfTerm::Query(NormQuery { branches }))
+            }
+            Type::Fun(_, _) => Err(ShredError::NotFlatNested(ty.to_string())),
+        }
+    }
+
+    /// `F⟦M⟧_{A,ℓ}`: project a field of a record-typed normalised term,
+    /// η-expanding variables.
+    fn project_field(&mut self, term: &Term, label: &str) -> Result<Term, ShredError> {
+        match term {
+            Term::Record(fields) => fields
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| {
+                    ShredError::NotInNormalForm(format!("record without field {}", label))
+                }),
+            Term::Var(x) => Ok(Term::Project(
+                Box::new(Term::Var(x.clone())),
+                label.to_string(),
+            )),
+            // A projection of a projection (x.ℓ.ℓ′) can only arise from nested
+            // record columns, which flat tables do not have, but handle it for
+            // robustness.
+            Term::Project(_, _) => Ok(Term::Project(Box::new(term.clone()), label.to_string())),
+            other => Err(ShredError::NotInNormalForm(format!(
+                "cannot project field {} from {}",
+                label, other
+            ))),
+        }
+    }
+
+    /// `⟦X⟧_O`: normalise a base-typed term.
+    fn norm_base(&mut self, term: &Term, ctx: &Context) -> Result<NfBase, ShredError> {
+        match term {
+            Term::Project(inner, field) => match inner.as_ref() {
+                Term::Var(x) => Ok(NfBase::Proj {
+                    var: x.clone(),
+                    field: field.clone(),
+                }),
+                other => Err(ShredError::NotInNormalForm(format!(
+                    "projection from non-variable {}",
+                    other
+                ))),
+            },
+            Term::Const(c) => Ok(NfBase::Const(c.clone())),
+            Term::PrimApp(op, args) => Ok(NfBase::Prim(
+                *op,
+                args.iter()
+                    .map(|a| self.norm_base(a, ctx))
+                    .collect::<Result<_, _>>()?,
+            )),
+            Term::Empty(inner) => {
+                let inner_ty = infer(inner, ctx, self.schema).map_err(ShredError::Type)?;
+                let elem = match &inner_ty {
+                    Type::Bag(elem) => elem.as_ref().clone(),
+                    other => return Err(ShredError::NotAQuery(other.to_string())),
+                };
+                let branches =
+                    self.comprehensions(inner, &elem, Vec::new(), NfBase::truth(), ctx)?;
+                Ok(NfBase::IsEmpty(Box::new(NormQuery { branches })))
+            }
+            // A residual boolean conditional (possible when stage-2 hoisting
+            // pushed an `if` into a condition position): encode it with
+            // boolean connectives, which is sound at type Bool.
+            Term::If(c, t, e) => {
+                let c = self.norm_base(c, ctx)?;
+                let t = self.norm_base(t, ctx)?;
+                let e = self.norm_base(e, ctx)?;
+                Ok(NfBase::Prim(
+                    PrimOp::Or,
+                    vec![
+                        NfBase::Prim(PrimOp::And, vec![c.clone(), t]),
+                        NfBase::Prim(PrimOp::And, vec![c.negate(), e]),
+                    ],
+                ))
+            }
+            other => Err(ShredError::NotInNormalForm(format!(
+                "unexpected base-typed term after rewriting: {}",
+                other
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrc::builder::*;
+    use nrc::schema::{Database, TableSchema};
+    use nrc::stdlib;
+    use nrc::types::BaseType;
+    use nrc::value::Value;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .with_table(
+                TableSchema::new(
+                    "departments",
+                    vec![("id", BaseType::Int), ("name", BaseType::String)],
+                )
+                .with_key(vec!["id"]),
+            )
+            .with_table(
+                TableSchema::new(
+                    "employees",
+                    vec![
+                        ("id", BaseType::Int),
+                        ("dept", BaseType::String),
+                        ("name", BaseType::String),
+                        ("salary", BaseType::Int),
+                    ],
+                )
+                .with_key(vec!["id"]),
+            )
+            .with_table(
+                TableSchema::new(
+                    "tasks",
+                    vec![
+                        ("id", BaseType::Int),
+                        ("employee", BaseType::String),
+                        ("task", BaseType::String),
+                    ],
+                )
+                .with_key(vec!["id"]),
+            )
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new(schema());
+        for (id, name) in [(1, "Product"), (2, "Research"), (3, "Sales")] {
+            db.insert_row(
+                "departments",
+                vec![("id", Value::Int(id)), ("name", Value::string(name))],
+            )
+            .unwrap();
+        }
+        for (id, dept, name, salary) in [
+            (1, "Product", "Alex", 20000),
+            (2, "Product", "Bert", 900),
+            (3, "Research", "Cora", 50000),
+            (4, "Sales", "Erik", 2000000),
+        ] {
+            db.insert_row(
+                "employees",
+                vec![
+                    ("id", Value::Int(id)),
+                    ("dept", Value::string(dept)),
+                    ("name", Value::string(name)),
+                    ("salary", Value::Int(salary)),
+                ],
+            )
+            .unwrap();
+        }
+        for (id, emp, task) in [
+            (1, "Alex", "build"),
+            (2, "Bert", "build"),
+            (3, "Cora", "abstract"),
+            (4, "Erik", "call"),
+        ] {
+            db.insert_row(
+                "tasks",
+                vec![
+                    ("id", Value::Int(id)),
+                    ("employee", Value::string(emp)),
+                    ("task", Value::string(task)),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    /// Normalisation must preserve the nested semantics (Theorem 1).
+    fn assert_norm_preserves(q: &Term) {
+        let schema = schema();
+        let db = db();
+        let original = nrc::eval(q, &db).unwrap();
+        let normal = normalise(q, &schema).unwrap();
+        let renormalised = nrc::eval(&normal.to_term(), &db).unwrap();
+        assert!(
+            original.multiset_eq(&renormalised),
+            "normalisation changed semantics:\n  original: {}\n  normal:  {}",
+            original,
+            renormalised
+        );
+    }
+
+    #[test]
+    fn beta_reduction_eliminates_applications() {
+        let q = app(
+            lam(
+                "p",
+                for_where(
+                    "e",
+                    table("employees"),
+                    app(var("p"), var("e")),
+                    singleton(project(var("e"), "name")),
+                ),
+            ),
+            lam("x", gt(project(var("x"), "salary"), int(1000))),
+        );
+        let n = normalise(&q, &schema()).unwrap();
+        assert_eq!(n.branches.len(), 1);
+        assert_norm_preserves(&q);
+    }
+
+    #[test]
+    fn higher_order_combinators_normalise_to_flat_comprehensions() {
+        let q = stdlib::filter_fn(
+            lam("y", gt(project(var("y"), "salary"), int(1000))),
+            table("employees"),
+        );
+        let n = normalise(&q, &schema()).unwrap();
+        assert_eq!(n.branches.len(), 1);
+        assert_eq!(n.branches[0].generators.len(), 1);
+        assert_norm_preserves(&q);
+    }
+
+    #[test]
+    fn nested_for_sources_are_flattened() {
+        // for (x ← for (y ← employees) return y) return x.name
+        let q = for_in(
+            "x",
+            for_in("y", table("employees"), singleton(var("y"))),
+            singleton(project(var("x"), "name")),
+        );
+        let n = normalise(&q, &schema()).unwrap();
+        assert_eq!(n.branches.len(), 1);
+        assert_eq!(n.branches[0].generators.len(), 1);
+        assert_norm_preserves(&q);
+    }
+
+    #[test]
+    fn unions_are_hoisted_to_the_top() {
+        let q = for_in(
+            "x",
+            union(
+                for_where(
+                    "e",
+                    table("employees"),
+                    lt(project(var("e"), "salary"), int(1000)),
+                    singleton(var("e")),
+                ),
+                for_where(
+                    "e",
+                    table("employees"),
+                    gt(project(var("e"), "salary"), int(100000)),
+                    singleton(var("e")),
+                ),
+            ),
+            singleton(project(var("x"), "name")),
+        );
+        let n = normalise(&q, &schema()).unwrap();
+        assert_eq!(n.branches.len(), 2);
+        assert_norm_preserves(&q);
+    }
+
+    #[test]
+    fn conditionals_become_where_clauses() {
+        // for (e ← employees) (if e.salary > 1000 then return e.name else ∅)
+        let q = for_in(
+            "e",
+            table("employees"),
+            if_then_else(
+                gt(project(var("e"), "salary"), int(1000)),
+                singleton(project(var("e"), "name")),
+                empty_bag(),
+            ),
+        );
+        let n = normalise(&q, &schema()).unwrap();
+        assert_eq!(n.branches.len(), 1);
+        assert!(!n.branches[0].condition.is_truth());
+        assert_norm_preserves(&q);
+    }
+
+    #[test]
+    fn conditional_with_both_branches_splits_into_two_comprehensions() {
+        let q = for_in(
+            "e",
+            table("employees"),
+            if_then_else(
+                gt(project(var("e"), "salary"), int(1000)),
+                singleton(string("big")),
+                singleton(string("small")),
+            ),
+        );
+        let n = normalise(&q, &schema()).unwrap();
+        assert_eq!(n.branches.len(), 2);
+        assert_norm_preserves(&q);
+    }
+
+    #[test]
+    fn bare_table_is_eta_expanded() {
+        let q = table("employees");
+        let n = normalise(&q, &schema()).unwrap();
+        assert_eq!(n.branches.len(), 1);
+        assert_eq!(n.branches[0].generators.len(), 1);
+        // The body must be a record listing every column explicitly.
+        match &n.branches[0].body {
+            NfTerm::Record(fields) => assert_eq!(fields.len(), 4),
+            other => panic!("expected an η-expanded record, got {:?}", other),
+        }
+        assert_norm_preserves(&q);
+    }
+
+    #[test]
+    fn nested_query_bodies_are_normalised_recursively() {
+        let q = for_in(
+            "d",
+            table("departments"),
+            singleton(record(vec![
+                ("name", project(var("d"), "name")),
+                (
+                    "emps",
+                    stdlib::filter(table("employees"), |e| {
+                        eq(project(e, "dept"), project(var("d"), "name"))
+                    }),
+                ),
+            ])),
+        );
+        let n = normalise(&q, &schema()).unwrap();
+        assert_eq!(n.branches.len(), 1);
+        match &n.branches[0].body {
+            NfTerm::Record(fields) => {
+                assert!(matches!(fields[1].1, NfTerm::Query(_)));
+            }
+            other => panic!("expected a record body, got {:?}", other),
+        }
+        assert_norm_preserves(&q);
+        // Tags must be unique across the whole query.
+        let tags = n.tags();
+        let mut dedup = tags.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(tags.len(), dedup.len());
+    }
+
+    #[test]
+    fn emptiness_tests_are_normalised_in_place() {
+        // Departments with no employee earning over 100000.
+        let q = for_where(
+            "d",
+            table("departments"),
+            is_empty(for_where(
+                "e",
+                table("employees"),
+                and(
+                    eq(project(var("e"), "dept"), project(var("d"), "name")),
+                    gt(project(var("e"), "salary"), int(100000)),
+                ),
+                singleton(var("e")),
+            )),
+            singleton(project(var("d"), "name")),
+        );
+        let n = normalise(&q, &schema()).unwrap();
+        assert_eq!(n.branches.len(), 1);
+        assert!(matches!(
+            n.branches[0].condition,
+            NfBase::IsEmpty(_) | NfBase::Prim(_, _)
+        ));
+        assert_norm_preserves(&q);
+    }
+
+    #[test]
+    fn any_and_all_combinators_normalise() {
+        let q = for_where(
+            "d",
+            table("departments"),
+            stdlib::all(
+                stdlib::filter(table("employees"), |e| {
+                    eq(project(e, "dept"), project(var("d"), "name"))
+                }),
+                |e| gt(project(e, "salary"), int(500)),
+            ),
+            singleton(project(var("d"), "name")),
+        );
+        assert_norm_preserves(&q);
+    }
+
+    #[test]
+    fn boolean_conditional_in_condition_position_is_encoded() {
+        // where (if e.salary > 1000 then e.dept = "Sales" else true)
+        let q = for_where(
+            "e",
+            table("employees"),
+            if_then_else(
+                gt(project(var("e"), "salary"), int(1000)),
+                eq(project(var("e"), "dept"), string("Sales")),
+                boolean(true),
+            ),
+            singleton(project(var("e"), "name")),
+        );
+        assert_norm_preserves(&q);
+    }
+
+    #[test]
+    fn normalising_a_non_query_fails() {
+        assert!(matches!(
+            normalise(&int(3), &schema()),
+            Err(ShredError::NotAQuery(_))
+        ));
+    }
+
+    #[test]
+    fn rewriting_is_idempotent_on_normal_forms() {
+        let q = for_where(
+            "e",
+            table("employees"),
+            gt(project(var("e"), "salary"), int(1000)),
+            singleton(project(var("e"), "name")),
+        );
+        let r1 = rewrite_to_normal_form(&q).unwrap();
+        let r2 = rewrite_to_normal_form(&r1).unwrap();
+        assert_eq!(r1, r2);
+    }
+}

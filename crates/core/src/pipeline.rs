@@ -1,0 +1,600 @@
+//! The end-to-end query shredding pipeline (Figure 1(c) of the paper).
+//!
+//! ```text
+//! λNRC query
+//!   │ normalise            (crate::normalise)
+//!   ▼
+//! normal form + static indexes
+//!   │ shred                (crate::shred)     — one flat query per bag constructor
+//!   │ let-insert           (crate::letins)    — flat ⟨static, dynamic⟩ indexes
+//!   │ SQL generation       (crate::sqlgen)    — WITH / UNION ALL / ROW_NUMBER
+//!   ▼
+//! SQL queries  ── run on sqlengine ──▶ flat results
+//!   │ decode               (crate::flatten)
+//!   │ stitch               (crate::stitch)
+//!   ▼
+//! nested value  (≡ evaluating the original query directly — Theorem 4)
+//! ```
+
+use crate::error::ShredError;
+use crate::flatten::{value_to_sql, ResultLayout};
+use crate::letins::{let_insert, LetQuery};
+use crate::nf::NormQuery;
+use crate::normalise::normalise_with_type;
+use crate::semantics::{
+    eval_shredded_package, IndexScheme, IndexTables, ShredResult,
+};
+use crate::shred::{shred_query, shred_type, Package, ShreddedQuery};
+use crate::stitch::stitch;
+use nrc::schema::{Database, Schema};
+use nrc::term::Term;
+use nrc::types::{Path, Type};
+use nrc::value::Value;
+use sqlengine::storage::{ColumnType, Storage, TableDef};
+use sqlengine::{Engine, Query};
+
+/// Everything produced for one bag constructor of the result type: the
+/// shredded query, its let-inserted form, the SQL rendering and the column
+/// layout used to decode results.
+#[derive(Debug, Clone)]
+pub struct QueryStage {
+    pub path: Path,
+    pub shredded: ShreddedQuery,
+    pub let_inserted: LetQuery,
+    pub sql: Query,
+    pub layout: ResultLayout,
+}
+
+/// A fully compiled nested query: the normal form plus one [`QueryStage`] per
+/// bag constructor of the result type.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    pub normalised: NormQuery,
+    pub result_type: Type,
+    pub stages: Package<QueryStage>,
+}
+
+impl CompiledQuery {
+    /// The number of flat queries (= the nesting degree of the result type).
+    pub fn query_count(&self) -> usize {
+        self.stages.nesting_degree()
+    }
+
+    /// The SQL text of every stage, outermost first.
+    pub fn sql_texts(&self) -> Vec<String> {
+        self.stages
+            .annotations()
+            .into_iter()
+            .map(|s| sqlengine::print_query(&s.sql))
+            .collect()
+    }
+}
+
+/// Compile a nested λNRC query down to SQL: normalise, shred at every path of
+/// the result type, let-insert and generate SQL.
+pub fn compile(term: &Term, schema: &Schema) -> Result<CompiledQuery, ShredError> {
+    let (normalised, result_type) = normalise_with_type(term, schema)?;
+    compile_normalised(normalised, result_type, schema)
+}
+
+/// Compile an already-normalised query.
+pub fn compile_normalised(
+    normalised: NormQuery,
+    result_type: Type,
+    schema: &Schema,
+) -> Result<CompiledQuery, ShredError> {
+    if !matches!(result_type, Type::Bag(_)) {
+        return Err(ShredError::NotAQuery(result_type.to_string()));
+    }
+    let stages = crate::shred::package_by(&result_type, &mut |path: &Path| {
+        let shredded = shred_query(&normalised, path)?;
+        let shredded_type = shred_type(&result_type, path)?;
+        let layout = ResultLayout::new(&shredded_type.inner);
+        let let_inserted = let_insert(&shredded)?;
+        let sql = crate::sqlgen::sql_of_let_query(&let_inserted, &layout, schema)?;
+        Ok::<QueryStage, ShredError>(QueryStage {
+            path: path.clone(),
+            shredded,
+            let_inserted,
+            sql,
+            layout,
+        })
+    })?;
+    Ok(CompiledQuery {
+        normalised,
+        result_type,
+        stages,
+    })
+}
+
+/// Execute a compiled query on a SQL engine and stitch the shredded results
+/// back into a nested value.
+pub fn execute(compiled: &CompiledQuery, engine: &Engine) -> Result<Value, ShredError> {
+    let results: Package<ShredResult> = compiled.stages.try_map(&mut |stage: &QueryStage| {
+        let rs = engine.execute(&stage.sql)?;
+        stage.layout.decode(&rs)
+    })?;
+    stitch(&results, IndexScheme::Flat)
+}
+
+/// Execute a compiled query by shipping SQL *text* to the engine (parsing it
+/// back), exactly as Links ships SQL strings to PostgreSQL. Slower than
+/// [`execute`], but exercises the printer/parser round trip.
+pub fn execute_via_sql_text(
+    compiled: &CompiledQuery,
+    engine: &Engine,
+) -> Result<Value, ShredError> {
+    let results: Package<ShredResult> = compiled.stages.try_map(&mut |stage: &QueryStage| {
+        let text = sqlengine::print_query(&stage.sql);
+        let rs = engine.execute_sql(&text)?;
+        stage.layout.decode(&rs)
+    })?;
+    stitch(&results, IndexScheme::Flat)
+}
+
+/// Run a nested query end to end: compile, execute on the given engine, and
+/// stitch. This is the single call a Links-like host language would make.
+pub fn run(term: &Term, schema: &Schema, engine: &Engine) -> Result<Value, ShredError> {
+    let compiled = compile(term, schema)?;
+    execute(&compiled, engine)
+}
+
+/// Run a nested query using the *in-memory* shredded semantics of Figure 5
+/// (no SQL involved), under the chosen indexing scheme. This is the reference
+/// implementation of shredding used to validate the SQL path.
+pub fn run_in_memory(
+    term: &Term,
+    schema: &Schema,
+    db: &Database,
+    scheme: IndexScheme,
+) -> Result<Value, ShredError> {
+    let (normalised, result_type) = normalise_with_type(term, schema)?;
+    let tables = IndexTables::compute(&normalised, db)?;
+    if !tables.is_valid(scheme) {
+        return Err(ShredError::InvalidIndexing(format!(
+            "the {} indexing scheme is not valid for this query and database",
+            scheme
+        )));
+    }
+    let package = crate::shred::shred_query_package(&normalised, &result_type)?;
+    let results = eval_shredded_package(&package, db, scheme, &tables)?;
+    stitch(&results, scheme)
+}
+
+/// Evaluate a nested query directly with the nested semantics N⟦−⟧ (no
+/// shredding). This is the ground truth for all correctness tests.
+pub fn eval_nested(term: &Term, db: &Database) -> Result<Value, ShredError> {
+    nrc::eval(term, db).map_err(ShredError::Eval)
+}
+
+// ---------------------------------------------------------------------------
+// Bridging the λNRC database to the SQL engine
+// ---------------------------------------------------------------------------
+
+/// Convert a λNRC schema into SQL table definitions.
+pub fn table_defs_of_schema(schema: &Schema) -> Vec<TableDef> {
+    schema
+        .tables()
+        .map(|t| {
+            let columns = t
+                .columns
+                .iter()
+                .map(|(c, ty)| {
+                    let col_ty = match ty {
+                        nrc::BaseType::Int => ColumnType::Int,
+                        nrc::BaseType::Bool => ColumnType::Bool,
+                        nrc::BaseType::String | nrc::BaseType::Unit => ColumnType::Text,
+                    };
+                    (c.as_str(), col_ty)
+                })
+                .collect();
+            let mut def = TableDef::new(t.name.clone(), columns);
+            def.key = t.key.clone();
+            def
+        })
+        .collect()
+}
+
+/// Load an in-memory λNRC database into SQL engine storage. Rows keep their
+/// column order from the schema.
+pub fn storage_from_database(db: &Database) -> Result<Storage, ShredError> {
+    let mut storage = Storage::new();
+    for def in table_defs_of_schema(&db.schema) {
+        let name = def.name.clone();
+        storage.create_table(def).map_err(ShredError::Engine)?;
+        let table_schema = db
+            .schema
+            .table(&name)
+            .ok_or_else(|| ShredError::Internal(format!("schema lost table {}", name)))?;
+        for row in db
+            .table_rows_unordered(&name)
+            .map_err(|e| ShredError::Internal(e.to_string()))?
+        {
+            let mut sql_row = Vec::with_capacity(table_schema.columns.len());
+            for (column, _) in &table_schema.columns {
+                let v = row.field(column).ok_or_else(|| {
+                    ShredError::Internal(format!("row missing column {}", column))
+                })?;
+                sql_row.push(value_to_sql(v)?);
+            }
+            storage.insert(&name, sql_row).map_err(ShredError::Engine)?;
+        }
+    }
+    Ok(storage)
+}
+
+/// An engine loaded with the contents of a λNRC database.
+pub fn engine_from_database(db: &Database) -> Result<Engine, ShredError> {
+    Ok(Engine::with_storage(storage_from_database(db)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrc::builder::*;
+    use nrc::schema::TableSchema;
+    use nrc::types::BaseType;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .with_table(
+                TableSchema::new(
+                    "departments",
+                    vec![("id", BaseType::Int), ("name", BaseType::String)],
+                )
+                .with_key(vec!["id"]),
+            )
+            .with_table(
+                TableSchema::new(
+                    "employees",
+                    vec![
+                        ("id", BaseType::Int),
+                        ("dept", BaseType::String),
+                        ("name", BaseType::String),
+                        ("salary", BaseType::Int),
+                    ],
+                )
+                .with_key(vec!["id"]),
+            )
+            .with_table(
+                TableSchema::new(
+                    "tasks",
+                    vec![
+                        ("id", BaseType::Int),
+                        ("employee", BaseType::String),
+                        ("task", BaseType::String),
+                    ],
+                )
+                .with_key(vec!["id"]),
+            )
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new(schema());
+        for (id, name) in [(1, "Product"), (2, "Quality"), (3, "Research"), (4, "Sales")] {
+            db.insert_row(
+                "departments",
+                vec![("id", Value::Int(id)), ("name", Value::string(name))],
+            )
+            .unwrap();
+        }
+        for (id, dept, name, salary) in [
+            (1, "Product", "Alex", 20000),
+            (2, "Product", "Bert", 900),
+            (3, "Research", "Cora", 50000),
+            (4, "Research", "Drew", 60000),
+            (5, "Sales", "Erik", 2000000),
+            (6, "Sales", "Fred", 700),
+            (7, "Sales", "Gina", 100000),
+        ] {
+            db.insert_row(
+                "employees",
+                vec![
+                    ("id", Value::Int(id)),
+                    ("dept", Value::string(dept)),
+                    ("name", Value::string(name)),
+                    ("salary", Value::Int(salary)),
+                ],
+            )
+            .unwrap();
+        }
+        for (id, emp, task) in [
+            (1, "Alex", "build"),
+            (2, "Bert", "build"),
+            (3, "Cora", "abstract"),
+            (4, "Cora", "build"),
+            (5, "Cora", "call"),
+            (6, "Cora", "dissemble"),
+            (7, "Cora", "enthuse"),
+            (8, "Drew", "abstract"),
+            (9, "Drew", "enthuse"),
+            (10, "Erik", "call"),
+            (11, "Erik", "enthuse"),
+            (12, "Fred", "call"),
+            (13, "Gina", "call"),
+            (14, "Gina", "dissemble"),
+        ] {
+            db.insert_row(
+                "tasks",
+                vec![
+                    ("id", Value::Int(id)),
+                    ("employee", Value::string(emp)),
+                    ("task", Value::string(task)),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    /// The two-level nested query used throughout the paper's Section 3.
+    fn department_employee_tasks() -> Term {
+        for_in(
+            "d",
+            table("departments"),
+            singleton(record(vec![
+                ("department", project(var("d"), "name")),
+                (
+                    "employees",
+                    for_where(
+                        "e",
+                        table("employees"),
+                        eq(project(var("e"), "dept"), project(var("d"), "name")),
+                        singleton(record(vec![
+                            ("name", project(var("e"), "name")),
+                            (
+                                "tasks",
+                                for_where(
+                                    "t",
+                                    table("tasks"),
+                                    eq(
+                                        project(var("t"), "employee"),
+                                        project(var("e"), "name"),
+                                    ),
+                                    singleton(project(var("t"), "task")),
+                                ),
+                            ),
+                        ])),
+                    ),
+                ),
+            ])),
+        )
+    }
+
+    fn assert_all_paths_agree(q: &Term) {
+        let schema = schema();
+        let db = db();
+        let reference = eval_nested(q, &db).unwrap();
+
+        // In-memory shredded semantics, all three indexing schemes.
+        for scheme in [IndexScheme::Canonical, IndexScheme::Flat, IndexScheme::Natural] {
+            let v = run_in_memory(q, &schema, &db, scheme).unwrap();
+            assert!(
+                v.multiset_eq(&reference),
+                "in-memory shredding with {} indexes disagrees:\n  expected {}\n  got {}",
+                scheme,
+                reference,
+                v
+            );
+        }
+
+        // SQL path.
+        let engine = engine_from_database(&db).unwrap();
+        let compiled = compile(q, &schema).unwrap();
+        assert_eq!(
+            compiled.query_count(),
+            compiled.result_type.nesting_degree()
+        );
+        let via_sql = execute(&compiled, &engine).unwrap();
+        assert!(
+            via_sql.multiset_eq(&reference),
+            "SQL path disagrees:\n  expected {}\n  got {}",
+            reference,
+            via_sql
+        );
+
+        // SQL-as-text path (printer/parser round trip).
+        let via_text = execute_via_sql_text(&compiled, &engine).unwrap();
+        assert!(via_text.multiset_eq(&reference));
+    }
+
+    #[test]
+    fn flat_query_round_trips() {
+        let q = for_where(
+            "e",
+            table("employees"),
+            gt(project(var("e"), "salary"), int(10000)),
+            singleton(record(vec![("name", project(var("e"), "name"))])),
+        );
+        assert_all_paths_agree(&q);
+    }
+
+    #[test]
+    fn two_level_nested_query_round_trips() {
+        let q = for_in(
+            "d",
+            table("departments"),
+            singleton(record(vec![
+                ("dept", project(var("d"), "name")),
+                (
+                    "emps",
+                    for_where(
+                        "e",
+                        table("employees"),
+                        eq(project(var("e"), "dept"), project(var("d"), "name")),
+                        singleton(project(var("e"), "name")),
+                    ),
+                ),
+            ])),
+        );
+        assert_all_paths_agree(&q);
+    }
+
+    #[test]
+    fn three_level_nested_query_round_trips() {
+        assert_all_paths_agree(&department_employee_tasks());
+    }
+
+    #[test]
+    fn query_with_union_of_nested_sources_round_trips() {
+        // The outliers-and-clients shape of the running example Q, reduced to
+        // the employees table only.
+        let q = for_in(
+            "d",
+            table("departments"),
+            singleton(record(vec![
+                ("department", project(var("d"), "name")),
+                (
+                    "people",
+                    union(
+                        for_where(
+                            "e",
+                            table("employees"),
+                            and(
+                                eq(project(var("e"), "dept"), project(var("d"), "name")),
+                                or(
+                                    lt(project(var("e"), "salary"), int(1000)),
+                                    gt(project(var("e"), "salary"), int(1000000)),
+                                ),
+                            ),
+                            singleton(record(vec![
+                                ("name", project(var("e"), "name")),
+                                (
+                                    "tasks",
+                                    for_where(
+                                        "t",
+                                        table("tasks"),
+                                        eq(
+                                            project(var("t"), "employee"),
+                                            project(var("e"), "name"),
+                                        ),
+                                        singleton(project(var("t"), "task")),
+                                    ),
+                                ),
+                            ])),
+                        ),
+                        for_where(
+                            "e",
+                            table("employees"),
+                            eq(project(var("e"), "dept"), project(var("d"), "name")),
+                            singleton(record(vec![
+                                ("name", project(var("e"), "name")),
+                                ("tasks", singleton(string("buy"))),
+                            ])),
+                        ),
+                    ),
+                ),
+            ])),
+        );
+        assert_all_paths_agree(&q);
+    }
+
+    #[test]
+    fn emptiness_test_query_round_trips() {
+        // Departments where every employee can do the "abstract" task.
+        let q = for_where(
+            "d",
+            table("departments"),
+            is_empty(for_where(
+                "e",
+                table("employees"),
+                and(
+                    eq(project(var("e"), "dept"), project(var("d"), "name")),
+                    is_empty(for_where(
+                        "t",
+                        table("tasks"),
+                        and(
+                            eq(project(var("t"), "employee"), project(var("e"), "name")),
+                            eq(project(var("t"), "task"), string("abstract")),
+                        ),
+                        singleton(var("t")),
+                    )),
+                ),
+                singleton(var("e")),
+            )),
+            singleton(record(vec![("dept", project(var("d"), "name"))])),
+        );
+        assert_all_paths_agree(&q);
+    }
+
+    #[test]
+    fn empty_result_bags_are_preserved() {
+        // The Quality department has no employees; its inner bag must be empty
+        // rather than missing.
+        let q = for_in(
+            "d",
+            table("departments"),
+            singleton(record(vec![
+                ("dept", project(var("d"), "name")),
+                (
+                    "emps",
+                    for_where(
+                        "e",
+                        table("employees"),
+                        eq(project(var("e"), "dept"), project(var("d"), "name")),
+                        singleton(project(var("e"), "name")),
+                    ),
+                ),
+            ])),
+        );
+        let db = db();
+        let engine = engine_from_database(&db).unwrap();
+        let v = run(&q, &schema(), &engine).unwrap();
+        let quality = v
+            .as_bag()
+            .unwrap()
+            .iter()
+            .find(|r| r.field("dept") == Some(&Value::string("Quality")))
+            .expect("Quality department present");
+        assert_eq!(quality.field("emps"), Some(&Value::Bag(vec![])));
+    }
+
+    #[test]
+    fn multiplicities_are_preserved_by_the_whole_pipeline() {
+        // A union that produces duplicate people; bag semantics must keep both
+        // copies (this is where Van den Bussche's simulation goes wrong).
+        let q = for_in(
+            "d",
+            table("departments"),
+            singleton(record(vec![
+                ("dept", project(var("d"), "name")),
+                (
+                    "people",
+                    union(
+                        for_where(
+                            "e",
+                            table("employees"),
+                            eq(project(var("e"), "dept"), project(var("d"), "name")),
+                            singleton(project(var("e"), "name")),
+                        ),
+                        for_where(
+                            "e",
+                            table("employees"),
+                            eq(project(var("e"), "dept"), project(var("d"), "name")),
+                            singleton(project(var("e"), "name")),
+                        ),
+                    ),
+                ),
+            ])),
+        );
+        assert_all_paths_agree(&q);
+    }
+
+    #[test]
+    fn compiled_query_exposes_sql_texts() {
+        let compiled = compile(&department_employee_tasks(), &schema()).unwrap();
+        let texts = compiled.sql_texts();
+        assert_eq!(texts.len(), 3);
+        assert!(texts[1].contains("WITH"));
+        assert!(texts[2].contains("ROW_NUMBER"));
+    }
+
+    #[test]
+    fn storage_round_trip_preserves_row_counts() {
+        let db = db();
+        let storage = storage_from_database(&db).unwrap();
+        assert_eq!(storage.table("employees").unwrap().len(), 7);
+        assert_eq!(storage.table("tasks").unwrap().len(), 14);
+        assert_eq!(storage.total_rows(), db.total_rows());
+    }
+}

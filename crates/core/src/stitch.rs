@@ -1,0 +1,236 @@
+//! Stitching shredded results back into a nested value (Section 5.2).
+//!
+//! Following the optimisation described in Section 8, stitching is done in a
+//! single pass: each shredded result is first grouped by its outer index in a
+//! hash map, so rebuilding the nested value is linear in the total size of
+//! the shredded results rather than quadratic.
+
+use crate::error::ShredError;
+use crate::semantics::{FlatValue, IndexScheme, IndexValue, ShredResult};
+use crate::shred::Package;
+use nrc::value::Value;
+use std::collections::HashMap;
+
+/// A shredded result grouped by outer index.
+type Grouped = HashMap<IndexValue, Vec<FlatValue>>;
+
+/// Stitch a package of shredded results into the nested value they encode,
+/// starting from the distinguished top-level index ⊤⋅1.
+pub fn stitch(package: &Package<ShredResult>, scheme: IndexScheme) -> Result<Value, ShredError> {
+    let grouped = package.map(&mut |result: &ShredResult| {
+        let mut map: Grouped = HashMap::new();
+        for (outer, value) in result {
+            map.entry(outer.clone()).or_default().push(value.clone());
+        }
+        map
+    });
+    match &grouped {
+        Package::Bag(_, _) => stitch_bag(&grouped, &IndexValue::top(scheme)),
+        _ => Err(ShredError::Internal(
+            "stitching requires a bag-typed result package".to_string(),
+        )),
+    }
+}
+
+fn stitch_bag(package: &Package<Grouped>, index: &IndexValue) -> Result<Value, ShredError> {
+    match package {
+        Package::Bag(grouped, inner) => {
+            let rows = grouped.get(index).map(Vec::as_slice).unwrap_or(&[]);
+            let mut items = Vec::with_capacity(rows.len());
+            for row in rows {
+                items.push(stitch_value(inner, row)?);
+            }
+            Ok(Value::Bag(items))
+        }
+        _ => Err(ShredError::Internal(
+            "stitch_bag called on a non-bag package".to_string(),
+        )),
+    }
+}
+
+fn stitch_value(package: &Package<Grouped>, value: &FlatValue) -> Result<Value, ShredError> {
+    match (package, value) {
+        (Package::Base(_), FlatValue::Base(v)) => Ok(v.clone()),
+        (Package::Record(fields), FlatValue::Record(values)) => {
+            let mut out = Vec::with_capacity(fields.len());
+            for (label, field_pkg) in fields {
+                let field_value = values
+                    .iter()
+                    .find(|(l, _)| l == label)
+                    .map(|(_, v)| v)
+                    .ok_or_else(|| {
+                        ShredError::Decode(format!("shredded row is missing field {}", label))
+                    })?;
+                out.push((label.clone(), stitch_value(field_pkg, field_value)?));
+            }
+            Ok(Value::Record(out))
+        }
+        (Package::Bag(_, _), FlatValue::Index(idx)) => stitch_bag(package, idx),
+        (pkg, v) => Err(ShredError::Decode(format!(
+            "value {} does not match the package shape {:?}",
+            v,
+            std::mem::discriminant(pkg)
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nf::StaticIndex;
+    use nrc::types::BaseType;
+
+    fn idx(tag: u32, ordinal: i64) -> IndexValue {
+        IndexValue::Flat {
+            tag: StaticIndex(tag),
+            ordinal,
+        }
+    }
+
+    /// Hand-build the shredded results of the paper's running example (the
+    /// r′1, r′2, r′3 tables of Section 3, slightly reduced) and stitch them.
+    #[test]
+    fn stitches_the_running_example_shape() {
+        // Outer query: one row per department.
+        let r1: ShredResult = vec![
+            (
+                idx(0, 1),
+                FlatValue::Record(vec![
+                    (
+                        "department".to_string(),
+                        FlatValue::Base(Value::string("Product")),
+                    ),
+                    ("people".to_string(), FlatValue::Index(idx(1, 1))),
+                ]),
+            ),
+            (
+                idx(0, 1),
+                FlatValue::Record(vec![
+                    (
+                        "department".to_string(),
+                        FlatValue::Base(Value::string("Sales")),
+                    ),
+                    ("people".to_string(), FlatValue::Index(idx(1, 2))),
+                ]),
+            ),
+        ];
+        // Middle query: people per department.
+        let r2: ShredResult = vec![
+            (
+                idx(1, 1),
+                FlatValue::Record(vec![
+                    ("name".to_string(), FlatValue::Base(Value::string("Bert"))),
+                    ("tasks".to_string(), FlatValue::Index(idx(2, 1))),
+                ]),
+            ),
+            (
+                idx(1, 2),
+                FlatValue::Record(vec![
+                    ("name".to_string(), FlatValue::Base(Value::string("Erik"))),
+                    ("tasks".to_string(), FlatValue::Index(idx(2, 2))),
+                ]),
+            ),
+        ];
+        // Inner query: tasks per person.
+        let r3: ShredResult = vec![
+            (idx(2, 1), FlatValue::Base(Value::string("build"))),
+            (idx(2, 2), FlatValue::Base(Value::string("call"))),
+            (idx(2, 2), FlatValue::Base(Value::string("enthuse"))),
+        ];
+
+        let package = Package::Bag(
+            r1,
+            Box::new(Package::Record(vec![
+                (
+                    "department".to_string(),
+                    Package::Base(BaseType::String),
+                ),
+                (
+                    "people".to_string(),
+                    Package::Bag(
+                        r2,
+                        Box::new(Package::Record(vec![
+                            ("name".to_string(), Package::Base(BaseType::String)),
+                            (
+                                "tasks".to_string(),
+                                Package::Bag(r3, Box::new(Package::Base(BaseType::String))),
+                            ),
+                        ])),
+                    ),
+                ),
+            ])),
+        );
+
+        let v = stitch(&package, IndexScheme::Flat).unwrap();
+        let expected = Value::bag(vec![
+            Value::record(vec![
+                ("department", Value::string("Product")),
+                (
+                    "people",
+                    Value::bag(vec![Value::record(vec![
+                        ("name", Value::string("Bert")),
+                        ("tasks", Value::bag(vec![Value::string("build")])),
+                    ])]),
+                ),
+            ]),
+            Value::record(vec![
+                ("department", Value::string("Sales")),
+                (
+                    "people",
+                    Value::bag(vec![Value::record(vec![
+                        ("name", Value::string("Erik")),
+                        (
+                            "tasks",
+                            Value::bag(vec![
+                                Value::string("call"),
+                                Value::string("enthuse"),
+                            ]),
+                        ),
+                    ])]),
+                ),
+            ]),
+        ]);
+        assert!(v.multiset_eq(&expected));
+    }
+
+    #[test]
+    fn missing_inner_rows_produce_empty_bags() {
+        let r1: ShredResult = vec![(
+            idx(0, 1),
+            FlatValue::Record(vec![
+                ("dept".to_string(), FlatValue::Base(Value::string("Quality"))),
+                ("people".to_string(), FlatValue::Index(idx(1, 7))),
+            ]),
+        )];
+        let r2: ShredResult = vec![];
+        let package = Package::Bag(
+            r1,
+            Box::new(Package::Record(vec![
+                ("dept".to_string(), Package::Base(BaseType::String)),
+                (
+                    "people".to_string(),
+                    Package::Bag(r2, Box::new(Package::Base(BaseType::String))),
+                ),
+            ])),
+        );
+        let v = stitch(&package, IndexScheme::Flat).unwrap();
+        let people = v.as_bag().unwrap()[0].field("people").unwrap();
+        assert_eq!(people, &Value::Bag(vec![]));
+    }
+
+    #[test]
+    fn mismatched_shapes_are_decode_errors() {
+        let r1: ShredResult = vec![(idx(0, 1), FlatValue::Base(Value::Int(3)))];
+        let package = Package::Bag(
+            r1,
+            Box::new(Package::Record(vec![(
+                "x".to_string(),
+                Package::Base(BaseType::Int),
+            )])),
+        );
+        assert!(matches!(
+            stitch(&package, IndexScheme::Flat),
+            Err(ShredError::Decode(_))
+        ));
+    }
+}

@@ -1,0 +1,22 @@
+//! # datagen — the organisation workload of the SIGMOD 2014 evaluation
+//!
+//! The paper evaluates shredding and loop-lifting on a synthetic
+//! *organisation* database (Section 3 and Section 8):
+//!
+//! ```text
+//! departments(id, name)
+//! employees(id, dept, name, salary)
+//! tasks(id, employee, task)
+//! contacts(id, dept, name, client)
+//! ```
+//!
+//! with the number of departments varied from 4 to 4096 (powers of two),
+//! roughly 100 employees per department, 0–2 tasks per employee and a
+//! handful of contacts per department. This crate generates that data
+//! (seeded, so runs are reproducible) and defines the twelve benchmark
+//! queries of Figures 8 and 9 as λNRC terms.
+
+pub mod generator;
+pub mod queries;
+
+pub use generator::{generate, organisation_schema, OrgConfig};

@@ -1,0 +1,244 @@
+//! Ergonomic constructors for λNRC terms.
+//!
+//! Queries in the paper are written in a comprehension syntax
+//! (`for … where … return …`); these helpers let Rust code mirror that syntax
+//! closely. See `crates/nrc/src/stdlib.rs` and the examples for usage.
+
+use crate::term::{Constant, PrimOp, Term};
+use crate::types::Type;
+
+/// A variable reference `x`.
+pub fn var(name: &str) -> Term {
+    Term::Var(name.to_string())
+}
+
+/// An integer constant.
+pub fn int(i: i64) -> Term {
+    Term::Const(Constant::Int(i))
+}
+
+/// A boolean constant.
+pub fn boolean(b: bool) -> Term {
+    Term::Const(Constant::Bool(b))
+}
+
+/// A string constant.
+pub fn string(s: &str) -> Term {
+    Term::Const(Constant::String(s.to_string()))
+}
+
+/// The unit constant.
+pub fn unit() -> Term {
+    Term::Const(Constant::Unit)
+}
+
+/// A table reference `table t`.
+pub fn table(name: &str) -> Term {
+    Term::Table(name.to_string())
+}
+
+/// A record `⟨ℓ1 = M1, …⟩`.
+pub fn record<I>(fields: I) -> Term
+where
+    I: IntoIterator<Item = (&'static str, Term)>,
+{
+    Term::Record(
+        fields
+            .into_iter()
+            .map(|(l, t)| (l.to_string(), t))
+            .collect(),
+    )
+}
+
+/// A record with owned labels.
+pub fn record_owned<I>(fields: I) -> Term
+where
+    I: IntoIterator<Item = (String, Term)>,
+{
+    Term::Record(fields.into_iter().collect())
+}
+
+/// A tuple `⟨M1, …, Mn⟩`, encoded as a record with labels `#1 … #n`.
+pub fn tuple<I: IntoIterator<Item = Term>>(items: I) -> Term {
+    Term::Record(
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| (format!("#{}", i + 1), t))
+            .collect(),
+    )
+}
+
+/// A projection `M.ℓ`.
+pub fn project(t: Term, label: &str) -> Term {
+    Term::Project(Box::new(t), label.to_string())
+}
+
+/// A λ-abstraction `λx.M`.
+pub fn lam(x: &str, body: Term) -> Term {
+    Term::Lam(x.to_string(), Box::new(body))
+}
+
+/// Function application `M N`.
+pub fn app(f: Term, a: Term) -> Term {
+    Term::App(Box::new(f), Box::new(a))
+}
+
+/// A conditional `if c then t else e`.
+pub fn if_then_else(c: Term, t: Term, e: Term) -> Term {
+    Term::If(Box::new(c), Box::new(t), Box::new(e))
+}
+
+/// A conditional over bags with an implicit `∅` else-branch — the
+/// `where` clause of a comprehension: `if c then t else ∅`.
+pub fn where_(c: Term, t: Term) -> Term {
+    Term::If(Box::new(c), Box::new(t), Box::new(Term::EmptyBag(None)))
+}
+
+/// A singleton bag `return M`.
+pub fn singleton(t: Term) -> Term {
+    Term::Singleton(Box::new(t))
+}
+
+/// The empty bag `∅` without a type annotation.
+pub fn empty_bag() -> Term {
+    Term::EmptyBag(None)
+}
+
+/// The empty bag `∅ : Bag A` with element type annotation `A`.
+pub fn empty_bag_of(elem: Type) -> Term {
+    Term::EmptyBag(Some(elem))
+}
+
+/// Bag union `M ⊎ N`.
+pub fn union(l: Term, r: Term) -> Term {
+    Term::Union(Box::new(l), Box::new(r))
+}
+
+/// The emptiness test `empty M`.
+pub fn is_empty(t: Term) -> Term {
+    Term::Empty(Box::new(t))
+}
+
+/// A comprehension `for (x ← src) body`.
+pub fn for_in(x: &str, src: Term, body: Term) -> Term {
+    Term::For(x.to_string(), Box::new(src), Box::new(body))
+}
+
+/// A comprehension with a `where` clause:
+/// `for (x ← src) where cond return … ≡ for (x ← src) (if cond then body else ∅)`.
+pub fn for_where(x: &str, src: Term, cond: Term, body: Term) -> Term {
+    for_in(x, src, where_(cond, body))
+}
+
+/// Equality `M = N`.
+pub fn eq(l: Term, r: Term) -> Term {
+    Term::PrimApp(PrimOp::Eq, vec![l, r])
+}
+
+/// Disequality `M <> N`.
+pub fn neq(l: Term, r: Term) -> Term {
+    Term::PrimApp(PrimOp::Neq, vec![l, r])
+}
+
+/// Less-than.
+pub fn lt(l: Term, r: Term) -> Term {
+    Term::PrimApp(PrimOp::Lt, vec![l, r])
+}
+
+/// Greater-than.
+pub fn gt(l: Term, r: Term) -> Term {
+    Term::PrimApp(PrimOp::Gt, vec![l, r])
+}
+
+/// Less-or-equal.
+pub fn le(l: Term, r: Term) -> Term {
+    Term::PrimApp(PrimOp::Le, vec![l, r])
+}
+
+/// Greater-or-equal.
+pub fn ge(l: Term, r: Term) -> Term {
+    Term::PrimApp(PrimOp::Ge, vec![l, r])
+}
+
+/// Conjunction.
+pub fn and(l: Term, r: Term) -> Term {
+    Term::PrimApp(PrimOp::And, vec![l, r])
+}
+
+/// Disjunction.
+pub fn or(l: Term, r: Term) -> Term {
+    Term::PrimApp(PrimOp::Or, vec![l, r])
+}
+
+/// Negation.
+pub fn not(t: Term) -> Term {
+    Term::PrimApp(PrimOp::Not, vec![t])
+}
+
+/// Integer addition.
+pub fn add(l: Term, r: Term) -> Term {
+    Term::PrimApp(PrimOp::Add, vec![l, r])
+}
+
+/// Integer subtraction.
+pub fn sub(l: Term, r: Term) -> Term {
+    Term::PrimApp(PrimOp::Sub, vec![l, r])
+}
+
+/// Integer multiplication.
+pub fn mul(l: Term, r: Term) -> Term {
+    Term::PrimApp(PrimOp::Mul, vec![l, r])
+}
+
+/// String concatenation.
+pub fn concat(l: Term, r: Term) -> Term {
+    Term::PrimApp(PrimOp::Concat, vec![l, r])
+}
+
+/// Fold a list of boolean terms into a conjunction (`true` when empty).
+pub fn conj<I: IntoIterator<Item = Term>>(terms: I) -> Term {
+    let mut it = terms.into_iter();
+    match it.next() {
+        None => boolean(true),
+        Some(first) => it.fold(first, and),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn where_builds_conditional_with_empty_else() {
+        let t = where_(boolean(true), singleton(int(1)));
+        match t {
+            Term::If(_, _, e) => assert_eq!(*e, Term::EmptyBag(None)),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn conj_of_empty_is_true() {
+        assert_eq!(conj(vec![]), boolean(true));
+    }
+
+    #[test]
+    fn conj_folds_left() {
+        let t = conj(vec![var("a"), var("b"), var("c")]);
+        assert_eq!(t, and(and(var("a"), var("b")), var("c")));
+    }
+
+    #[test]
+    fn tuple_uses_positional_labels() {
+        let t = tuple(vec![int(1), string("x")]);
+        match t {
+            Term::Record(fields) => {
+                assert_eq!(fields[0].0, "#1");
+                assert_eq!(fields[1].0, "#2");
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Higher-order query combinators from Section 3 of the paper.
+//!
+//! These are *host-level* functions producing λNRC terms — exactly how a Links
+//! or LINQ programmer uses (nonrecursive) functions to define query patterns
+//! that are later inlined by normalisation:
+//!
+//! ```text
+//! filter p xs    = for (x ← xs) where (p x) return x
+//! any xs p       = ¬(empty(for (x ← xs) where (p x) return ⟨⟩))
+//! all xs p       = ¬(any xs (λx. ¬(p x)))
+//! contains xs u  = any xs (λx. x = u)
+//! ```
+//!
+//! Each combinator takes the predicate as a Rust closure from a *variable
+//! term* to a boolean term, so that the generated λNRC stays first-order where
+//! possible; [`filter_fn`]-style variants that build an explicit λ-abstraction
+//! are also provided to exercise the higher-order normalisation path.
+
+use crate::builder::*;
+use crate::term::Term;
+
+/// A fresh-name supply for the combinators. Names are suffixed with a counter
+/// to keep bound variables distinct across nested uses.
+fn fresh(prefix: &str, used_in: &[&Term]) -> String {
+    // Pick the smallest suffix not appearing free or bound in the argument
+    // terms. A textual check on the debug rendering is conservative but safe.
+    let rendered: String = used_in.iter().map(|t| format!("{:?}", t)).collect();
+    for i in 0.. {
+        let candidate = if i == 0 {
+            prefix.to_string()
+        } else {
+            format!("{}{}", prefix, i)
+        };
+        if !rendered.contains(&format!("\"{}\"", candidate)) {
+            return candidate;
+        }
+    }
+    unreachable!()
+}
+
+/// `filter p xs = for (x ← xs) where (p x) return x`, with `p` given as a
+/// host-level predicate on the bound variable.
+pub fn filter(xs: Term, p: impl FnOnce(Term) -> Term) -> Term {
+    let x = fresh("x", &[&xs]);
+    for_where(&x, xs, p(var(&x)), singleton(var(&x)))
+}
+
+/// `filter` with an explicit λNRC predicate term, producing a higher-order
+/// term `for (x ← xs) where (p(x)) return x` where `p` is applied, exercising
+/// β-reduction during normalisation.
+pub fn filter_fn(p: Term, xs: Term) -> Term {
+    let x = fresh("x", &[&xs, &p]);
+    for_where(&x, xs, app(p, var(&x)), singleton(var(&x)))
+}
+
+/// `any xs p = ¬(empty(for (x ← xs) where (p x) return ⟨⟩))`.
+pub fn any(xs: Term, p: impl FnOnce(Term) -> Term) -> Term {
+    let x = fresh("x", &[&xs]);
+    not(is_empty(for_where(
+        &x,
+        xs,
+        p(var(&x)),
+        singleton(Term::Record(Vec::new())),
+    )))
+}
+
+/// `all xs p = ¬(any xs (λx.¬(p x)))`.
+pub fn all(xs: Term, p: impl FnOnce(Term) -> Term) -> Term {
+    not(any(xs, |x| not(p(x))))
+}
+
+/// `contains xs u = any xs (λx. x = u)`.
+pub fn contains(xs: Term, u: Term) -> Term {
+    any(xs, |x| eq(x, u))
+}
+
+/// `getTasks xs f = for (x ← xs) return ⟨name = x.name, tasks = f x⟩`
+/// (Section 3). The `f` parameter initialises the `tasks` field.
+pub fn get_tasks(xs: Term, f: impl FnOnce(Term) -> Term) -> Term {
+    let x = fresh("x", &[&xs]);
+    for_in(
+        &x,
+        xs,
+        singleton(record(vec![
+            ("name", project(var(&x), "name")),
+            ("tasks", f(var(&x))),
+        ])),
+    )
+}
+
+/// `isPoor x = x.salary < 1000`.
+pub fn is_poor(x: Term) -> Term {
+    lt(project(x, "salary"), int(1000))
+}
+
+/// `isRich x = x.salary > 1000000`.
+pub fn is_rich(x: Term) -> Term {
+    gt(project(x, "salary"), int(1000000))
+}
+
+/// `outliers xs = filter (λx. isRich x ∨ isPoor x) xs`.
+pub fn outliers(xs: Term) -> Term {
+    filter(xs, |x| or(is_rich(x.clone()), is_poor(x)))
+}
+
+/// `clients xs = filter (λx. x.client) xs`.
+pub fn clients(xs: Term) -> Term {
+    filter(xs, |x| project(x, "client"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::schema::{Database, Schema, TableSchema};
+    use crate::types::BaseType;
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let schema = Schema::new().with_table(
+            TableSchema::new(
+                "employees",
+                vec![
+                    ("id", BaseType::Int),
+                    ("name", BaseType::String),
+                    ("salary", BaseType::Int),
+                    ("client", BaseType::Bool),
+                ],
+            )
+            .with_key(vec!["id"]),
+        );
+        let mut db = Database::new(schema);
+        for (id, name, salary, client) in [
+            (1, "Alex", 20000, false),
+            (2, "Bert", 900, false),
+            (3, "Erik", 2000000, true),
+        ] {
+            db.insert_row(
+                "employees",
+                vec![
+                    ("id", Value::Int(id)),
+                    ("name", Value::string(name)),
+                    ("salary", Value::Int(salary)),
+                    ("client", Value::Bool(client)),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let q = filter(table("employees"), |x| gt(project(x, "salary"), int(10000)));
+        let v = eval(&q, &db()).unwrap();
+        assert_eq!(v.as_bag().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn outliers_matches_poor_and_rich() {
+        let q = outliers(table("employees"));
+        let v = eval(&q, &db()).unwrap();
+        let names: Vec<_> = v
+            .as_bag()
+            .unwrap()
+            .iter()
+            .map(|r| r.field("name").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&"Bert".to_string()));
+        assert!(names.contains(&"Erik".to_string()));
+    }
+
+    #[test]
+    fn any_all_contains_behave_like_their_spec() {
+        let d = db();
+        let anyone_rich = any(table("employees"), |x| is_rich(x));
+        assert_eq!(eval(&anyone_rich, &d), Ok(Value::Bool(true)));
+
+        let all_rich = all(table("employees"), |x| is_rich(x));
+        assert_eq!(eval(&all_rich, &d), Ok(Value::Bool(false)));
+
+        let all_named = all(table("employees"), |x| {
+            neq(project(x, "name"), string(""))
+        });
+        assert_eq!(eval(&all_named, &d), Ok(Value::Bool(true)));
+
+        let names = for_in(
+            "e",
+            table("employees"),
+            singleton(project(var("e"), "name")),
+        );
+        assert_eq!(
+            eval(&contains(names.clone(), string("Alex")), &d),
+            Ok(Value::Bool(true))
+        );
+        assert_eq!(
+            eval(&contains(names, string("Zoe")), &d),
+            Ok(Value::Bool(false))
+        );
+    }
+
+    #[test]
+    fn clients_filters_on_flag() {
+        let q = clients(table("employees"));
+        let v = eval(&q, &db()).unwrap();
+        assert_eq!(v.as_bag().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn get_tasks_builds_name_task_records() {
+        let q = get_tasks(table("employees"), |_| singleton(string("buy")));
+        let v = eval(&q, &db()).unwrap();
+        for r in v.as_bag().unwrap() {
+            assert!(r.field("name").is_some());
+            assert_eq!(
+                r.field("tasks").unwrap().as_bag().unwrap(),
+                &[Value::string("buy")]
+            );
+        }
+    }
+
+    #[test]
+    fn filter_fn_builds_a_higher_order_term() {
+        let q = filter_fn(lam("y", is_rich(var("y"))), table("employees"));
+        // The term contains a β-redex but still evaluates correctly.
+        let v = eval(&q, &db()).unwrap();
+        assert_eq!(v.as_bag().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn fresh_names_avoid_clashes_with_argument_terms() {
+        // The outer filter binds x; the inner one must pick a different name.
+        let inner = filter(table("employees"), |x| is_rich(x));
+        let outer = filter(inner.clone(), |x| is_poor(x));
+        let v = eval(&outer, &db()).unwrap();
+        assert_eq!(v.as_bag().unwrap().len(), 0);
+        // And nesting in the other order also works.
+        let outer2 = filter(filter(table("employees"), |x| is_poor(x)), |x| {
+            gt(project(x, "salary"), int(0))
+        });
+        let v2 = eval(&outer2, &db()).unwrap();
+        assert_eq!(v2.as_bag().unwrap().len(), 1);
+    }
+}

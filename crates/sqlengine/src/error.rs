@@ -1,0 +1,63 @@
+//! Errors raised by the SQL engine (storage, planning, execution, parsing).
+
+use crate::storage::ColumnType;
+use std::fmt;
+
+/// All errors the engine can report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    NoSuchTable(String),
+    TableExists(String),
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
+    ColumnTypeMismatch {
+        table: String,
+        column: String,
+        expected: ColumnType,
+        got: String,
+    },
+    UnknownColumn {
+        qualifier: Option<String>,
+        name: String,
+    },
+    UnknownAlias(String),
+    AmbiguousColumn(String),
+    UnknownCte(String),
+    TypeError(String),
+    DivisionByZero,
+    Parse(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoSuchTable(t) => write!(f, "no such table: {}", t),
+            EngineError::TableExists(t) => write!(f, "table already exists: {}", t),
+            EngineError::ArityMismatch { table, expected, got } => write!(
+                f,
+                "row arity mismatch for table {}: expected {}, got {}",
+                table, expected, got
+            ),
+            EngineError::ColumnTypeMismatch { table, column, expected, got } => write!(
+                f,
+                "column {}.{} expects {}, got {}",
+                table, column, expected, got
+            ),
+            EngineError::UnknownColumn { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "unknown column {}.{}", q, name),
+                None => write!(f, "unknown column {}", name),
+            },
+            EngineError::UnknownAlias(a) => write!(f, "unknown table alias {}", a),
+            EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column {}", c),
+            EngineError::UnknownCte(q) => write!(f, "unknown WITH-bound query {}", q),
+            EngineError::TypeError(msg) => write!(f, "type error: {}", msg),
+            EngineError::DivisionByZero => write!(f, "division by zero"),
+            EngineError::Parse(msg) => write!(f, "SQL parse error: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,48 @@
+//! # sqlengine — an in-memory SQL:1999 subset engine
+//!
+//! The paper's evaluation runs the SQL produced by query shredding (and by the
+//! loop-lifting baseline) on PostgreSQL 9.2. This crate is the substitute
+//! substrate: an in-memory engine for exactly the SQL subset those
+//! translations emit —
+//!
+//! * `SELECT … FROM … WHERE …` with multi-table `FROM` lists,
+//! * hash joins for equi-join predicates, nested-loop joins otherwise,
+//! * `UNION ALL` and `EXCEPT ALL` (bag semantics),
+//! * `WITH q AS (…) …` (one let-bound subquery per block, as produced by
+//!   let-insertion),
+//! * `ROW_NUMBER() OVER (ORDER BY …)`,
+//! * correlated `EXISTS` subqueries (the image of λNRC's `empty`),
+//! * `ORDER BY` / `DISTINCT` for the baselines.
+//!
+//! It also contains a printer and parser for the dialect, so SQL can be
+//! round-tripped as text exactly as Links ships SQL strings to the database.
+//!
+//! ```
+//! use sqlengine::exec::Engine;
+//! use sqlengine::storage::{ColumnType, Storage, TableDef};
+//! use sqlengine::value::SqlValue;
+//!
+//! let mut storage = Storage::new();
+//! storage.create_table(TableDef::new("t", vec![("x", ColumnType::Int)])).unwrap();
+//! storage.insert("t", vec![SqlValue::Int(41)]).unwrap();
+//! let engine = Engine::with_storage(storage);
+//!
+//! let rs = engine.execute_sql("SELECT t.x + 1 AS y FROM t AS t").unwrap();
+//! assert_eq!(rs.rows, vec![vec![SqlValue::Int(42)]]);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod parser;
+pub mod printer;
+pub mod storage;
+pub mod value;
+
+pub use ast::{BinOp, Expr, FromItem, Query, Select, SelectItem, TableSource};
+pub use error::EngineError;
+pub use exec::Engine;
+pub use parser::{parse_expr, parse_query};
+pub use printer::{print_expr, print_query};
+pub use storage::{ColumnType, ResultSet, Storage, Table, TableDef};
+pub use value::{Row, SqlValue};

@@ -1,0 +1,345 @@
+//! In-memory storage: tables, schemas and the catalog.
+//!
+//! This replaces the PostgreSQL instance used by the paper's evaluation. Rows
+//! are stored column-positionally per table; the executor works directly over
+//! these vectors.
+
+use crate::error::EngineError;
+use crate::value::{Row, SqlValue};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    Int,
+    Bool,
+    Text,
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnType::Int => write!(f, "integer"),
+            ColumnType::Bool => write!(f, "boolean"),
+            ColumnType::Text => write!(f, "text"),
+        }
+    }
+}
+
+impl ColumnType {
+    /// Does a value inhabit this column type? `NULL` inhabits every type.
+    pub fn admits(&self, v: &SqlValue) -> bool {
+        matches!(
+            (self, v),
+            (_, SqlValue::Null)
+                | (ColumnType::Int, SqlValue::Int(_))
+                | (ColumnType::Bool, SqlValue::Bool(_))
+                | (ColumnType::Text, SqlValue::Str(_))
+        )
+    }
+}
+
+/// The schema of a stored table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    pub name: String,
+    pub columns: Vec<(String, ColumnType)>,
+    /// Key columns (unique per row) if declared; used by natural indexing.
+    pub key: Vec<String>,
+}
+
+impl TableDef {
+    /// A new table definition without a key.
+    pub fn new<S: Into<String>>(name: S, columns: Vec<(&str, ColumnType)>) -> TableDef {
+        TableDef {
+            name: name.into(),
+            columns: columns
+                .into_iter()
+                .map(|(c, t)| (c.to_string(), t))
+                .collect(),
+            key: Vec::new(),
+        }
+    }
+
+    /// Declare key columns.
+    pub fn with_key(mut self, key: Vec<&str>) -> TableDef {
+        self.key = key.into_iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|(c, _)| c == name)
+    }
+
+    /// Names of all columns, in declaration order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|(c, _)| c.clone()).collect()
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// A stored table: a definition plus its rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    pub def: TableDef,
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(def: TableDef) -> Table {
+        Table {
+            def,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Insert a row after checking its arity and column types.
+    pub fn insert(&mut self, row: Row) -> Result<(), EngineError> {
+        if row.len() != self.def.arity() {
+            return Err(EngineError::ArityMismatch {
+                table: self.def.name.clone(),
+                expected: self.def.arity(),
+                got: row.len(),
+            });
+        }
+        for ((name, ty), v) in self.def.columns.iter().zip(&row) {
+            if !ty.admits(v) {
+                return Err(EngineError::ColumnTypeMismatch {
+                    table: self.def.name.clone(),
+                    column: name.clone(),
+                    expected: *ty,
+                    got: v.type_name().to_string(),
+                });
+            }
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// The catalog of stored tables — an in-memory stand-in for a database.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Storage {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Storage {
+    /// An empty storage.
+    pub fn new() -> Storage {
+        Storage::default()
+    }
+
+    /// Create a table.
+    pub fn create_table(&mut self, def: TableDef) -> Result<(), EngineError> {
+        if self.tables.contains_key(&def.name) {
+            return Err(EngineError::TableExists(def.name));
+        }
+        self.tables.insert(def.name.clone(), Table::new(def));
+        Ok(())
+    }
+
+    /// Insert a row into a table.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<(), EngineError> {
+        self.tables
+            .get_mut(table)
+            .ok_or_else(|| EngineError::NoSuchTable(table.to_string()))?
+            .insert(row)
+    }
+
+    /// Bulk-insert rows into a table.
+    pub fn insert_all<I: IntoIterator<Item = Row>>(
+        &mut self,
+        table: &str,
+        rows: I,
+    ) -> Result<(), EngineError> {
+        for row in rows {
+            self.insert(table, row)?;
+        }
+        Ok(())
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Table, EngineError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| EngineError::NoSuchTable(name.to_string()))
+    }
+
+    /// Does the table exist?
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Iterate over tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+/// A result set: named columns plus rows, as returned by the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// An empty result set with the given columns.
+    pub fn empty(columns: Vec<String>) -> ResultSet {
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the result empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The value at (row, column name), if both exist.
+    pub fn value(&self, row: usize, column: &str) -> Option<&SqlValue> {
+        let idx = self.column_index(column)?;
+        self.rows.get(row).and_then(|r| r.get(idx))
+    }
+
+    /// Render the result set as an aligned text table (for examples and the
+    /// experiments binary).
+    pub fn to_text_table(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
+        out.push('\n');
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn def() -> TableDef {
+        TableDef::new(
+            "t",
+            vec![("id", ColumnType::Int), ("name", ColumnType::Text)],
+        )
+        .with_key(vec!["id"])
+    }
+
+    #[test]
+    fn insert_checks_arity_and_types() {
+        let mut s = Storage::new();
+        s.create_table(def()).unwrap();
+        assert!(s.insert("t", vec![SqlValue::Int(1), SqlValue::str("a")]).is_ok());
+        assert!(matches!(
+            s.insert("t", vec![SqlValue::Int(1)]),
+            Err(EngineError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            s.insert("t", vec![SqlValue::str("x"), SqlValue::str("a")]),
+            Err(EngineError::ColumnTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn null_is_admitted_by_every_column_type() {
+        let mut s = Storage::new();
+        s.create_table(def()).unwrap();
+        assert!(s.insert("t", vec![SqlValue::Null, SqlValue::Null]).is_ok());
+    }
+
+    #[test]
+    fn duplicate_table_creation_fails() {
+        let mut s = Storage::new();
+        s.create_table(def()).unwrap();
+        assert!(matches!(
+            s.create_table(def()),
+            Err(EngineError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn missing_table_lookup_fails() {
+        let s = Storage::new();
+        assert!(matches!(s.table("nope"), Err(EngineError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn result_set_accessors() {
+        let rs = ResultSet {
+            columns: vec!["a".to_string(), "b".to_string()],
+            rows: vec![vec![SqlValue::Int(1), SqlValue::str("x")]],
+        };
+        assert_eq!(rs.value(0, "b"), Some(&SqlValue::str("x")));
+        assert_eq!(rs.value(0, "c"), None);
+        assert_eq!(rs.len(), 1);
+        let text = rs.to_text_table();
+        assert!(text.contains('a'));
+        assert!(text.contains("'x'"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # query-shredding — reproduction of "Query Shredding" (SIGMOD 2014)
+//!
+//! This facade crate re-exports the workspace members so that examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`nrc`] — the higher-order nested relational calculus (λNRC): types,
+//!   terms, type checker and the nested reference semantics.
+//! * [`sqlengine`] — an in-memory SQL:1999 subset engine (the substitute for
+//!   PostgreSQL): storage, executor with hash joins, `WITH`, `UNION ALL`,
+//!   `ROW_NUMBER` and correlated `EXISTS`, plus a printer and parser.
+//! * [`shredding`] — the paper's contribution: normalisation, shredding,
+//!   let-insertion, SQL generation and stitching.
+//! * [`baselines`] — loop-lifting, Links' default flat evaluation and Van den
+//!   Bussche's simulation.
+//! * [`datagen`] — the organisation schema, a seeded data generator and the
+//!   benchmark queries QF1–QF6 / Q1–Q6.
+//!
+//! See the `examples/` directory for runnable walkthroughs and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the system inventory and the experiment index.
+
+pub use baselines;
+pub use datagen;
+pub use nrc;
+pub use shredding;
+pub use sqlengine;
+
+/// Convenience prelude for examples and tests.
+pub mod prelude {
+    pub use baselines::{run_flat, run_looplift};
+    pub use datagen::{generate, organisation_schema, OrgConfig};
+    pub use nrc::builder::*;
+    pub use nrc::{Database, Schema, TableSchema, Value};
+    pub use shredding::pipeline::{compile, engine_from_database, eval_nested, run, run_in_memory};
+    pub use shredding::semantics::IndexScheme;
+}
