@@ -102,6 +102,13 @@ pub fn compile_flat(term: &Term, schema: &Schema) -> Result<FlatCompiled, ShredE
     })
 }
 
+impl FlatCompiled {
+    /// The names of the flat result columns, in SQL order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|(name, _)| name.clone()).collect()
+    }
+}
+
 /// Execute a compiled flat query and convert the rows back to λNRC values.
 pub fn execute_flat(compiled: &FlatCompiled, engine: &Engine) -> Result<Value, ShredError> {
     let rs = engine.execute(&compiled.sql)?;
@@ -211,8 +218,8 @@ mod tests {
         let engine = engine_from_database(&db).unwrap();
         for (name, q) in datagen::queries::flat_queries() {
             let reference = nrc::eval(&q, &db).unwrap();
-            let flat = run_flat(&q, &schema, &engine)
-                .unwrap_or_else(|e| panic!("{} failed: {}", name, e));
+            let flat =
+                run_flat(&q, &schema, &engine).unwrap_or_else(|e| panic!("{} failed: {}", name, e));
             assert!(
                 flat.multiset_eq(&reference),
                 "{} disagrees with the nested semantics",

@@ -15,10 +15,17 @@
 //!   by flat queries without value invention, and the Appendix A
 //!   demonstration that it blows up quadratically and breaks bag semantics.
 
+//!
+//! Each system is also available as a [`shredding::session::SqlBackend`]
+//! strategy ([`backend`]), so it can be selected through
+//! `Shredder::builder().backend(..)` alongside the built-in backends.
+
+pub mod backend;
 pub mod flat_default;
 pub mod looplift;
 pub mod vandenbussche;
 
+pub use backend::{FlatDefaultBackend, LoopLiftBackend, VandenBusscheBackend};
 pub use flat_default::{compile_flat, execute_flat, run_flat, FlatCompiled};
 pub use looplift::{compile_looplift, execute_looplift, run_looplift, LoopLiftedQuery};
 pub use vandenbussche::{measure_blowup, simulate_union, BlowupReport, NestedRelation};

@@ -85,14 +85,12 @@ pub fn compile_looplift(term: &Term, schema: &Schema) -> Result<LoopLiftedQuery,
 }
 
 /// Execute a loop-lifted query and stitch the results.
-pub fn execute_looplift(
-    compiled: &LoopLiftedQuery,
-    engine: &Engine,
-) -> Result<Value, ShredError> {
-    let results: Package<ShredResult> = compiled.stages.try_map(&mut |stage: &LoopLiftedStage| {
-        let rs = engine.execute(&stage.sql)?;
-        stage.layout.decode(&rs)
-    })?;
+pub fn execute_looplift(compiled: &LoopLiftedQuery, engine: &Engine) -> Result<Value, ShredError> {
+    let results: Package<ShredResult> =
+        compiled.stages.try_map(&mut |stage: &LoopLiftedStage| {
+            let rs = engine.execute(&stage.sql)?;
+            stage.layout.decode(&rs)
+        })?;
     stitch(&results, IndexScheme::Flat)
 }
 
@@ -308,6 +306,7 @@ fn navigate<'a>(inner: &'a LetInner, path: &[String]) -> Result<&'a LetInner, Sh
 /// Translate a base expression into a reference over the numbered subquery's
 /// flattened columns. `in_context` selects between the context subquery's
 /// naming (`c{i}_{col}` directly) and the body's naming (same, via `sub`).
+#[allow(clippy::only_used_in_recursion)]
 fn lifted_expr(
     base: &LetBase,
     outer_gens: &[Generator],
@@ -351,11 +350,7 @@ fn lifted_expr(
             Constant::Unit => value_to_sql(&Value::Unit)?,
         }),
         LetBase::Prim(PrimOp::Not, args) => Expr::not(lifted_expr(
-            &args[0],
-            outer_gens,
-            inner_gens,
-            in_context,
-            schema,
+            &args[0], outer_gens, inner_gens, in_context, schema,
         )?),
         LetBase::Prim(op, args) => {
             let binop = match op {
@@ -455,7 +450,10 @@ mod tests {
         let inner = &texts[1];
         let pos_rn = inner.find("ROW_NUMBER").unwrap();
         let pos_where = inner.rfind("WHERE").unwrap();
-        assert!(pos_rn < pos_where, "predicate should sit above the numbering");
+        assert!(
+            pos_rn < pos_where,
+            "predicate should sit above the numbering"
+        );
     }
 
     #[test]

@@ -44,6 +44,34 @@ impl NestedRelation {
         self.rows.len() + self.rows.iter().map(|(_, b)| b.len()).sum::<usize>()
     }
 
+    /// Read a nested value of shape `Bag ⟨A: Int, B: Bag Int⟩` back into a
+    /// relation (the inverse of [`to_value`](Self::to_value)).
+    pub fn from_value(value: &Value) -> Result<NestedRelation, String> {
+        let bag = value
+            .as_bag()
+            .ok_or_else(|| "expected a bag at the top level".to_string())?;
+        let mut rows = Vec::with_capacity(bag.len());
+        for row in bag {
+            let a = row
+                .field("A")
+                .and_then(|v| v.as_int())
+                .ok_or_else(|| "row lacks an integer field A".to_string())?;
+            let b = row
+                .field("B")
+                .and_then(|v| v.as_bag())
+                .ok_or_else(|| "row lacks a bag field B".to_string())?;
+            let elems = b
+                .iter()
+                .map(|v| {
+                    v.as_int()
+                        .ok_or_else(|| "B contains a non-integer".to_string())
+                })
+                .collect::<Result<Vec<i64>, String>>()?;
+            rows.push((a, elems));
+        }
+        Ok(NestedRelation { rows })
+    }
+
     /// The nested value this relation denotes.
     pub fn to_value(&self) -> Value {
         Value::Bag(
@@ -52,10 +80,7 @@ impl NestedRelation {
                 .map(|(a, b)| {
                     Value::record(vec![
                         ("A", Value::Int(*a)),
-                        (
-                            "B",
-                            Value::Bag(b.iter().map(|i| Value::Int(*i)).collect()),
-                        ),
+                        ("B", Value::Bag(b.iter().map(|i| Value::Int(*i)).collect())),
                     ])
                 })
                 .collect(),
@@ -77,6 +102,26 @@ impl VdbRepresentation {
     /// Total number of tuples in the representation.
     pub fn tuple_count(&self) -> usize {
         self.outer.len() + self.inner.len()
+    }
+
+    /// Read a representation produced by [`encode`] back into the nested
+    /// relation it denotes: inner tuples attach to the outer tuple whose id
+    /// columns they repeat.
+    pub fn decode(&self) -> NestedRelation {
+        let rows = self
+            .outer
+            .iter()
+            .map(|&(a, id, id1, id2)| {
+                let elems = self
+                    .inner
+                    .iter()
+                    .filter(|&&(iid, iid1, iid2, _)| (iid, iid1, iid2) == (id, id1, id2))
+                    .map(|&(_, _, _, b)| b)
+                    .collect();
+                (a, elems)
+            })
+            .collect();
+        NestedRelation { rows }
     }
 }
 

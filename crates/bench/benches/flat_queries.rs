@@ -1,33 +1,26 @@
-//! Criterion bench for Figure 10: the flat queries QF1–QF6 under query
-//! shredding, loop-lifting and Links' default flat evaluation.
+//! Bench for Figure 10: the flat queries QF1–QF6 under query shredding,
+//! loop-lifting and Links' default flat evaluation.
 //!
-//! The Criterion runs measure a fixed, modest scale so the whole suite
-//! finishes quickly; the `experiments` binary performs the full scaling
-//! sweep of the paper.
+//! These runs measure a fixed, modest scale so the whole suite finishes
+//! quickly; the `experiments` binary performs the full scaling sweep of the
+//! paper.
+//!
+//! ```sh
+//! cargo bench --bench flat_queries
+//! ```
 
-use bench::{measure, Instance, System};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use bench::{measure, micro, Instance, System};
 
-fn flat_queries(c: &mut Criterion) {
+fn main() {
     let instance = Instance::at_scale(8);
-    let mut group = c.benchmark_group("figure10_flat_queries");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_millis(1200));
+    println!("figure10_flat_queries (8 departments)");
     for (name, query) in datagen::queries::flat_queries() {
         for system in [System::Shredding, System::LoopLifting, System::Default] {
-            group.bench_function(format!("{}/{}", name, system), |b| {
-                b.iter(|| {
-                    let m = measure(system, name, &query, &instance);
-                    assert!(m.error.is_none(), "{} failed under {}", name, system);
-                    m.result_scalars
-                })
+            micro::run(&format!("{}/{}", name, system), 10, || {
+                let m = measure(system, name, &query, &instance);
+                assert!(m.error.is_none(), "{} failed under {}", name, system);
+                m.result_scalars
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, flat_queries);
-criterion_main!(benches);

@@ -1,33 +1,26 @@
-//! Criterion bench for Figure 11: the nested queries Q1–Q6 under query
-//! shredding and the loop-lifting baseline.
+//! Bench for Figure 11: the nested queries Q1–Q6 under query shredding and
+//! the loop-lifting baseline.
 //!
 //! Q1 and Q6 are the paper's headline results: loop-lifting's `ROW_NUMBER`
 //! over unreduced cross products makes them asymptotically slower, while
 //! shredding's queries stay proportional to the data touched.
+//!
+//! ```sh
+//! cargo bench --bench nested_queries
+//! ```
 
-use bench::{measure, Instance, System};
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use bench::{measure, micro, Instance, System};
 
-fn nested_queries(c: &mut Criterion) {
+fn main() {
     let instance = Instance::at_scale(4);
-    let mut group = c.benchmark_group("figure11_nested_queries");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_millis(1200));
+    println!("figure11_nested_queries (4 departments)");
     for (name, query) in datagen::queries::nested_queries() {
         for system in [System::Shredding, System::LoopLifting] {
-            group.bench_function(format!("{}/{}", name, system), |b| {
-                b.iter(|| {
-                    let m = measure(system, name, &query, &instance);
-                    assert!(m.error.is_none(), "{} failed under {}", name, system);
-                    m.result_scalars
-                })
+            micro::run(&format!("{}/{}", name, system), 10, || {
+                let m = measure(system, name, &query, &instance);
+                assert!(m.error.is_none(), "{} failed under {}", name, system);
+                m.result_scalars
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, nested_queries);
-criterion_main!(benches);

@@ -1,64 +1,74 @@
 //! Ablation benches: the cost of the individual shredding stages, the choice
 //! of indexing scheme (canonical vs natural vs flat, Section 6), and the
 //! Appendix A blow-up of Van den Bussche's simulation.
+//!
+//! ```sh
+//! cargo bench --bench shredding_stages
+//! ```
 
 use baselines::vandenbussche as vdb;
-use bench::Instance;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use bench::{micro, Instance};
 use shredding::semantics::IndexScheme;
+use shredding::session::{ShreddedMemoryBackend, Shredder};
 
-fn stages(c: &mut Criterion) {
+fn main() {
     let instance = Instance::at_scale(4);
     let schema = datagen::organisation_schema();
     let q6 = datagen::queries::q6();
 
-    let mut group = c.benchmark_group("shredding_stages");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_millis(1200));
+    println!("shredding_stages (4 departments)");
 
-    group.bench_function("normalise/Q6", |b| {
-        b.iter(|| shredding::normalise(&q6, &schema).unwrap().branch_count())
+    micro::run("normalise/Q6", 10, || {
+        shredding::normalise(&q6, &schema).unwrap().branch_count()
     });
-    group.bench_function("compile_to_sql/Q6", |b| {
-        b.iter(|| shredding::compile(&q6, &schema).unwrap().query_count())
+
+    // A schema-only session with the cache disabled measures planning alone.
+    let planner = Shredder::builder()
+        .schema(schema.clone())
+        .without_plan_cache()
+        .build()
+        .unwrap();
+    micro::run("compile_to_sql/Q6", 10, || {
+        planner.prepare(&q6).unwrap().query_count()
     });
-    let compiled = shredding::compile(&q6, &schema).unwrap();
-    group.bench_function("execute_and_stitch/Q6", |b| {
-        b.iter(|| {
-            shredding::pipeline::execute(&compiled, &instance.engine)
-                .unwrap()
-                .scalar_count()
-        })
+
+    // With the plan cache on, repeated prepares skip recompilation entirely.
+    let cached_planner = Shredder::builder().schema(schema.clone()).build().unwrap();
+    cached_planner.prepare(&q6).unwrap();
+    micro::run("compile_to_sql/Q6 (plan cache hit)", 10, || {
+        cached_planner.prepare(&q6).unwrap().query_count()
+    });
+
+    let session = instance.session(bench::System::Shredding);
+    let prepared = session.prepare_uncached(&q6).unwrap();
+    micro::run("execute_and_stitch/Q6", 10, || {
+        session.execute(&prepared).unwrap().scalar_count()
     });
 
     // Indexing-scheme ablation (in-memory shredded semantics, Section 6).
-    for scheme in [IndexScheme::Canonical, IndexScheme::Flat, IndexScheme::Natural] {
-        group.bench_function(format!("in_memory/{}/Q4", scheme), |b| {
-            let q4 = datagen::queries::q4();
-            b.iter(|| {
-                shredding::run_in_memory(&q4, &schema, &instance.db, scheme)
-                    .unwrap()
-                    .scalar_count()
-            })
+    let q4 = datagen::queries::q4();
+    for scheme in IndexScheme::ALL {
+        let in_memory = Shredder::builder()
+            .database(instance.db().clone())
+            .backend(Box::new(ShreddedMemoryBackend))
+            .index_scheme(scheme)
+            .without_plan_cache()
+            .build()
+            .unwrap();
+        micro::run(&format!("in_memory/{}/Q4", scheme), 10, || {
+            in_memory.run(&q4).unwrap().scalar_count()
         });
     }
 
     // Appendix A: the Van den Bussche simulation vs the shredded encoding.
     for n in [8usize, 16] {
-        group.bench_function(format!("vdb_simulation/{}_rows", n), |b| {
-            let (r, s) = vdb::scaled_instance(n, 2);
-            b.iter(|| vdb::simulate_union(&r, &s).tuple_count())
+        let (r, s) = vdb::scaled_instance(n, 2);
+        micro::run(&format!("vdb_simulation/{}_rows", n), 10, || {
+            vdb::simulate_union(&r, &s).tuple_count()
         });
-        group.bench_function(format!("shredded_union/{}_rows", n), |b| {
-            let (r, s) = vdb::scaled_instance(n, 2);
-            b.iter(|| r.union(&s).shredded_tuple_count())
+        let (r, s) = vdb::scaled_instance(n, 2);
+        micro::run(&format!("shredded_union/{}_rows", n), 10, || {
+            r.union(&s).shredded_tuple_count()
         });
     }
-
-    group.finish();
 }
-
-criterion_group!(benches, stages);
-criterion_main!(benches);

@@ -63,10 +63,8 @@ fn parse_args() -> Options {
             }
             "--max-departments" => {
                 i += 1;
-                opts.max_departments = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
+                opts.max_departments =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                         eprintln!("--max-departments expects a number");
                         std::process::exit(2);
                     });
@@ -179,7 +177,11 @@ fn print_blowup(label: &str, report: &vdb::BlowupReport) {
         report.correct_tuples,
         report.vdb_tuples,
         report.blowup_factor,
-        if report.preserves_multiplicity { "yes" } else { "no" }
+        if report.preserves_multiplicity {
+            "yes"
+        } else {
+            "no"
+        }
     );
 }
 
@@ -217,10 +219,14 @@ fn main() {
             &instances,
         );
         println!("\nNesting degree (number of flat queries emitted by shredding):");
-        let schema = datagen::organisation_schema();
+        // A schema-only session: plans and explains without any data.
+        let planner = shredding::session::Shredder::builder()
+            .schema(datagen::organisation_schema())
+            .build()
+            .expect("a schema-only session is valid");
         for (name, q) in datagen::queries::nested_queries() {
-            if let Ok(compiled) = shredding::compile(&q, &schema) {
-                println!("  {}: {} queries", name, compiled.query_count());
+            if let Ok(prepared) = planner.prepare(&q) {
+                println!("  {}: {} queries", name, prepared.query_count());
             }
         }
     }

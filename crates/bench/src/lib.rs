@@ -10,15 +10,20 @@
 //! * **Appendix A** — the quadratic blow-up of Van den Bussche's simulation
 //!   on multiset unions.
 //!
-//! The Criterion benches under `benches/` measure the same workloads with
-//! statistical rigour at a fixed scale; the `experiments` binary prints the
-//! full scaling tables in the same layout as the paper's figures.
+//! Each system is a [`Shredder`] session over the same generated database
+//! (sharing one loaded SQL engine), with the plan cache disabled so every
+//! measurement covers the full translate → execute → stitch path, exactly
+//! what the paper reports. The benches under `benches/` measure the same
+//! workloads at a fixed scale; the `experiments` binary prints the full
+//! scaling tables in the same layout as the paper's figures.
 
+use baselines::{FlatDefaultBackend, LoopLiftBackend};
 use datagen::{generate, organisation_schema, OrgConfig};
 use nrc::schema::{Database, Schema};
 use nrc::term::Term;
 use nrc::value::Value;
 use shredding::error::ShredError;
+use shredding::session::Shredder;
 use sqlengine::Engine;
 use std::time::{Duration, Instant};
 
@@ -43,13 +48,15 @@ impl std::fmt::Display for System {
     }
 }
 
-/// A prepared benchmark instance: the generated database loaded both into the
-/// λNRC evaluator and the SQL engine.
+/// A prepared benchmark instance: one `Shredder` session per compared
+/// system, all over the same generated database and sharing one loaded
+/// engine.
 pub struct Instance {
     pub schema: Schema,
-    pub db: Database,
-    pub engine: Engine,
     pub departments: usize,
+    shredding: Shredder,
+    looplift: Shredder,
+    flat: Shredder,
 }
 
 impl Instance {
@@ -69,14 +76,61 @@ impl Instance {
     pub fn with_config(config: OrgConfig) -> Instance {
         let schema = organisation_schema();
         let db = generate(&config);
-        let engine = shredding::pipeline::engine_from_database(&db)
+        let shredding = Shredder::builder()
+            .database(db.clone())
+            .without_plan_cache()
+            .build()
+            .expect("generated data always configures a session");
+        // The baseline sessions run over the same loaded engine (shared, not
+        // copied) and need no database of their own: the reference answers
+        // come from the shredding session's oracle.
+        let engine = shredding
+            .shared_engine()
             .expect("generated data always loads into the engine");
+        let looplift = Shredder::builder()
+            .schema(schema.clone())
+            .engine(engine.clone())
+            .backend(Box::new(LoopLiftBackend))
+            .without_plan_cache()
+            .build()
+            .expect("generated data always configures a session");
+        let flat = Shredder::builder()
+            .schema(schema.clone())
+            .engine(engine)
+            .backend(Box::new(FlatDefaultBackend))
+            .without_plan_cache()
+            .build()
+            .expect("generated data always configures a session");
         Instance {
             schema,
-            db,
-            engine,
             departments: config.departments,
+            shredding,
+            looplift,
+            flat,
         }
+    }
+
+    /// The generated database (owned by the shredding session).
+    pub fn db(&self) -> &Database {
+        self.shredding
+            .database()
+            .expect("the shredding session owns the database")
+    }
+
+    /// The session configured for a given system.
+    pub fn session(&self, system: System) -> &Shredder {
+        match system {
+            System::Shredding => &self.shredding,
+            System::LoopLifting => &self.looplift,
+            System::Default => &self.flat,
+        }
+    }
+
+    /// The SQL engine shared by all three sessions.
+    pub fn engine(&self) -> &Engine {
+        self.shredding
+            .engine()
+            .expect("the engine was built eagerly")
     }
 }
 
@@ -100,14 +154,12 @@ impl Measurement {
     }
 }
 
-/// Run one query under one system and measure the end-to-end time.
+/// Run one query under one system and measure the end-to-end time. The
+/// sessions have no plan cache, so every run pays the full translation.
 pub fn measure(system: System, name: &str, query: &Term, instance: &Instance) -> Measurement {
+    let session = instance.session(system);
     let start = Instant::now();
-    let outcome: Result<Value, ShredError> = match system {
-        System::Shredding => shredding::pipeline::run(query, &instance.schema, &instance.engine),
-        System::LoopLifting => baselines::run_looplift(query, &instance.schema, &instance.engine),
-        System::Default => baselines::run_flat(query, &instance.schema, &instance.engine),
-    };
+    let outcome: Result<Value, ShredError> = session.run(query);
     let elapsed = start.elapsed();
     match outcome {
         Ok(value) => Measurement {
@@ -141,7 +193,7 @@ pub fn measure_median(
     let mut measurements: Vec<Measurement> = (0..runs.max(1))
         .map(|_| measure(system, name, query, instance))
         .collect();
-    measurements.sort_by(|a, b| a.elapsed.cmp(&b.elapsed));
+    measurements.sort_by_key(|m| m.elapsed);
     measurements.swap_remove(measurements.len() / 2)
 }
 
@@ -152,17 +204,47 @@ pub fn check_against_reference(
     query: &Term,
     instance: &Instance,
 ) -> Result<(), String> {
-    let reference = nrc::eval(query, &instance.db).map_err(|e| e.to_string())?;
-    let value = match system {
-        System::Shredding => shredding::pipeline::run(query, &instance.schema, &instance.engine),
-        System::LoopLifting => baselines::run_looplift(query, &instance.schema, &instance.engine),
-        System::Default => baselines::run_flat(query, &instance.schema, &instance.engine),
-    }
-    .map_err(|e| e.to_string())?;
+    // The shredding session owns the database, so it provides the oracle.
+    let reference = instance
+        .session(System::Shredding)
+        .oracle(query)
+        .map_err(|e| e.to_string())?;
+    let value = instance
+        .session(system)
+        .run(query)
+        .map_err(|e| e.to_string())?;
     if value.multiset_eq(&reference) {
         Ok(())
     } else {
         Err("result differs from the nested reference semantics".to_string())
+    }
+}
+
+/// A minimal timing harness for the `benches/` targets (the workspace builds
+/// without external crates, so Criterion is not available): warm up once,
+/// time `iters` runs, report the median.
+pub mod micro {
+    use std::time::Instant;
+
+    /// Time `f` over `iters` runs after one warm-up, printing the median.
+    /// The result of every run is passed through [`std::hint::black_box`] so
+    /// the optimiser cannot eliminate a side-effect-free benchmark body.
+    pub fn run<R>(label: &str, iters: usize, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f()); // warm-up
+        let mut times: Vec<f64> = (0..iters.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                start.elapsed().as_secs_f64() * 1000.0
+            })
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        println!(
+            "{:<55} {:>10.3} ms (median of {})",
+            label,
+            times[times.len() / 2],
+            iters.max(1)
+        );
     }
 }
 

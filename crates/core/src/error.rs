@@ -31,6 +31,9 @@ pub enum ShredError {
     InvalidIndexing(String),
     /// A shredded result row could not be decoded back into a nested value.
     Decode(String),
+    /// A `Shredder` session was misconfigured (builder validation, missing
+    /// database, or a prepared query used with the wrong session).
+    Config(String),
     /// An internal invariant was violated; indicates a bug in the pipeline.
     Internal(String),
 }
@@ -41,11 +44,17 @@ impl fmt::Display for ShredError {
             ShredError::Type(e) => write!(f, "type error: {}", e),
             ShredError::NotAQuery(t) => write!(f, "not a query: has type {}", t),
             ShredError::NotFlatNested(t) => {
-                write!(f, "query type {} is not flat-nested (contains functions)", t)
+                write!(
+                    f,
+                    "query type {} is not flat-nested (contains functions)",
+                    t
+                )
             }
             ShredError::RewriteDiverged => write!(f, "normalisation exceeded its step bound"),
             ShredError::NotInNormalForm(msg) => write!(f, "not in normal form: {}", msg),
-            ShredError::BadPath(p) => write!(f, "path {} does not address a bag in the result type", p),
+            ShredError::BadPath(p) => {
+                write!(f, "path {} does not address a bag in the result type", p)
+            }
             ShredError::Eval(e) => write!(f, "evaluation error: {}", e),
             ShredError::Engine(e) => write!(f, "SQL engine error: {}", e),
             ShredError::MissingKey(t) => {
@@ -53,6 +62,7 @@ impl fmt::Display for ShredError {
             }
             ShredError::InvalidIndexing(msg) => write!(f, "invalid indexing scheme: {}", msg),
             ShredError::Decode(msg) => write!(f, "cannot decode shredded result: {}", msg),
+            ShredError::Config(msg) => write!(f, "session configuration error: {}", msg),
             ShredError::Internal(msg) => write!(f, "internal error: {}", msg),
         }
     }

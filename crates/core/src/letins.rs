@@ -77,7 +77,10 @@ pub struct LetBinding {
 pub enum LetBase {
     /// `x.ℓ1.….ℓn` — a projection path. Paths of length one project table
     /// columns; longer paths project from the let-bound tuple `z`.
-    Proj { var: String, path: Vec<String> },
+    Proj {
+        var: String,
+        path: Vec<String>,
+    },
     Const(Constant),
     Prim(PrimOp, Vec<LetBase>),
     /// `empty L` over a (binding-free) let-inserted query.
@@ -233,11 +236,7 @@ fn translate_base(base: &ShBase, outer_vars: &[String]) -> Result<LetBase, Shred
         ShBase::Proj { var, field } => match outer_vars.iter().position(|y| y == var) {
             Some(i) => LetBase::Proj {
                 var: OUTER_VAR.to_string(),
-                path: vec![
-                    "#1".to_string(),
-                    format!("#{}", i + 1),
-                    field.clone(),
-                ],
+                path: vec!["#1".to_string(), format!("#{}", i + 1), field.clone()],
             },
             None => LetBase::Proj {
                 var: var.clone(),
@@ -322,7 +321,11 @@ fn translate_inner(inner: &ShredInner, outer_vars: &[String]) -> Result<LetInner
 /// Evaluate a let-inserted query over a database, producing indexed flat
 /// results directly comparable with the flat-index shredded semantics
 /// (Theorem 6). Indexes are materialised as [`IndexValue::Flat`].
-pub fn eval_let(query: &LetQuery, schema: &Schema, db: &Database) -> Result<ShredResult, ShredError> {
+pub fn eval_let(
+    query: &LetQuery,
+    schema: &Schema,
+    db: &Database,
+) -> Result<ShredResult, ShredError> {
     eval_let_in(query, schema, db, &Env::empty())
 }
 
@@ -360,8 +363,13 @@ fn eval_let_comp(
             surrogate: 1,
         }],
         Some(binding) => {
-            let combos =
-                satisfying_let_bindings(&binding.generators, &binding.condition, schema, db, outer_env)?;
+            let combos = satisfying_let_bindings(
+                &binding.generators,
+                &binding.condition,
+                schema,
+                db,
+                outer_env,
+            )?;
             combos
                 .into_iter()
                 .enumerate()
@@ -552,6 +560,7 @@ fn eval_let_base(
     }
 }
 
+#[allow(clippy::only_used_in_recursion)]
 fn eval_let_inner(
     inner: &LetInner,
     env: &LetEnv<'_>,

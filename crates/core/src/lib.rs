@@ -21,6 +21,13 @@
 //! | Record flattening | App. E | [`flatten`] |
 //! | SQL generation | §7 | [`sqlgen`] |
 //! | End-to-end pipeline | Fig. 1(c) | [`pipeline`] |
+//! | Session API, backends, plan cache | — | [`session`] |
+//!
+//! The documented entry point is the [`session::Shredder`] session: a
+//! builder-configured handle owning the schema, the data, a pluggable
+//! [`session::SqlBackend`] and an LRU plan cache. The free functions in
+//! [`pipeline`] remain available as low-level building blocks; see
+//! `DESIGN.md` for the full lifecycle.
 //!
 //! ## Quick start
 //!
@@ -29,7 +36,7 @@
 //! use nrc::schema::{Database, Schema, TableSchema};
 //! use nrc::types::BaseType;
 //! use nrc::value::Value;
-//! use shredding::pipeline;
+//! use shredding::session::Shredder;
 //!
 //! // A flat schema with departments and employees.
 //! let schema = Schema::new()
@@ -51,11 +58,18 @@
 //!         singleton(project(var("e"), "name")))),
 //! ])));
 //!
-//! // Shred to SQL, run on the in-memory engine, stitch back together.
-//! let engine = pipeline::engine_from_database(&db).unwrap();
-//! let result = pipeline::run(&query, &schema, &engine).unwrap();
-//! let direct = pipeline::eval_nested(&query, &db).unwrap();
+//! // Open a session: shred to SQL, run on the in-memory engine, stitch.
+//! let session = Shredder::builder().database(db).build().unwrap();
+//! let prepared = session.prepare(&query).unwrap();
+//! println!("{}", prepared.explain());            // per-stage SQL and layout
+//! let result = session.execute(&prepared).unwrap();
+//!
+//! // The session's oracle is the nested reference semantics (Theorem 4).
+//! let direct = session.oracle(&query).unwrap();
 //! assert!(result.multiset_eq(&direct));
+//!
+//! // Preparing the same query again skips recompilation via the plan cache.
+//! assert!(session.prepare(&query).unwrap().from_cache());
 //! ```
 
 pub mod error;
@@ -65,6 +79,7 @@ pub mod nf;
 pub mod normalise;
 pub mod pipeline;
 pub mod semantics;
+pub mod session;
 pub mod shred;
 pub mod sqlgen;
 pub mod stitch;
@@ -73,7 +88,13 @@ pub use error::ShredError;
 pub use flatten::ResultLayout;
 pub use nf::{NormQuery, StaticIndex};
 pub use normalise::{normalise, normalise_with_type};
-pub use pipeline::{compile, engine_from_database, execute, run, run_in_memory, CompiledQuery};
+pub use pipeline::{compile, engine_from_database, execute, CompiledQuery};
+#[allow(deprecated)]
+pub use pipeline::{run, run_in_memory};
 pub use semantics::{IndexScheme, IndexTables, IndexValue};
+pub use session::{
+    BackendPlan, CacheStats, ExecContext, Explain, NestedOracleBackend, PlanRequest, PreparedQuery,
+    ShreddedMemoryBackend, Shredder, ShredderBuilder, SqlBackend, SqlEngineBackend, StageExplain,
+};
 pub use shred::{shred_query, shred_type, Package, ShreddedQuery, ShreddedType};
 pub use stitch::stitch;

@@ -379,9 +379,6 @@ mod tests {
     #[test]
     fn free_vars_of_conditions() {
         let q = sample();
-        assert_eq!(
-            q.branches[0].condition.free_vars(),
-            vec!["x".to_string()]
-        );
+        assert_eq!(q.branches[0].condition.free_vars(), vec!["x".to_string()]);
     }
 }

@@ -40,10 +40,7 @@ pub fn normalise(term: &Term, schema: &Schema) -> Result<NormQuery, ShredError> 
 /// type. The type is inferred *after* the rewriting stages, when all
 /// higher-order features have been eliminated, so queries built with
 /// λ-abstractions in argument position are accepted.
-pub fn normalise_with_type(
-    term: &Term,
-    schema: &Schema,
-) -> Result<(NormQuery, Type), ShredError> {
+pub fn normalise_with_type(term: &Term, schema: &Schema) -> Result<(NormQuery, Type), ShredError> {
     let rewritten = rewrite_to_normal_form(term)?;
     let ty = nrc::typecheck::typecheck(&rewritten, schema).map_err(ShredError::Type)?;
     let query = normalise_rewritten(&rewritten, &ty, schema)?;
@@ -74,8 +71,13 @@ fn normalise_rewritten(
         next_tag: 1,
         fresh_var: 0,
     };
-    let branches =
-        normaliser.comprehensions(rewritten, elem, Vec::new(), NfBase::truth(), &Context::empty())?;
+    let branches = normaliser.comprehensions(
+        rewritten,
+        elem,
+        Vec::new(),
+        NfBase::truth(),
+        &Context::empty(),
+    )?;
     Ok(NormQuery { branches })
 }
 
@@ -101,8 +103,9 @@ fn step(term: &Term) -> Option<Term> {
     match term {
         Term::Var(_) | Term::Const(_) | Term::Table(_) | Term::EmptyBag(_) => None,
         Term::PrimApp(op, args) => step_in_list(args).map(|args| Term::PrimApp(*op, args)),
-        Term::If(c, t, e) => step_in_three(c, t, e)
-            .map(|(c, t, e)| Term::If(Box::new(c), Box::new(t), Box::new(e))),
+        Term::If(c, t, e) => {
+            step_in_three(c, t, e).map(|(c, t, e)| Term::If(Box::new(c), Box::new(t), Box::new(e)))
+        }
         Term::Lam(x, b) => step(b).map(|b| Term::Lam(x.clone(), Box::new(b))),
         Term::App(f, a) => step_in_two(f, a).map(|(f, a)| Term::App(Box::new(f), Box::new(a))),
         Term::Record(fields) => {
@@ -118,9 +121,7 @@ fn step(term: &Term) -> Option<Term> {
         Term::Project(t, l) => step(t).map(|t| Term::Project(Box::new(t), l.clone())),
         Term::Empty(t) => step(t).map(|t| Term::Empty(Box::new(t))),
         Term::Singleton(t) => step(t).map(|t| Term::Singleton(Box::new(t))),
-        Term::Union(l, r) => {
-            step_in_two(l, r).map(|(l, r)| Term::Union(Box::new(l), Box::new(r)))
-        }
+        Term::Union(l, r) => step_in_two(l, r).map(|(l, r)| Term::Union(Box::new(l), Box::new(r))),
         Term::For(x, s, b) => {
             step_in_two(s, b).map(|(s, b)| Term::For(x.clone(), Box::new(s), Box::new(b)))
         }
@@ -349,7 +350,11 @@ impl<'a> Normaliser<'a> {
                         .chars()
                         .filter(|c| c.is_ascii_alphanumeric() || *c == '_')
                         .collect();
-                    let stem = if sanitised.is_empty() { "v" } else { &sanitised };
+                    let stem = if sanitised.is_empty() {
+                        "v"
+                    } else {
+                        &sanitised
+                    };
                     let fresh = format!("{}_{}", stem, self.fresh_var);
                     let body = body.subst(x, &Term::Var(fresh.clone()));
                     let ctx = ctx.extend(&fresh, table.row_type());
@@ -410,8 +415,7 @@ impl<'a> Normaliser<'a> {
                 Ok(NfTerm::Record(out))
             }
             Type::Bag(elem) => {
-                let branches =
-                    self.comprehensions(term, elem, Vec::new(), NfBase::truth(), ctx)?;
+                let branches = self.comprehensions(term, elem, Vec::new(), NfBase::truth(), ctx)?;
                 Ok(NfTerm::Query(NormQuery { branches }))
             }
             Type::Fun(_, _) => Err(ShredError::NotFlatNested(ty.to_string())),

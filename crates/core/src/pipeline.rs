@@ -21,9 +21,7 @@ use crate::flatten::{value_to_sql, ResultLayout};
 use crate::letins::{let_insert, LetQuery};
 use crate::nf::NormQuery;
 use crate::normalise::normalise_with_type;
-use crate::semantics::{
-    eval_shredded_package, IndexScheme, IndexTables, ShredResult,
-};
+use crate::semantics::{eval_shredded_package, IndexScheme, IndexTables, ShredResult};
 use crate::shred::{shred_query, shred_type, Package, ShreddedQuery};
 use crate::stitch::stitch;
 use nrc::schema::{Database, Schema};
@@ -134,6 +132,10 @@ pub fn execute_via_sql_text(
 
 /// Run a nested query end to end: compile, execute on the given engine, and
 /// stitch. This is the single call a Links-like host language would make.
+#[deprecated(
+    since = "0.2.0",
+    note = "open a session instead: `Shredder::builder().database(db).build()?.run(term)`"
+)]
 pub fn run(term: &Term, schema: &Schema, engine: &Engine) -> Result<Value, ShredError> {
     let compiled = compile(term, schema)?;
     execute(&compiled, engine)
@@ -142,6 +144,11 @@ pub fn run(term: &Term, schema: &Schema, engine: &Engine) -> Result<Value, Shred
 /// Run a nested query using the *in-memory* shredded semantics of Figure 5
 /// (no SQL involved), under the chosen indexing scheme. This is the reference
 /// implementation of shredding used to validate the SQL path.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `ShreddedMemoryBackend` through a session: \
+            `Shredder::builder().database(db).backend(Box::new(ShreddedMemoryBackend)).index_scheme(scheme).build()?.run(term)`"
+)]
 pub fn run_in_memory(
     term: &Term,
     schema: &Schema,
@@ -163,6 +170,7 @@ pub fn run_in_memory(
 
 /// Evaluate a nested query directly with the nested semantics N⟦−⟧ (no
 /// shredding). This is the ground truth for all correctness tests.
+#[deprecated(since = "0.2.0", note = "use `Shredder::oracle` on a session instead")]
 pub fn eval_nested(term: &Term, db: &Database) -> Result<Value, ShredError> {
     nrc::eval(term, db).map_err(ShredError::Eval)
 }
@@ -229,6 +237,7 @@ pub fn engine_from_database(db: &Database) -> Result<Engine, ShredError> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use nrc::builder::*;
@@ -271,7 +280,12 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new(schema());
-        for (id, name) in [(1, "Product"), (2, "Quality"), (3, "Research"), (4, "Sales")] {
+        for (id, name) in [
+            (1, "Product"),
+            (2, "Quality"),
+            (3, "Research"),
+            (4, "Sales"),
+        ] {
             db.insert_row(
                 "departments",
                 vec![("id", Value::Int(id)), ("name", Value::string(name))],
@@ -347,10 +361,7 @@ mod tests {
                                 for_where(
                                     "t",
                                     table("tasks"),
-                                    eq(
-                                        project(var("t"), "employee"),
-                                        project(var("e"), "name"),
-                                    ),
+                                    eq(project(var("t"), "employee"), project(var("e"), "name")),
                                     singleton(project(var("t"), "task")),
                                 ),
                             ),
@@ -367,7 +378,7 @@ mod tests {
         let reference = eval_nested(q, &db).unwrap();
 
         // In-memory shredded semantics, all three indexing schemes.
-        for scheme in [IndexScheme::Canonical, IndexScheme::Flat, IndexScheme::Natural] {
+        for scheme in IndexScheme::ALL {
             let v = run_in_memory(q, &schema, &db, scheme).unwrap();
             assert!(
                 v.multiset_eq(&reference),

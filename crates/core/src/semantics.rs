@@ -37,6 +37,15 @@ pub enum IndexScheme {
     Natural,
 }
 
+impl IndexScheme {
+    /// Every indexing scheme, for exhaustive comparisons and tests.
+    pub const ALL: [IndexScheme; 3] = [
+        IndexScheme::Canonical,
+        IndexScheme::Flat,
+        IndexScheme::Natural,
+    ];
+}
+
 impl fmt::Display for IndexScheme {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -82,7 +91,10 @@ impl IndexValue {
                 tag: TOP,
                 path: vec![1],
             },
-            IndexScheme::Flat => IndexValue::Flat { tag: TOP, ordinal: 1 },
+            IndexScheme::Flat => IndexValue::Flat {
+                tag: TOP,
+                ordinal: 1,
+            },
             IndexScheme::Natural => IndexValue::Natural {
                 tag: TOP,
                 keys: Vec::new(),
@@ -159,9 +171,7 @@ impl IndexTables {
         for occ in &tables.occurrences {
             let counter = per_tag_counter.entry(occ.tag).or_insert(0);
             *counter += 1;
-            tables
-                .flat
-                .insert((occ.tag, occ.path.clone()), *counter);
+            tables.flat.insert((occ.tag, occ.path.clone()), *counter);
             tables
                 .natural
                 .insert((occ.tag, occ.path.clone()), occ.natural_keys.clone());
@@ -348,9 +358,11 @@ fn satisfying_bindings(
 ) -> Result<Vec<Vec<Value>>, ShredError> {
     let tables: Vec<Vec<Value>> = generators
         .iter()
-        .map(|g| db.table_rows(&g.table).map_err(|_| {
-            ShredError::Internal(format!("unknown table {} during evaluation", g.table))
-        }))
+        .map(|g| {
+            db.table_rows(&g.table).map_err(|_| {
+                ShredError::Internal(format!("unknown table {} during evaluation", g.table))
+            })
+        })
         .collect::<Result<_, _>>()?;
     let mut out = Vec::new();
     let mut current: Vec<Value> = Vec::with_capacity(generators.len());
@@ -359,9 +371,11 @@ fn satisfying_bindings(
         for (gen, row) in generators.iter().zip(rows.iter()) {
             env2.push(&gen.var, row.clone());
         }
-        let keep = eval_nf_base(condition, &env2, db)?.as_bool().ok_or_else(|| {
-            ShredError::Internal("where clause did not evaluate to a boolean".to_string())
-        })?;
+        let keep = eval_nf_base(condition, &env2, db)?
+            .as_bool()
+            .ok_or_else(|| {
+                ShredError::Internal("where clause did not evaluate to a boolean".to_string())
+            })?;
         if keep {
             out.push(rows.to_vec());
         }
@@ -441,9 +455,7 @@ impl FlatValue {
     /// Project a field of a record flat value.
     pub fn field(&self, label: &str) -> Option<&FlatValue> {
         match self {
-            FlatValue::Record(fields) => {
-                fields.iter().find(|(l, _)| l == label).map(|(_, v)| v)
-            }
+            FlatValue::Record(fields) => fields.iter().find(|(l, _)| l == label).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -566,6 +578,7 @@ fn satisfying_sh_bindings(
     Ok(out)
 }
 
+#[allow(clippy::only_used_in_recursion)]
 fn eval_inner(
     inner: &ShredInner,
     tag: StaticIndex,
@@ -594,6 +607,7 @@ fn eval_inner(
     }
 }
 
+#[allow(clippy::only_used_in_recursion)]
 fn eval_sh_base(
     base: &ShBase,
     env: &Env,
@@ -768,8 +782,8 @@ mod tests {
         let inner = annots[1];
         assert_eq!(outer.len(), 2); // one row per department
         assert_eq!(inner.len(), 3); // one row per matching employee
-        // Every inner index referenced by the outer query appears as an outer
-        // index of some inner row.
+                                    // Every inner index referenced by the outer query appears as an outer
+                                    // index of some inner row.
         for (_, fv) in outer {
             let idx = fv.field("emps").expect("emps field");
             if let FlatValue::Index(i) = idx {
@@ -804,11 +818,17 @@ mod tests {
     fn top_index_is_fixed_per_scheme() {
         assert_eq!(
             IndexValue::top(IndexScheme::Flat),
-            IndexValue::Flat { tag: TOP, ordinal: 1 }
+            IndexValue::Flat {
+                tag: TOP,
+                ordinal: 1
+            }
         );
         assert_eq!(
             IndexValue::top(IndexScheme::Canonical),
-            IndexValue::Canonical { tag: TOP, path: vec![1] }
+            IndexValue::Canonical {
+                tag: TOP,
+                path: vec![1]
+            }
         );
     }
 }

@@ -1,0 +1,1098 @@
+//! The `Shredder` session API: the front door of the crate.
+//!
+//! A [`Shredder`] is a configured query session. It owns the schema, the
+//! (optional) database, a lazily built SQL engine, a pluggable execution
+//! backend ([`SqlBackend`]) and an LRU plan cache keyed on normalised terms.
+//! The session lifecycle mirrors the staged planner lifecycles of production
+//! query engines:
+//!
+//! ```text
+//! Shredder::builder() … .build()      configure: schema, data, backend, indexes
+//!   │
+//!   ├─ prepare(term)  ──▶ PreparedQuery   normalise → (cache?) → backend plan
+//!   │       │                              │
+//!   │       └─ explain()                   per-stage SQL, layouts, indexes
+//!   │
+//!   ├─ execute(&prepared) ──▶ Value        backend-specific execution + stitch
+//!   ├─ run(term)           = prepare + execute
+//!   └─ oracle(term)        = the nested reference semantics N⟦−⟧ (ground truth)
+//! ```
+//!
+//! Two backends ship with this crate: [`SqlEngineBackend`] (shred to SQL,
+//! execute on the in-memory `sqlengine`, stitch — the paper's Figure 1(c))
+//! and [`ShreddedMemoryBackend`] (the shredded semantics of Figure 5 under a
+//! chosen [`IndexScheme`], no SQL involved). [`NestedOracleBackend`] runs the
+//! nested reference semantics directly and is the correctness oracle the
+//! other backends are validated against. The `baselines` crate implements the
+//! paper's comparison systems (loop-lifting, Links' default flat evaluation,
+//! Van den Bussche's simulation) as further backends.
+
+use std::any::Any;
+use std::cell::{OnceCell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::error::ShredError;
+use crate::flatten::ResultLayout;
+use crate::nf::NormQuery;
+use crate::normalise::normalise_with_type;
+use crate::pipeline::{self, CompiledQuery};
+use crate::semantics::{eval_shredded_package, IndexScheme, IndexTables};
+use crate::shred::{package_by, shred_query, shred_type, Package, ShreddedQuery};
+use crate::stitch::stitch;
+use nrc::schema::{Database, Schema};
+use nrc::term::Term;
+use nrc::types::Type;
+use nrc::value::Value;
+use sqlengine::Engine;
+
+/// Default number of plans the session keeps cached.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+// ---------------------------------------------------------------------------
+// The backend trait
+// ---------------------------------------------------------------------------
+
+/// Everything a backend may consult while planning a query. The session
+/// normalises the term once (also deriving the plan-cache key from the
+/// normal form) and hands both the source term and the normal form over.
+pub struct PlanRequest<'a> {
+    /// The original λNRC term.
+    pub term: &'a Term,
+    /// Its normal form (Theorem 1: semantically equivalent to `term`).
+    pub normalised: &'a NormQuery,
+    /// The query's result type (always a bag type).
+    pub result_type: &'a Type,
+    /// The flat source schema Σ.
+    pub schema: &'a Schema,
+}
+
+/// Execution-time context handed to a backend: the session's database, index
+/// scheme and lazily built SQL engine.
+pub struct ExecContext<'a> {
+    db: Option<&'a Database>,
+    scheme: IndexScheme,
+    engine: &'a OnceCell<Rc<Engine>>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// The session's database, or a configuration error if the session was
+    /// built from a schema alone.
+    pub fn db(&self) -> Result<&'a Database, ShredError> {
+        self.db.ok_or_else(|| {
+            ShredError::Config(
+                "this session has no database; attach one with ShredderBuilder::database".into(),
+            )
+        })
+    }
+
+    /// The session's indexing scheme.
+    pub fn scheme(&self) -> IndexScheme {
+        self.scheme
+    }
+
+    /// The session's SQL engine, loading the database into engine storage on
+    /// first use.
+    pub fn engine(&self) -> Result<&'a Engine, ShredError> {
+        if self.engine.get().is_none() {
+            let built = pipeline::engine_from_database(self.db()?)?;
+            let _ = self.engine.set(Rc::new(built));
+        }
+        Ok(self
+            .engine
+            .get()
+            .expect("engine cell just populated")
+            .as_ref())
+    }
+}
+
+/// A pluggable execution strategy: how a normalised λNRC query is planned
+/// and evaluated. Implementations ship with this crate ([`SqlEngineBackend`],
+/// [`ShreddedMemoryBackend`], [`NestedOracleBackend`]) and with the
+/// `baselines` crate (loop-lifting, Links' default flat evaluation, Van den
+/// Bussche's simulation).
+pub trait SqlBackend: fmt::Debug {
+    /// A short stable name, shown by `explain()` and used to guard against
+    /// executing a plan on the wrong session.
+    fn name(&self) -> &'static str;
+
+    /// Translate a normalised query into a backend plan. Called once per
+    /// distinct normal form when the plan cache is enabled.
+    fn prepare(&self, req: &PlanRequest<'_>) -> Result<BackendPlan, ShredError>;
+
+    /// Evaluate a plan produced by `prepare` against the session's data.
+    fn execute(&self, plan: &BackendPlan, cx: &ExecContext<'_>) -> Result<Value, ShredError>;
+}
+
+/// One per-stage entry of a plan's `explain()` output: the path of the bag
+/// constructor it evaluates, the SQL text (for SQL-producing backends) and
+/// the flat column layout used to decode its rows.
+#[derive(Debug, Clone)]
+pub struct StageExplain {
+    /// The path of the result type's bag constructor this stage computes.
+    pub path: String,
+    /// The SQL text shipped to the engine, if the backend compiles to SQL.
+    pub sql: Option<String>,
+    /// The flat columns of the stage's result (indexes first, then data).
+    pub columns: Vec<String>,
+}
+
+/// A backend-specific plan: human-readable per-stage information plus an
+/// opaque payload the backend downcasts at execution time.
+pub struct BackendPlan {
+    /// Per-stage explain entries, outermost bag constructor first.
+    pub stages: Vec<StageExplain>,
+    payload: Rc<dyn Any>,
+}
+
+impl BackendPlan {
+    /// Wrap a backend-specific payload together with its explain stages.
+    pub fn new<T: 'static>(stages: Vec<StageExplain>, payload: T) -> BackendPlan {
+        BackendPlan {
+            stages,
+            payload: Rc::new(payload),
+        }
+    }
+
+    /// Recover the typed payload stored by `prepare`.
+    pub fn downcast<T: 'static>(&self) -> Result<&T, ShredError> {
+        self.payload
+            .downcast_ref::<T>()
+            .ok_or_else(|| ShredError::Internal("backend plan payload has the wrong type".into()))
+    }
+}
+
+impl fmt::Debug for BackendPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BackendPlan")
+            .field("stages", &self.stages)
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prepared queries and explain output
+// ---------------------------------------------------------------------------
+
+/// A query prepared by a [`Shredder`] session: the backend plan plus enough
+/// metadata to explain and to re-execute it without recompiling.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    backend: &'static str,
+    scheme: IndexScheme,
+    schema: Rc<Schema>,
+    normalised: Rc<NormQuery>,
+    result_type: Type,
+    plan: Rc<BackendPlan>,
+    from_cache: bool,
+}
+
+impl PreparedQuery {
+    /// Per-stage explain output: backend, index scheme, static indexes of the
+    /// normal form and one entry per flat query.
+    pub fn explain(&self) -> Explain {
+        Explain {
+            backend: self.backend,
+            scheme: self.scheme,
+            cached: self.from_cache,
+            result_type: self.result_type.to_string(),
+            static_indexes: self.normalised.tags().iter().map(|t| t.as_int()).collect(),
+            stages: self.plan.stages.clone(),
+        }
+    }
+
+    /// The name of the backend that prepared this query.
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
+    /// The SQL text of every stage, outermost first (empty for backends that
+    /// do not compile to SQL).
+    pub fn sql_texts(&self) -> Vec<String> {
+        self.plan
+            .stages
+            .iter()
+            .filter_map(|s| s.sql.clone())
+            .collect()
+    }
+
+    /// Number of flat stages the plan evaluates (the nesting degree, for
+    /// shredding backends).
+    pub fn query_count(&self) -> usize {
+        self.plan.stages.len()
+    }
+
+    /// The query's result type.
+    pub fn result_type(&self) -> &Type {
+        &self.result_type
+    }
+
+    /// The normal form the plan was derived from.
+    pub fn normalised(&self) -> &NormQuery {
+        &self.normalised
+    }
+
+    /// Whether this handle was served from the session's plan cache (the
+    /// backend's `prepare` was skipped).
+    pub fn from_cache(&self) -> bool {
+        self.from_cache
+    }
+}
+
+/// The rendered plan of a [`PreparedQuery`]; display it with `{}`.
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// Backend that produced the plan.
+    pub backend: &'static str,
+    /// The session's indexing scheme.
+    pub scheme: IndexScheme,
+    /// Whether the plan came from the session's plan cache.
+    pub cached: bool,
+    /// The query's result type.
+    pub result_type: String,
+    /// The static indexes assigned to the normal form's comprehensions.
+    pub static_indexes: Vec<i64>,
+    /// One entry per flat stage, outermost first.
+    pub stages: Vec<StageExplain>,
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan (backend={}, scheme={}, cached={})",
+            self.backend, self.scheme, self.cached
+        )?;
+        writeln!(f, "result type: {}", self.result_type)?;
+        writeln!(f, "static indexes: {:?}", self.static_indexes)?;
+        for (i, stage) in self.stages.iter().enumerate() {
+            writeln!(f, "stage {} at path {}:", i + 1, stage.path)?;
+            if !stage.columns.is_empty() {
+                writeln!(f, "  columns: {}", stage.columns.join(", "))?;
+            }
+            if let Some(sql) = &stage.sql {
+                for line in sql.lines() {
+                    writeln!(f, "  | {}", line)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The plan cache
+// ---------------------------------------------------------------------------
+
+/// Counters describing the plan cache's behaviour so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Prepares answered from the cache (the backend's `prepare` was skipped).
+    pub hits: u64,
+    /// Prepares that had to invoke the backend.
+    pub misses: u64,
+    /// Plans evicted to stay within capacity.
+    pub evictions: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    normalised: Rc<NormQuery>,
+    result_type: Type,
+    plan: Rc<BackendPlan>,
+    last_used: u64,
+}
+
+/// A least-recently-used plan cache keyed on the query's normal form.
+#[derive(Debug)]
+struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    entries: HashMap<String, CacheEntry>,
+}
+
+impl PlanCache {
+    fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn lookup(&mut self, key: &str) -> Option<(Rc<NormQuery>, Type, Rc<BackendPlan>)> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits += 1;
+                Some((
+                    entry.normalised.clone(),
+                    entry.result_type.clone(),
+                    entry.plan.clone(),
+                ))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(
+        &mut self,
+        key: String,
+        normalised: Rc<NormQuery>,
+        result_type: Type,
+        plan: Rc<BackendPlan>,
+    ) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            CacheEntry {
+                normalised,
+                result_type,
+                plan,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Configures and validates a [`Shredder`] session.
+pub struct ShredderBuilder {
+    schema: Option<Schema>,
+    database: Option<Database>,
+    engine: Option<Rc<Engine>>,
+    scheme: IndexScheme,
+    backend: Option<Box<dyn SqlBackend>>,
+    cache_capacity: Option<usize>,
+    cache_disabled: bool,
+}
+
+impl fmt::Debug for ShredderBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShredderBuilder")
+            .field("scheme", &self.scheme)
+            .field("backend", &self.backend)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("cache_disabled", &self.cache_disabled)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ShredderBuilder {
+    fn default() -> ShredderBuilder {
+        ShredderBuilder {
+            schema: None,
+            database: None,
+            engine: None,
+            scheme: IndexScheme::Flat,
+            backend: None,
+            cache_capacity: None,
+            cache_disabled: false,
+        }
+    }
+}
+
+impl ShredderBuilder {
+    /// The flat source schema Σ. Optional when a database is attached (its
+    /// schema is used); if both are given they must agree.
+    pub fn schema(mut self, schema: Schema) -> Self {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Attach the database the session queries. Enables execution; sessions
+    /// built from a schema alone can still `prepare` and `explain`.
+    pub fn database(mut self, db: Database) -> Self {
+        self.database = Some(db);
+        self
+    }
+
+    /// Use a pre-loaded SQL engine instead of loading the database into
+    /// engine storage on first execution. Accepts an `Rc<Engine>` (e.g. from
+    /// [`Shredder::shared_engine`]) so several sessions over the same data
+    /// can share one loaded engine without copying its storage.
+    pub fn engine(mut self, engine: impl Into<Rc<Engine>>) -> Self {
+        self.engine = Some(engine.into());
+        self
+    }
+
+    /// The indexing scheme (Section 6) used by index-aware backends. Defaults
+    /// to [`IndexScheme::Flat`], the scheme SQL generation implements.
+    pub fn index_scheme(mut self, scheme: IndexScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// The execution backend. Defaults to [`SqlEngineBackend`].
+    pub fn backend(mut self, backend: Box<dyn SqlBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Capacity of the LRU plan cache (must be non-zero; use
+    /// [`without_plan_cache`](Self::without_plan_cache) to disable caching).
+    pub fn plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Disable the plan cache: every `prepare` invokes the backend.
+    pub fn without_plan_cache(mut self) -> Self {
+        self.cache_disabled = true;
+        self
+    }
+
+    /// Validate the configuration and build the session.
+    pub fn build(self) -> Result<Shredder, ShredError> {
+        let schema = match (self.schema, &self.database) {
+            (Some(schema), Some(db)) => {
+                if schema != db.schema {
+                    return Err(ShredError::Config(
+                        "the schema passed to ShredderBuilder::schema differs from the \
+                         attached database's schema"
+                            .into(),
+                    ));
+                }
+                schema
+            }
+            (Some(schema), None) => schema,
+            (None, Some(db)) => db.schema.clone(),
+            (None, None) => {
+                return Err(ShredError::Config(
+                    "a session needs a schema or a database; call ShredderBuilder::schema \
+                     or ShredderBuilder::database"
+                        .into(),
+                ));
+            }
+        };
+        if self.cache_disabled && self.cache_capacity.is_some() {
+            return Err(ShredError::Config(
+                "plan_cache_capacity and without_plan_cache are mutually exclusive".into(),
+            ));
+        }
+        let cache = if self.cache_disabled {
+            None
+        } else {
+            let capacity = self.cache_capacity.unwrap_or(DEFAULT_PLAN_CACHE_CAPACITY);
+            if capacity == 0 {
+                return Err(ShredError::Config(
+                    "plan_cache_capacity must be non-zero; use without_plan_cache() to \
+                     disable caching"
+                        .into(),
+                ));
+            }
+            Some(RefCell::new(PlanCache::new(capacity)))
+        };
+        let engine = OnceCell::new();
+        if let Some(e) = self.engine {
+            let _ = engine.set(e);
+        }
+        Ok(Shredder {
+            schema: Rc::new(schema),
+            db: self.database,
+            engine,
+            scheme: self.scheme,
+            backend: self.backend.unwrap_or_else(|| Box::new(SqlEngineBackend)),
+            cache,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The session
+// ---------------------------------------------------------------------------
+
+/// A configured query-shredding session. See the [module docs](self) for the
+/// lifecycle and an overview of the available backends.
+///
+/// ```
+/// use nrc::builder::*;
+/// use shredding::session::Shredder;
+/// # use nrc::schema::{Database, Schema, TableSchema};
+/// # use nrc::types::BaseType;
+/// # use nrc::value::Value;
+/// # let schema = Schema::new().with_table(
+/// #     TableSchema::new("items", vec![("id", BaseType::Int)]).with_key(vec!["id"]));
+/// # let mut db = Database::new(schema);
+/// # db.insert_row("items", vec![("id", Value::Int(1))]).unwrap();
+/// let session = Shredder::builder().database(db).build().unwrap();
+/// let query = for_in("x", table("items"), singleton(project(var("x"), "id")));
+/// let prepared = session.prepare(&query).unwrap();
+/// let value = session.execute(&prepared).unwrap();
+/// assert_eq!(value, Value::bag(vec![Value::Int(1)]));
+/// ```
+#[derive(Debug)]
+pub struct Shredder {
+    schema: Rc<Schema>,
+    db: Option<Database>,
+    engine: OnceCell<Rc<Engine>>,
+    scheme: IndexScheme,
+    backend: Box<dyn SqlBackend>,
+    cache: Option<RefCell<PlanCache>>,
+}
+
+impl Shredder {
+    /// Start configuring a session.
+    pub fn builder() -> ShredderBuilder {
+        ShredderBuilder::default()
+    }
+
+    /// A session over a database with the default configuration (sqlengine
+    /// backend, flat indexes, default plan cache).
+    pub fn over(db: Database) -> Result<Shredder, ShredError> {
+        Shredder::builder().database(db).build()
+    }
+
+    /// The session's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The session's database, if one is attached.
+    pub fn database(&self) -> Option<&Database> {
+        self.db.as_ref()
+    }
+
+    /// The session's indexing scheme.
+    pub fn index_scheme(&self) -> IndexScheme {
+        self.scheme
+    }
+
+    /// The name of the session's backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The session's SQL engine, loading the database into engine storage on
+    /// first use.
+    pub fn engine(&self) -> Result<&Engine, ShredError> {
+        self.exec_context().engine()
+    }
+
+    /// A shareable handle to the session's engine, for building further
+    /// sessions over the same loaded storage without copying it (pass it to
+    /// [`ShredderBuilder::engine`]).
+    pub fn shared_engine(&self) -> Result<Rc<Engine>, ShredError> {
+        self.exec_context().engine()?;
+        Ok(self
+            .engine
+            .get()
+            .expect("engine cell just populated")
+            .clone())
+    }
+
+    /// Normalise and plan a query, consulting the plan cache. A second
+    /// `prepare` of a query with the same normal form returns the cached plan
+    /// without invoking the backend (`PreparedQuery::from_cache` reports
+    /// which).
+    pub fn prepare(&self, term: &Term) -> Result<PreparedQuery, ShredError> {
+        let (normalised, result_type) = normalise_with_type(term, &self.schema)?;
+        let Some(cache) = &self.cache else {
+            return self.plan(term, normalised, result_type);
+        };
+        let key = plan_key(&normalised);
+        if let Some((normalised, result_type, plan)) = cache.borrow_mut().lookup(&key) {
+            return Ok(PreparedQuery {
+                backend: self.backend.name(),
+                scheme: self.scheme,
+                schema: self.schema.clone(),
+                normalised,
+                result_type,
+                plan,
+                from_cache: true,
+            });
+        }
+        let prepared = self.plan(term, normalised, result_type)?;
+        cache.borrow_mut().insert(
+            key,
+            prepared.normalised.clone(),
+            prepared.result_type.clone(),
+            prepared.plan.clone(),
+        );
+        Ok(prepared)
+    }
+
+    /// Normalise and plan a query without touching the plan cache. Use this
+    /// when measuring compilation itself (the benchmark harness does).
+    pub fn prepare_uncached(&self, term: &Term) -> Result<PreparedQuery, ShredError> {
+        let (normalised, result_type) = normalise_with_type(term, &self.schema)?;
+        self.plan(term, normalised, result_type)
+    }
+
+    fn plan(
+        &self,
+        term: &Term,
+        normalised: NormQuery,
+        result_type: Type,
+    ) -> Result<PreparedQuery, ShredError> {
+        let req = PlanRequest {
+            term,
+            normalised: &normalised,
+            result_type: &result_type,
+            schema: &self.schema,
+        };
+        let plan = self.backend.prepare(&req)?;
+        Ok(PreparedQuery {
+            backend: self.backend.name(),
+            scheme: self.scheme,
+            schema: self.schema.clone(),
+            normalised: Rc::new(normalised),
+            result_type,
+            plan: Rc::new(plan),
+            from_cache: false,
+        })
+    }
+
+    /// Execute a prepared query on this session's data.
+    pub fn execute(&self, prepared: &PreparedQuery) -> Result<Value, ShredError> {
+        if prepared.backend != self.backend.name() {
+            return Err(ShredError::Config(format!(
+                "prepared query belongs to the {} backend but this session uses {}",
+                prepared.backend,
+                self.backend.name()
+            )));
+        }
+        if prepared.scheme != self.scheme {
+            return Err(ShredError::Config(format!(
+                "prepared query was planned under {} indexes but this session uses {}",
+                prepared.scheme, self.scheme
+            )));
+        }
+        if !Rc::ptr_eq(&prepared.schema, &self.schema) && *prepared.schema != *self.schema {
+            return Err(ShredError::Config(
+                "prepared query was planned against a different schema".into(),
+            ));
+        }
+        self.backend.execute(&prepared.plan, &self.exec_context())
+    }
+
+    /// Prepare (or fetch from the cache) and execute in one call.
+    pub fn run(&self, term: &Term) -> Result<Value, ShredError> {
+        let prepared = self.prepare(term)?;
+        self.execute(&prepared)
+    }
+
+    /// Evaluate a query directly with the nested reference semantics N⟦−⟧
+    /// (no shredding, no SQL). The ground truth every backend is validated
+    /// against (Theorem 4).
+    pub fn oracle(&self, term: &Term) -> Result<Value, ShredError> {
+        let cx = self.exec_context();
+        nrc::eval(term, cx.db()?).map_err(ShredError::Eval)
+    }
+
+    /// Counters describing the plan cache (all zero when caching is
+    /// disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(|c| c.borrow().stats())
+            .unwrap_or_default()
+    }
+
+    /// Drop every cached plan, keeping the hit/miss counters.
+    pub fn clear_plan_cache(&self) {
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.borrow_mut();
+            cache.entries.clear();
+        }
+    }
+
+    fn exec_context(&self) -> ExecContext<'_> {
+        ExecContext {
+            db: self.db.as_ref(),
+            scheme: self.scheme,
+            engine: &self.engine,
+        }
+    }
+}
+
+/// The plan-cache key of a normal form. Normal forms are small, so their
+/// canonical debug rendering doubles as a cheap structural key.
+fn plan_key(normalised: &NormQuery) -> String {
+    format!("{:?}", normalised)
+}
+
+// ---------------------------------------------------------------------------
+// The built-in backends
+// ---------------------------------------------------------------------------
+
+/// The default backend: shred the query into nesting-degree-many flat SQL
+/// queries, execute them on the in-memory [`sqlengine`], and stitch the flat
+/// results back into a nested value (Figure 1(c) of the paper).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SqlEngineBackend;
+
+impl SqlBackend for SqlEngineBackend {
+    fn name(&self) -> &'static str {
+        "sqlengine"
+    }
+
+    fn prepare(&self, req: &PlanRequest<'_>) -> Result<BackendPlan, ShredError> {
+        let compiled = pipeline::compile_normalised(
+            req.normalised.clone(),
+            req.result_type.clone(),
+            req.schema,
+        )?;
+        let stages = compiled
+            .stages
+            .annotations()
+            .into_iter()
+            .map(|s| StageExplain {
+                path: s.path.to_string(),
+                sql: Some(sqlengine::print_query(&s.sql)),
+                columns: s.layout.columns(),
+            })
+            .collect();
+        Ok(BackendPlan::new(stages, compiled))
+    }
+
+    fn execute(&self, plan: &BackendPlan, cx: &ExecContext<'_>) -> Result<Value, ShredError> {
+        let compiled: &CompiledQuery = plan.downcast()?;
+        pipeline::execute(compiled, cx.engine()?)
+    }
+}
+
+/// Payload of [`ShreddedMemoryBackend`] plans.
+#[derive(Debug, Clone)]
+struct ShreddedMemoryPlan {
+    normalised: NormQuery,
+    package: Package<ShreddedQuery>,
+}
+
+/// The in-memory shredded semantics of Figure 5 under the session's
+/// [`IndexScheme`] — the reference implementation of shredding itself, used
+/// to validate the SQL path and to compare indexing schemes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShreddedMemoryBackend;
+
+impl SqlBackend for ShreddedMemoryBackend {
+    fn name(&self) -> &'static str {
+        "shredded-memory"
+    }
+
+    fn prepare(&self, req: &PlanRequest<'_>) -> Result<BackendPlan, ShredError> {
+        if !matches!(req.result_type, Type::Bag(_)) {
+            return Err(ShredError::NotAQuery(req.result_type.to_string()));
+        }
+        let mut stages = Vec::new();
+        let package = package_by(req.result_type, &mut |path| {
+            let shredded = shred_query(req.normalised, path)?;
+            let shredded_type = shred_type(req.result_type, path)?;
+            stages.push(StageExplain {
+                path: path.to_string(),
+                sql: None,
+                columns: ResultLayout::new(&shredded_type.inner).columns(),
+            });
+            Ok::<ShreddedQuery, ShredError>(shredded)
+        })?;
+        Ok(BackendPlan::new(
+            stages,
+            ShreddedMemoryPlan {
+                normalised: req.normalised.clone(),
+                package,
+            },
+        ))
+    }
+
+    fn execute(&self, plan: &BackendPlan, cx: &ExecContext<'_>) -> Result<Value, ShredError> {
+        let payload: &ShreddedMemoryPlan = plan.downcast()?;
+        let db = cx.db()?;
+        let scheme = cx.scheme();
+        let tables = IndexTables::compute(&payload.normalised, db)?;
+        if !tables.is_valid(scheme) {
+            return Err(ShredError::InvalidIndexing(format!(
+                "the {} indexing scheme is not valid for this query and database",
+                scheme
+            )));
+        }
+        let results = eval_shredded_package(&payload.package, db, scheme, &tables)?;
+        stitch(&results, scheme)
+    }
+}
+
+/// The correctness oracle: evaluate the query directly with the nested
+/// reference semantics N⟦−⟧ of Figure 2. No shredding, no SQL — every other
+/// backend must agree with this one (Theorem 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NestedOracleBackend;
+
+impl SqlBackend for NestedOracleBackend {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn prepare(&self, req: &PlanRequest<'_>) -> Result<BackendPlan, ShredError> {
+        Ok(BackendPlan::new(Vec::new(), req.term.clone()))
+    }
+
+    fn execute(&self, plan: &BackendPlan, cx: &ExecContext<'_>) -> Result<Value, ShredError> {
+        let term: &Term = plan.downcast()?;
+        nrc::eval(term, cx.db()?).map_err(ShredError::Eval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nrc::builder::*;
+    use nrc::schema::TableSchema;
+    use nrc::types::BaseType;
+
+    fn schema() -> Schema {
+        Schema::new()
+            .with_table(
+                TableSchema::new(
+                    "departments",
+                    vec![("id", BaseType::Int), ("name", BaseType::String)],
+                )
+                .with_key(vec!["id"]),
+            )
+            .with_table(
+                TableSchema::new(
+                    "employees",
+                    vec![
+                        ("id", BaseType::Int),
+                        ("dept", BaseType::String),
+                        ("name", BaseType::String),
+                        ("salary", BaseType::Int),
+                    ],
+                )
+                .with_key(vec!["id"]),
+            )
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new(schema());
+        for (id, name) in [(1, "Product"), (2, "Research")] {
+            db.insert_row(
+                "departments",
+                vec![("id", Value::Int(id)), ("name", Value::string(name))],
+            )
+            .unwrap();
+        }
+        for (id, dept, name, salary) in [
+            (1, "Product", "Alex", 20000),
+            (2, "Product", "Bert", 900),
+            (3, "Research", "Cora", 50000),
+        ] {
+            db.insert_row(
+                "employees",
+                vec![
+                    ("id", Value::Int(id)),
+                    ("dept", Value::string(dept)),
+                    ("name", Value::string(name)),
+                    ("salary", Value::Int(salary)),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn nested_query() -> Term {
+        for_in(
+            "d",
+            table("departments"),
+            singleton(record(vec![
+                ("dept", project(var("d"), "name")),
+                (
+                    "emps",
+                    for_where(
+                        "e",
+                        table("employees"),
+                        eq(project(var("e"), "dept"), project(var("d"), "name")),
+                        singleton(project(var("e"), "name")),
+                    ),
+                ),
+            ])),
+        )
+    }
+
+    #[test]
+    fn the_default_session_runs_nested_queries() {
+        let session = Shredder::over(db()).unwrap();
+        let q = nested_query();
+        let result = session.run(&q).unwrap();
+        let reference = session.oracle(&q).unwrap();
+        assert!(result.multiset_eq(&reference));
+    }
+
+    #[test]
+    fn prepare_hits_the_plan_cache_on_the_second_call() {
+        let session = Shredder::over(db()).unwrap();
+        let q = nested_query();
+        let first = session.prepare(&q).unwrap();
+        assert!(!first.from_cache());
+        let second = session.prepare(&q).unwrap();
+        assert!(second.from_cache());
+        let stats = session.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // The cached plan still executes correctly.
+        let a = session.execute(&first).unwrap();
+        let b = session.execute(&second).unwrap();
+        assert!(a.multiset_eq(&b));
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_cache_within_capacity() {
+        let session = Shredder::builder()
+            .database(db())
+            .plan_cache_capacity(1)
+            .build()
+            .unwrap();
+        let q1 = nested_query();
+        let q2 = for_in(
+            "d",
+            table("departments"),
+            singleton(project(var("d"), "name")),
+        );
+        session.prepare(&q1).unwrap();
+        session.prepare(&q2).unwrap(); // evicts q1
+        assert!(!session.prepare(&q1).unwrap().from_cache());
+        let stats = session.cache_stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.hits, 0);
+    }
+
+    #[test]
+    fn explain_shows_sql_and_layout() {
+        let session = Shredder::over(db()).unwrap();
+        let prepared = session.prepare(&nested_query()).unwrap();
+        assert_eq!(prepared.query_count(), 2);
+        let explain = prepared.explain().to_string();
+        assert!(explain.contains("backend=sqlengine"));
+        assert!(explain.contains("SELECT"), "explain output:\n{}", explain);
+        assert!(explain.contains("stage 2"));
+    }
+
+    #[test]
+    fn builder_rejects_an_empty_configuration() {
+        assert!(matches!(
+            Shredder::builder().build(),
+            Err(ShredError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_a_mismatched_schema() {
+        let other = Schema::new().with_table(TableSchema::new("t", vec![("x", BaseType::Int)]));
+        assert!(matches!(
+            Shredder::builder().schema(other).database(db()).build(),
+            Err(ShredError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_a_zero_capacity_cache() {
+        assert!(matches!(
+            Shredder::builder()
+                .database(db())
+                .plan_cache_capacity(0)
+                .build(),
+            Err(ShredError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn schema_only_sessions_prepare_but_do_not_execute() {
+        let session = Shredder::builder().schema(schema()).build().unwrap();
+        let prepared = session.prepare(&nested_query()).unwrap();
+        assert_eq!(prepared.query_count(), 2);
+        assert!(matches!(
+            session.execute(&prepared),
+            Err(ShredError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn foreign_prepared_queries_are_rejected() {
+        let sql = Shredder::over(db()).unwrap();
+        let oracle = Shredder::builder()
+            .database(db())
+            .backend(Box::new(NestedOracleBackend))
+            .build()
+            .unwrap();
+        let prepared = sql.prepare(&nested_query()).unwrap();
+        assert!(matches!(
+            oracle.execute(&prepared),
+            Err(ShredError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn all_builtin_backends_agree() {
+        let q = nested_query();
+        let reference = Shredder::over(db()).unwrap().oracle(&q).unwrap();
+        for backend in [
+            Box::new(SqlEngineBackend) as Box<dyn SqlBackend>,
+            Box::new(ShreddedMemoryBackend),
+            Box::new(NestedOracleBackend),
+        ] {
+            let session = Shredder::builder()
+                .database(db())
+                .backend(backend)
+                .build()
+                .unwrap();
+            let v = session.run(&q).unwrap();
+            assert!(
+                v.multiset_eq(&reference),
+                "backend {} disagrees",
+                session.backend_name()
+            );
+        }
+    }
+
+    #[test]
+    fn the_shredded_memory_backend_honours_the_index_scheme() {
+        let q = nested_query();
+        let reference = Shredder::over(db()).unwrap().oracle(&q).unwrap();
+        for scheme in IndexScheme::ALL {
+            let session = Shredder::builder()
+                .database(db())
+                .backend(Box::new(ShreddedMemoryBackend))
+                .index_scheme(scheme)
+                .build()
+                .unwrap();
+            let v = session.run(&q).unwrap();
+            assert!(v.multiset_eq(&reference), "scheme {}", scheme);
+        }
+    }
+}

@@ -147,12 +147,9 @@ impl<T> Package<T> {
     pub fn map<U>(&self, f: &mut impl FnMut(&T) -> U) -> Package<U> {
         match self {
             Package::Base(b) => Package::Base(*b),
-            Package::Record(fields) => Package::Record(
-                fields
-                    .iter()
-                    .map(|(l, p)| (l.clone(), p.map(f)))
-                    .collect(),
-            ),
+            Package::Record(fields) => {
+                Package::Record(fields.iter().map(|(l, p)| (l.clone(), p.map(f))).collect())
+            }
             Package::Bag(t, inner) => Package::Bag(f(t), Box::new(inner.map(f))),
         }
     }
@@ -528,10 +525,9 @@ fn shred_base(base: &NfBase) -> Result<ShBase, ShredError> {
             field: field.clone(),
         },
         NfBase::Const(c) => ShBase::Const(c.clone()),
-        NfBase::Prim(op, args) => ShBase::Prim(
-            *op,
-            args.iter().map(shred_base).collect::<Result<_, _>>()?,
-        ),
+        NfBase::Prim(op, args) => {
+            ShBase::Prim(*op, args.iter().map(shred_base).collect::<Result<_, _>>()?)
+        }
         NfBase::IsEmpty(q) => ShBase::IsEmpty(Box::new(shred_query(q, &Path::empty())?)),
     })
 }
@@ -600,10 +596,7 @@ mod tests {
     fn bad_paths_are_rejected() {
         let ty = result_type();
         let bad = Path::empty().extend_label("nope");
-        assert!(matches!(
-            shred_type(&ty, &bad),
-            Err(ShredError::BadPath(_))
-        ));
+        assert!(matches!(shred_type(&ty, &bad), Err(ShredError::BadPath(_))));
     }
 
     #[test]

@@ -74,7 +74,7 @@ fn cte_column(i: usize, col: &str) -> String {
     format!("c{}_{}", i + 1, col)
 }
 
-fn table_columns<'a>(schema: &'a Schema, table: &str) -> Result<Vec<String>, ShredError> {
+fn table_columns(schema: &Schema, table: &str) -> Result<Vec<String>, ShredError> {
     Ok(schema
         .table(table)
         .ok_or_else(|| ShredError::Internal(format!("unknown table {}", table)))?
@@ -232,6 +232,7 @@ fn navigate_inner<'a>(inner: &'a LetInner, path: &[String]) -> Result<&'a LetInn
 /// Translate a base term into a SQL expression. `binding` is needed to map
 /// projections from the let-bound tuple `z.#1.#i.ℓ` onto the CTE's flattened
 /// column names.
+#[allow(clippy::only_used_in_recursion)]
 fn sql_of_base(
     base: &LetBase,
     binding: Option<&LetBinding>,

@@ -141,10 +141,7 @@ mod tests {
         let package = Package::Bag(
             r1,
             Box::new(Package::Record(vec![
-                (
-                    "department".to_string(),
-                    Package::Base(BaseType::String),
-                ),
+                ("department".to_string(), Package::Base(BaseType::String)),
                 (
                     "people".to_string(),
                     Package::Bag(
@@ -181,10 +178,7 @@ mod tests {
                         ("name", Value::string("Erik")),
                         (
                             "tasks",
-                            Value::bag(vec![
-                                Value::string("call"),
-                                Value::string("enthuse"),
-                            ]),
+                            Value::bag(vec![Value::string("call"), Value::string("enthuse")]),
                         ),
                     ])]),
                 ),
@@ -198,7 +192,10 @@ mod tests {
         let r1: ShredResult = vec![(
             idx(0, 1),
             FlatValue::Record(vec![
-                ("dept".to_string(), FlatValue::Base(Value::string("Quality"))),
+                (
+                    "dept".to_string(),
+                    FlatValue::Base(Value::string("Quality")),
+                ),
                 ("people".to_string(), FlatValue::Index(idx(1, 7))),
             ]),
         )];

@@ -1,14 +1,20 @@
 //! Seeded generation of the organisation database.
 
+use crate::rng::Rng;
 use nrc::schema::{Database, Schema, TableSchema};
 use nrc::types::BaseType;
 use nrc::value::Value;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The task vocabulary used by the paper's examples.
 pub const TASK_NAMES: &[&str] = &[
-    "abstract", "build", "call", "dissemble", "enthuse", "buy", "sell", "plan",
+    "abstract",
+    "build",
+    "call",
+    "dissemble",
+    "enthuse",
+    "buy",
+    "sell",
+    "plan",
 ];
 
 /// Configuration of the generated organisation.
@@ -118,7 +124,7 @@ pub fn organisation_schema() -> Schema {
 
 /// Generate an organisation database according to the configuration.
 pub fn generate(config: &OrgConfig) -> Database {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut db = Database::new(organisation_schema());
     let mut employee_id = 0i64;
     let mut task_id = 0i64;
@@ -137,10 +143,12 @@ pub fn generate(config: &OrgConfig) -> Database {
 
         // Employee count fluctuates around the configured average, as in the
         // paper ("each department has on average 100 employees").
-        let min = config.employees_per_department.saturating_sub(config.employees_per_department / 4);
+        let min = config
+            .employees_per_department
+            .saturating_sub(config.employees_per_department / 4);
         let max = config.employees_per_department + config.employees_per_department / 4;
         let employee_count = if max > min {
-            rng.gen_range(min..=max)
+            rng.range_usize(min, max)
         } else {
             config.employees_per_department
         };
@@ -159,10 +167,11 @@ pub fn generate(config: &OrgConfig) -> Database {
             )
             .expect("employee row matches schema");
 
-            let task_count = rng.gen_range(0..=config.max_tasks_per_employee);
+            let task_count = rng.range_usize(0, config.max_tasks_per_employee);
             for t in 0..task_count {
                 task_id += 1;
-                let task = TASK_NAMES[(rng.gen_range(0..TASK_NAMES.len()) + t) % TASK_NAMES.len()];
+                let task =
+                    TASK_NAMES[(rng.range_usize(0, TASK_NAMES.len() - 1) + t) % TASK_NAMES.len()];
                 db.insert_row(
                     "tasks",
                     vec![
@@ -177,7 +186,7 @@ pub fn generate(config: &OrgConfig) -> Database {
 
         for _ in 0..config.contacts_per_department {
             contact_id += 1;
-            let client = rng.gen_bool(config.client_probability);
+            let client = rng.chance(config.client_probability);
             db.insert_row(
                 "contacts",
                 vec![
@@ -193,16 +202,16 @@ pub fn generate(config: &OrgConfig) -> Database {
     db
 }
 
-fn sample_salary(rng: &mut StdRng, config: &OrgConfig) -> i64 {
-    let r: f64 = rng.gen();
+fn sample_salary(rng: &mut Rng, config: &OrgConfig) -> i64 {
+    let r: f64 = rng.next_f64();
     if r < config.poor_probability {
         // "Poor": below the 1000 threshold used by the outliers query.
-        rng.gen_range(100..1000)
+        rng.range_i64(100, 999)
     } else if r < config.poor_probability + config.rich_probability {
         // "Rich": above the 1 000 000 threshold.
-        rng.gen_range(1_000_001..3_000_000)
+        rng.range_i64(1_000_001, 2_999_999)
     } else {
-        rng.gen_range(1_000..100_000)
+        rng.range_i64(1_000, 99_999)
     }
 }
 
@@ -247,8 +256,14 @@ mod tests {
             .iter()
             .map(|r| r.field("salary").unwrap().as_int().unwrap())
             .collect();
-        assert!(salaries.iter().any(|s| *s < 1000), "expected some poor employees");
-        assert!(salaries.iter().any(|s| *s > 1_000_000), "expected some rich employees");
+        assert!(
+            salaries.iter().any(|s| *s < 1000),
+            "expected some poor employees"
+        );
+        assert!(
+            salaries.iter().any(|s| *s > 1_000_000),
+            "expected some rich employees"
+        );
         assert!(salaries.iter().any(|s| *s >= 1000 && *s <= 1_000_000));
     }
 

@@ -18,5 +18,7 @@
 
 pub mod generator;
 pub mod queries;
+pub mod rng;
 
 pub use generator::{generate, organisation_schema, OrgConfig};
+pub use rng::Rng;

@@ -269,7 +269,10 @@ fn employees_earning_over(threshold: i64) -> Term {
 /// QF4: employees with the "abstract" task, together with employees earning
 /// over 50 000 (`UNION ALL`).
 pub fn qf4() -> Term {
-    union(employees_with_task("abstract"), employees_earning_over(50000))
+    union(
+        employees_with_task("abstract"),
+        employees_earning_over(50000),
+    )
 }
 
 /// QF5: employees with the "abstract" task who do *not* earn over 50 000
@@ -297,8 +300,14 @@ pub fn qf5() -> Term {
 /// QF6: the difference of two unions — (abstract-task ⊎ over-50 000) MINUS
 /// (enthuse-task ⊎ over-10 000), again via an emptiness test.
 pub fn qf6() -> Term {
-    let left = union(employees_with_task("abstract"), employees_earning_over(50000));
-    let right = union(employees_with_task("enthuse"), employees_earning_over(10000));
+    let left = union(
+        employees_with_task("abstract"),
+        employees_earning_over(50000),
+    );
+    let right = union(
+        employees_with_task("enthuse"),
+        employees_earning_over(10000),
+    );
     for_where(
         "x",
         left,
@@ -344,7 +353,14 @@ mod tests {
     #[test]
     fn nested_queries_typecheck_with_expected_nesting_degrees() {
         let schema = organisation_schema();
-        let expected = [("Q1", 4), ("Q2", 1), ("Q3", 2), ("Q4", 2), ("Q5", 2), ("Q6", 3)];
+        let expected = [
+            ("Q1", 4),
+            ("Q2", 1),
+            ("Q3", 2),
+            ("Q4", 2),
+            ("Q5", 2),
+            ("Q6", 3),
+        ];
         for ((name, q), (ename, degree)) in nested_queries().into_iter().zip(expected) {
             assert_eq!(name, ename);
             let rewritten = shredding::normalise::rewrite_to_normal_form(&q).unwrap();

@@ -1,0 +1,101 @@
+//! A small deterministic pseudo-random number generator.
+//!
+//! The generator is splitmix64 (Steele, Lea, Flood — "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014): one 64-bit word of state,
+//! full period, and statistically strong enough for workload generation. It
+//! replaces an external RNG crate so the workspace builds with no
+//! dependencies outside the standard library, and it keeps the guarantee the
+//! evaluation relies on: the same seed always produces the same database.
+
+/// A seeded splitmix64 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (53 bits of precision).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A uniform `usize` in the inclusive range `[lo, hi]`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// A uniform `i64` in the inclusive range `[lo, hi]`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_are_inclusive_and_within_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v = rng.range_usize(3, 6);
+            assert!((3..=6).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 6;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn floats_land_in_the_unit_interval() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

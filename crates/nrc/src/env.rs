@@ -42,7 +42,11 @@ impl Env {
 
     /// Look up a variable (most recent binding wins).
     pub fn lookup(&self, x: &str) -> Option<&Value> {
-        self.bindings.iter().rev().find(|(y, _)| y == x).map(|(_, v)| v)
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(y, _)| y == x)
+            .map(|(_, v)| v)
     }
 
     /// Number of bindings.

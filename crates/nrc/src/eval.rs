@@ -21,9 +21,19 @@ pub enum EvalError {
     NotABag(String),
     NotARecord(String),
     NotAFunction(String),
-    NoSuchField { label: String, record: String },
-    PrimArity { op: PrimOp, expected: usize, got: usize },
-    PrimTypeError { op: PrimOp, detail: String },
+    NoSuchField {
+        label: String,
+        record: String,
+    },
+    PrimArity {
+        op: PrimOp,
+        expected: usize,
+        got: usize,
+    },
+    PrimTypeError {
+        op: PrimOp,
+        detail: String,
+    },
     DivisionByZero,
 }
 
@@ -40,7 +50,11 @@ impl fmt::Display for EvalError {
                 write!(f, "no field {} in record {}", label, record)
             }
             EvalError::PrimArity { op, expected, got } => {
-                write!(f, "primitive {} expects {} arguments, got {}", op, expected, got)
+                write!(
+                    f,
+                    "primitive {} expects {} arguments, got {}",
+                    op, expected, got
+                )
             }
             EvalError::PrimTypeError { op, detail } => {
                 write!(f, "type error applying primitive {}: {}", op, detail)
@@ -93,9 +107,11 @@ pub fn eval_in(term: &Term, env: &Env, db: &Database) -> Result<Value, EvalError
             let fun = eval_in(f, env, db)?;
             let arg = eval_in(a, env, db)?;
             match fun {
-                Value::Closure { param, body, env: closure_env } => {
-                    eval_in(&body, &closure_env.extend(&param, arg), db)
-                }
+                Value::Closure {
+                    param,
+                    body,
+                    env: closure_env,
+                } => eval_in(&body, &closure_env.extend(&param, arg), db),
                 other => Err(EvalError::NotAFunction(format!("{}", other))),
             }
         }
@@ -109,10 +125,13 @@ pub fn eval_in(term: &Term, env: &Env, db: &Database) -> Result<Value, EvalError
         Term::Project(t, label) => {
             let v = eval_in(t, env, db)?;
             match &v {
-                Value::Record(_) => v.field(label).cloned().ok_or_else(|| EvalError::NoSuchField {
-                    label: label.clone(),
-                    record: format!("{}", v),
-                }),
+                Value::Record(_) => v
+                    .field(label)
+                    .cloned()
+                    .ok_or_else(|| EvalError::NoSuchField {
+                        label: label.clone(),
+                        record: format!("{}", v),
+                    }),
                 other => Err(EvalError::NotARecord(format!("{}", other))),
             }
         }
@@ -280,13 +299,19 @@ mod tests {
     #[test]
     fn constants_and_primitives() {
         assert_eq!(eval_pure(&add(int(2), int(3))), Ok(Value::Int(5)));
-        assert_eq!(eval_pure(&and(boolean(true), boolean(false))), Ok(Value::Bool(false)));
+        assert_eq!(
+            eval_pure(&and(boolean(true), boolean(false))),
+            Ok(Value::Bool(false))
+        );
         assert_eq!(
             eval_pure(&concat(string("ab"), string("cd"))),
             Ok(Value::String("abcd".to_string()))
         );
         assert_eq!(eval_pure(&eq(int(1), int(1))), Ok(Value::Bool(true)));
-        assert_eq!(eval_pure(&neq(string("x"), string("y"))), Ok(Value::Bool(true)));
+        assert_eq!(
+            eval_pure(&neq(string("x"), string("y"))),
+            Ok(Value::Bool(true))
+        );
     }
 
     #[test]
@@ -336,7 +361,10 @@ mod tests {
     fn higher_order_functions_evaluate() {
         let db = tiny_db();
         // (λf. f 21) (λx. x + x)
-        let q = app(lam("f", app(var("f"), int(21))), lam("x", add(var("x"), var("x"))));
+        let q = app(
+            lam("f", app(var("f"), int(21))),
+            lam("x", add(var("x"), var("x"))),
+        );
         assert_eq!(eval(&q, &db), Ok(Value::Int(42)));
     }
 
@@ -404,7 +432,10 @@ mod tests {
     fn closures_capture_their_environment() {
         let db = tiny_db();
         // (λx. λy. x + y) 1 2
-        let q = app(app(lam("x", lam("y", add(var("x"), var("y")))), int(1)), int(2));
+        let q = app(
+            app(lam("x", lam("y", add(var("x"), var("y")))), int(1)),
+            int(2),
+        );
         assert_eq!(eval(&q, &db), Ok(Value::Int(3)));
     }
 }

@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn union_and_empty() {
-        assert_eq!(pretty(&union(empty_bag(), singleton(int(1)))), "(∅ ⊎ return 1)");
+        assert_eq!(
+            pretty(&union(empty_bag(), singleton(int(1)))),
+            "(∅ ⊎ return 1)"
+        );
     }
 
     #[test]

@@ -254,7 +254,11 @@ mod tests {
     #[test]
     fn table_types_are_flat_relations() {
         let s = schema();
-        assert!(s.table("employees").unwrap().relation_type().is_flat_relation());
+        assert!(s
+            .table("employees")
+            .unwrap()
+            .relation_type()
+            .is_flat_relation());
     }
 
     #[test]

@@ -174,15 +174,13 @@ mod tests {
     #[test]
     fn any_all_contains_behave_like_their_spec() {
         let d = db();
-        let anyone_rich = any(table("employees"), |x| is_rich(x));
+        let anyone_rich = any(table("employees"), is_rich);
         assert_eq!(eval(&anyone_rich, &d), Ok(Value::Bool(true)));
 
-        let all_rich = all(table("employees"), |x| is_rich(x));
+        let all_rich = all(table("employees"), is_rich);
         assert_eq!(eval(&all_rich, &d), Ok(Value::Bool(false)));
 
-        let all_named = all(table("employees"), |x| {
-            neq(project(x, "name"), string(""))
-        });
+        let all_named = all(table("employees"), |x| neq(project(x, "name"), string("")));
         assert_eq!(eval(&all_named, &d), Ok(Value::Bool(true)));
 
         let names = for_in(
@@ -231,12 +229,12 @@ mod tests {
     #[test]
     fn fresh_names_avoid_clashes_with_argument_terms() {
         // The outer filter binds x; the inner one must pick a different name.
-        let inner = filter(table("employees"), |x| is_rich(x));
-        let outer = filter(inner.clone(), |x| is_poor(x));
+        let inner = filter(table("employees"), is_rich);
+        let outer = filter(inner.clone(), is_poor);
         let v = eval(&outer, &db()).unwrap();
         assert_eq!(v.as_bag().unwrap().len(), 0);
         // And nesting in the other order also works.
-        let outer2 = filter(filter(table("employees"), |x| is_poor(x)), |x| {
+        let outer2 = filter(filter(table("employees"), is_poor), |x| {
             gt(project(x, "salary"), int(0))
         });
         let v2 = eval(&outer2, &db()).unwrap();

@@ -259,13 +259,7 @@ impl Term {
         self.subst_inner(x, value, &value_free, &mut 0)
     }
 
-    fn subst_inner(
-        &self,
-        x: &str,
-        value: &Term,
-        value_free: &[String],
-        fresh: &mut usize,
-    ) -> Term {
+    fn subst_inner(&self, x: &str, value: &Term, value_free: &[String], fresh: &mut usize) -> Term {
         match self {
             Term::Var(y) => {
                 if y == x {
@@ -292,10 +286,7 @@ impl Term {
                 } else if value_free.contains(y) {
                     let y2 = freshen(y, fresh);
                     let body2 = body.subst(y, &Term::Var(y2.clone()));
-                    Term::Lam(
-                        y2,
-                        Box::new(body2.subst_inner(x, value, value_free, fresh)),
-                    )
+                    Term::Lam(y2, Box::new(body2.subst_inner(x, value, value_free, fresh)))
                 } else {
                     Term::Lam(
                         y.clone(),
@@ -392,10 +383,7 @@ mod tests {
     fn substitution_replaces_free_occurrences() {
         let t = record(vec![("a", var("x")), ("b", var("y"))]);
         let r = t.subst("x", &int(7));
-        assert_eq!(
-            r,
-            record(vec![("a", int(7)), ("b", var("y"))])
-        );
+        assert_eq!(r, record(vec![("a", int(7)), ("b", var("y"))]));
     }
 
     #[test]
@@ -412,10 +400,7 @@ mod tests {
         let r = t.subst("x", &var("y"));
         if let Term::Lam(bound, body) = &r {
             assert_ne!(bound, "y");
-            assert_eq!(
-                **body,
-                union(var("y"), var(bound.as_str()))
-            );
+            assert_eq!(**body, union(var("y"), var(bound.as_str())));
         } else {
             panic!("expected a lambda, got {:?}", r);
         }

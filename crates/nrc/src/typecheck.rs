@@ -34,7 +34,11 @@ impl Context {
 
     /// Look up a variable.
     pub fn lookup(&self, x: &str) -> Option<&Type> {
-        self.bindings.iter().rev().find(|(y, _)| y == x).map(|(_, t)| t)
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(y, _)| y == x)
+            .map(|(_, t)| t)
     }
 }
 
@@ -43,14 +47,28 @@ impl Context {
 pub enum TypeError {
     UnboundVariable(String),
     NoSuchTable(String),
-    NoSuchField { label: String, ty: String },
-    Mismatch { expected: String, found: String, context: String },
+    NoSuchField {
+        label: String,
+        ty: String,
+    },
+    Mismatch {
+        expected: String,
+        found: String,
+        context: String,
+    },
     NotARecord(String),
     NotABag(String),
     NotAFunction(String),
     CannotInfer(String),
-    PrimArity { op: PrimOp, expected: usize, got: usize },
-    PrimOperand { op: PrimOp, found: String },
+    PrimArity {
+        op: PrimOp,
+        expected: usize,
+        got: usize,
+    },
+    PrimOperand {
+        op: PrimOp,
+        found: String,
+    },
 }
 
 impl fmt::Display for TypeError {
@@ -59,15 +77,27 @@ impl fmt::Display for TypeError {
             TypeError::UnboundVariable(x) => write!(f, "unbound variable {}", x),
             TypeError::NoSuchTable(t) => write!(f, "table {} is not in the schema", t),
             TypeError::NoSuchField { label, ty } => write!(f, "no field {} in type {}", label, ty),
-            TypeError::Mismatch { expected, found, context } => {
-                write!(f, "type mismatch in {}: expected {}, found {}", context, expected, found)
+            TypeError::Mismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {}: expected {}, found {}",
+                    context, expected, found
+                )
             }
             TypeError::NotARecord(t) => write!(f, "expected a record type, found {}", t),
             TypeError::NotABag(t) => write!(f, "expected a bag type, found {}", t),
             TypeError::NotAFunction(t) => write!(f, "expected a function type, found {}", t),
             TypeError::CannotInfer(t) => write!(f, "cannot infer a type for {}", t),
             TypeError::PrimArity { op, expected, got } => {
-                write!(f, "primitive {} expects {} arguments, got {}", op, expected, got)
+                write!(
+                    f,
+                    "primitive {} expects {} arguments, got {}",
+                    op, expected, got
+                )
             }
             TypeError::PrimOperand { op, found } => {
                 write!(f, "primitive {} applied to operand of type {}", op, found)
@@ -147,10 +177,13 @@ pub fn infer(term: &Term, ctx: &Context, schema: &Schema) -> Result<Type, TypeEr
         Term::Project(t, label) => {
             let ty = infer(t, ctx, schema)?;
             match &ty {
-                Type::Record(_) => ty.field(label).cloned().ok_or_else(|| TypeError::NoSuchField {
-                    label: label.clone(),
-                    ty: ty.to_string(),
-                }),
+                Type::Record(_) => ty
+                    .field(label)
+                    .cloned()
+                    .ok_or_else(|| TypeError::NoSuchField {
+                        label: label.clone(),
+                        ty: ty.to_string(),
+                    }),
                 other => Err(TypeError::NotARecord(other.to_string())),
             }
         }
@@ -163,22 +196,22 @@ pub fn infer(term: &Term, ctx: &Context, schema: &Schema) -> Result<Type, TypeEr
         }
         Term::Singleton(t) => Ok(Type::bag(infer(t, ctx, schema)?)),
         Term::EmptyBag(Some(elem)) => Ok(Type::bag(elem.clone())),
-        Term::EmptyBag(None) => Err(TypeError::CannotInfer("unannotated empty bag ∅".to_string())),
-        Term::Union(l, r) => {
-            match infer(l, ctx, schema) {
-                Ok(ty) => {
-                    ensure_bag(&ty)?;
-                    check(r, &ty, ctx, schema)?;
-                    Ok(ty)
-                }
-                Err(_) => {
-                    let ty = infer(r, ctx, schema)?;
-                    ensure_bag(&ty)?;
-                    check(l, &ty, ctx, schema)?;
-                    Ok(ty)
-                }
+        Term::EmptyBag(None) => Err(TypeError::CannotInfer(
+            "unannotated empty bag ∅".to_string(),
+        )),
+        Term::Union(l, r) => match infer(l, ctx, schema) {
+            Ok(ty) => {
+                ensure_bag(&ty)?;
+                check(r, &ty, ctx, schema)?;
+                Ok(ty)
             }
-        }
+            Err(_) => {
+                let ty = infer(r, ctx, schema)?;
+                ensure_bag(&ty)?;
+                check(l, &ty, ctx, schema)?;
+                Ok(ty)
+            }
+        },
         Term::For(x, src, body) => {
             let src_ty = infer(src, ctx, schema)?;
             let elem = match src_ty {
@@ -193,7 +226,12 @@ pub fn infer(term: &Term, ctx: &Context, schema: &Schema) -> Result<Type, TypeEr
 }
 
 /// Check `term` against `expected` in context Γ.
-pub fn check(term: &Term, expected: &Type, ctx: &Context, schema: &Schema) -> Result<(), TypeError> {
+pub fn check(
+    term: &Term,
+    expected: &Type,
+    ctx: &Context,
+    schema: &Schema,
+) -> Result<(), TypeError> {
     match (term, expected) {
         (Term::Lam(x, body), Type::Fun(arg, res)) => {
             check(body, res, &ctx.extend(x, (**arg).clone()), schema)
@@ -314,21 +352,30 @@ fn infer_prim(
         PrimOp::And | PrimOp::Or => {
             for t in &tys {
                 if base(t)? != BaseType::Bool {
-                    return Err(TypeError::PrimOperand { op, found: t.to_string() });
+                    return Err(TypeError::PrimOperand {
+                        op,
+                        found: t.to_string(),
+                    });
                 }
             }
             Ok(Type::bool())
         }
         PrimOp::Not => {
             if base(&tys[0])? != BaseType::Bool {
-                return Err(TypeError::PrimOperand { op, found: tys[0].to_string() });
+                return Err(TypeError::PrimOperand {
+                    op,
+                    found: tys[0].to_string(),
+                });
             }
             Ok(Type::bool())
         }
         PrimOp::Add | PrimOp::Sub | PrimOp::Mul | PrimOp::Div | PrimOp::Mod => {
             for t in &tys {
                 if base(t)? != BaseType::Int {
-                    return Err(TypeError::PrimOperand { op, found: t.to_string() });
+                    return Err(TypeError::PrimOperand {
+                        op,
+                        found: t.to_string(),
+                    });
                 }
             }
             Ok(Type::int())
@@ -336,7 +383,10 @@ fn infer_prim(
         PrimOp::Concat => {
             for t in &tys {
                 if base(t)? != BaseType::String {
-                    return Err(TypeError::PrimOperand { op, found: t.to_string() });
+                    return Err(TypeError::PrimOperand {
+                        op,
+                        found: t.to_string(),
+                    });
                 }
             }
             Ok(Type::string())
@@ -414,7 +464,10 @@ mod tests {
     #[test]
     fn bare_lambda_cannot_be_inferred_but_checks() {
         let t = lam("x", var("x"));
-        assert!(matches!(typecheck(&t, &schema()), Err(TypeError::CannotInfer(_))));
+        assert!(matches!(
+            typecheck(&t, &schema()),
+            Err(TypeError::CannotInfer(_))
+        ));
         assert!(typecheck_against(&t, &Type::fun(Type::int(), Type::int()), &schema()).is_ok());
     }
 

@@ -376,10 +376,7 @@ mod tests {
         let paths = result_type().paths();
         assert_eq!(paths.len(), 3);
         assert_eq!(paths[0], Path::empty());
-        assert_eq!(
-            paths[1],
-            Path::empty().extend_down().extend_label("people")
-        );
+        assert_eq!(paths[1], Path::empty().extend_down().extend_label("people"));
         assert_eq!(
             paths[2],
             Path::empty()

@@ -171,11 +171,9 @@ impl Value {
             (Value::Unit, Type::Base(BaseType::Unit)) => true,
             (Value::Record(fields), Type::Record(ftys)) => {
                 fields.len() == ftys.len()
-                    && ftys.iter().all(|(l, t)| {
-                        fields
-                            .iter()
-                            .any(|(fl, fv)| fl == l && fv.has_type(t))
-                    })
+                    && ftys
+                        .iter()
+                        .all(|(l, t)| fields.iter().any(|(fl, fv)| fl == l && fv.has_type(t)))
             }
             (Value::Bag(items), Type::Bag(inner)) => items.iter().all(|v| v.has_type(inner)),
             _ => false,

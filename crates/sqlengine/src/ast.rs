@@ -63,10 +63,7 @@ impl Query {
     pub fn output_columns(&self) -> Vec<String> {
         match self {
             Query::Select(s) => s.items.iter().map(|i| i.alias.clone()).collect(),
-            Query::UnionAll(qs) => qs
-                .first()
-                .map(Query::output_columns)
-                .unwrap_or_default(),
+            Query::UnionAll(qs) => qs.first().map(Query::output_columns).unwrap_or_default(),
             Query::ExceptAll(l, _) => l.output_columns(),
             Query::With { body, .. } => body.output_columns(),
         }
@@ -89,9 +86,9 @@ impl Query {
             }
             Query::UnionAll(qs) => qs.iter().map(Query::select_count).sum(),
             Query::ExceptAll(l, r) => l.select_count() + r.select_count(),
-            Query::With { definition, body, .. } => {
-                Query::Select(definition.clone()).select_count() + body.select_count()
-            }
+            Query::With {
+                definition, body, ..
+            } => Query::Select(definition.clone()).select_count() + body.select_count(),
         }
     }
 }
@@ -293,7 +290,9 @@ impl Expr {
         Expr::binop(BinOp::Or, left, right)
     }
 
-    /// Negation.
+    /// Negation. (A constructor taking the operand by value, not a `Not`
+    /// impl for `Expr` — the AST builder API is all free-standing.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(e: Expr) -> Expr {
         Expr::Not(Box::new(e))
     }
@@ -415,8 +414,12 @@ mod tests {
 
     #[test]
     fn output_columns_come_from_first_branch() {
-        let s1 = Select::new().item(Expr::lit(1), "a").item(Expr::lit(2), "b");
-        let s2 = Select::new().item(Expr::lit(3), "a").item(Expr::lit(4), "b");
+        let s1 = Select::new()
+            .item(Expr::lit(1), "a")
+            .item(Expr::lit(2), "b");
+        let s2 = Select::new()
+            .item(Expr::lit(3), "a")
+            .item(Expr::lit(4), "b");
         let q = Query::UnionAll(vec![Query::select(s1), Query::select(s2)]);
         assert_eq!(q.output_columns(), vec!["a".to_string(), "b".to_string()]);
     }
@@ -427,7 +430,10 @@ mod tests {
             Expr::eq(Expr::col("x", "a"), Expr::col("y", "b")),
             Expr::eq(Expr::col("x", "c"), Expr::lit(1)),
         );
-        assert_eq!(e.referenced_aliases(), vec!["x".to_string(), "y".to_string()]);
+        assert_eq!(
+            e.referenced_aliases(),
+            vec!["x".to_string(), "y".to_string()]
+        );
     }
 
     #[test]

@@ -36,12 +36,21 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::NoSuchTable(t) => write!(f, "no such table: {}", t),
             EngineError::TableExists(t) => write!(f, "table already exists: {}", t),
-            EngineError::ArityMismatch { table, expected, got } => write!(
+            EngineError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => write!(
                 f,
                 "row arity mismatch for table {}: expected {}, got {}",
                 table, expected, got
             ),
-            EngineError::ColumnTypeMismatch { table, column, expected, got } => write!(
+            EngineError::ColumnTypeMismatch {
+                table,
+                column,
+                expected,
+                got,
+            } => write!(
                 f,
                 "column {}.{} expects {}, got {}",
                 table, column, expected, got

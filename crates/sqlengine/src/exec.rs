@@ -368,15 +368,7 @@ fn join_relations(
         pending = still_pending;
 
         let next = if !hash_keys.is_empty() {
-            hash_join(
-                &joined,
-                relations,
-                rel_idx,
-                &hash_keys,
-                ctx,
-                ctes,
-                outer,
-            )?
+            hash_join(&joined, relations, rel_idx, &hash_keys, ctx, ctes, outer)?
         } else {
             nested_loop_join(&joined, rel.rows.len())
         };
@@ -433,7 +425,9 @@ fn contains_unqualified_column(e: &Expr) -> bool {
 fn expr_contains_exists(e: &Expr) -> bool {
     match e {
         Expr::Exists(_) => true,
-        Expr::BinOp { left, right, .. } => expr_contains_exists(left) || expr_contains_exists(right),
+        Expr::BinOp { left, right, .. } => {
+            expr_contains_exists(left) || expr_contains_exists(right)
+        }
         Expr::Not(inner) => expr_contains_exists(inner),
         _ => false,
     }
@@ -527,10 +521,8 @@ fn scope_for(outer: &Scope, relations: &[BoundRelation], combo: &[usize]) -> Sco
 fn collect_row_number_specs(select: &Select) -> Vec<Vec<Expr>> {
     fn collect(e: &Expr, acc: &mut Vec<Vec<Expr>>) {
         match e {
-            Expr::RowNumber { order_by } => {
-                if !acc.contains(order_by) {
-                    acc.push(order_by.clone());
-                }
+            Expr::RowNumber { order_by } if !acc.contains(order_by) => {
+                acc.push(order_by.clone());
             }
             Expr::BinOp { left, right, .. } => {
                 collect(left, acc);
@@ -624,11 +616,10 @@ fn eval_expr(
         }
         Expr::RowNumber { order_by } => match row_numbers {
             Some(rn) => {
-                let idx = rn
-                    .specs
-                    .iter()
-                    .position(|s| s == order_by)
-                    .ok_or_else(|| EngineError::TypeError("unplanned ROW_NUMBER".to_string()))?;
+                let idx =
+                    rn.specs.iter().position(|s| s == order_by).ok_or_else(|| {
+                        EngineError::TypeError("unplanned ROW_NUMBER".to_string())
+                    })?;
                 Ok(SqlValue::Int(rn.values[idx]))
             }
             None => Err(EngineError::TypeError(
@@ -661,7 +652,8 @@ fn eval_binop(op: BinOp, l: SqlValue, r: SqlValue) -> Result<SqlValue, EngineErr
             _ => SqlValue::Null,
         });
     }
-    let type_err = |msg: &str| EngineError::TypeError(format!("{}: {} {} {}", msg, l, op.symbol(), r));
+    let type_err =
+        |msg: &str| EngineError::TypeError(format!("{}: {} {} {}", msg, l, op.symbol(), r));
     match op {
         Eq => Ok(SqlValue::Bool(l.sql_eq(&r))),
         Neq => Ok(SqlValue::Bool(!l.sql_eq(&r))),
@@ -767,7 +759,11 @@ mod tests {
                 )
                 .unwrap();
         }
-        let tasks = vec![(1, "Alex", "build"), (2, "Bert", "build"), (3, "Cora", "abstract")];
+        let tasks = vec![
+            (1, "Alex", "build"),
+            (2, "Bert", "build"),
+            (3, "Cora", "abstract"),
+        ];
         for (id, emp, task) in tasks {
             storage
                 .insert(
@@ -876,10 +872,7 @@ mod tests {
         let q = Query::select(
             Select::new()
                 .item(Expr::col("e", "name"), "name")
-                .item(
-                    Expr::row_number(vec![Expr::col("e", "name")]),
-                    "rn",
-                )
+                .item(Expr::row_number(vec![Expr::col("e", "name")]), "rn")
                 .from_named("employees", "e"),
         );
         let rs = engine().execute(&q).unwrap();
@@ -887,12 +880,7 @@ mod tests {
         let mut pairs: Vec<(String, i64)> = rs
             .rows
             .iter()
-            .map(|r| {
-                (
-                    r[0].as_str().unwrap().to_string(),
-                    r[1].as_int().unwrap(),
-                )
-            })
+            .map(|r| (r[0].as_str().unwrap().to_string(), r[1].as_int().unwrap()))
             .collect();
         pairs.sort_by_key(|(_, rn)| *rn);
         assert_eq!(

@@ -66,7 +66,9 @@ fn tokenize(input: &str) -> Result<Vec<Token>, EngineError> {
             let mut s = String::new();
             loop {
                 if i >= chars.len() {
-                    return Err(EngineError::Parse("unterminated string literal".to_string()));
+                    return Err(EngineError::Parse(
+                        "unterminated string literal".to_string(),
+                    ));
                 }
                 if chars[i] == '\'' {
                     if i + 1 < chars.len() && chars[i + 1] == '\'' {
@@ -473,10 +475,7 @@ impl Parser {
                     }
                 }
             }
-            other => Err(EngineError::Parse(format!(
-                "unexpected token {:?}",
-                other
-            ))),
+            other => Err(EngineError::Parse(format!("unexpected token {:?}", other))),
         }
     }
 }
@@ -488,8 +487,8 @@ mod tests {
 
     #[test]
     fn parses_simple_select() {
-        let q = parse_query("SELECT e.emp AS emp FROM employees AS e WHERE e.salary > 10000")
-            .unwrap();
+        let q =
+            parse_query("SELECT e.emp AS emp FROM employees AS e WHERE e.salary > 10000").unwrap();
         match &q {
             Query::Select(s) => {
                 assert_eq!(s.items.len(), 1);
@@ -532,7 +531,13 @@ mod tests {
     #[test]
     fn parses_string_escapes_and_booleans() {
         let e = parse_expr("'it''s' || 'fine'").unwrap();
-        assert!(matches!(e, Expr::BinOp { op: BinOp::Concat, .. }));
+        assert!(matches!(
+            e,
+            Expr::BinOp {
+                op: BinOp::Concat,
+                ..
+            }
+        ));
         assert_eq!(parse_expr("TRUE").unwrap(), Expr::lit(true));
         assert_eq!(parse_expr("NULL").unwrap(), Expr::Literal(SqlValue::Null));
     }
@@ -541,7 +546,11 @@ mod tests {
     fn operator_precedence_and_binds_tighter_than_or() {
         let e = parse_expr("a = 1 OR b = 2 AND c = 3").unwrap();
         match e {
-            Expr::BinOp { op: BinOp::Or, right, .. } => {
+            Expr::BinOp {
+                op: BinOp::Or,
+                right,
+                ..
+            } => {
                 assert!(matches!(*right, Expr::BinOp { op: BinOp::And, .. }));
             }
             other => panic!("unexpected {:?}", other),

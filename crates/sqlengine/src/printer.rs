@@ -208,10 +208,7 @@ mod tests {
     fn prints_with_row_number_and_union() {
         let inner = Select::new()
             .item(Expr::col("x", "name"), "i1_name")
-            .item(
-                Expr::row_number(vec![Expr::col("x", "name")]),
-                "i2",
-            )
+            .item(Expr::row_number(vec![Expr::col("x", "name")]), "i2")
             .from_named("departments", "x");
         let outer = Select::new()
             .item(Expr::col("z", "i2"), "i1_2")

@@ -295,7 +295,9 @@ mod tests {
     fn insert_checks_arity_and_types() {
         let mut s = Storage::new();
         s.create_table(def()).unwrap();
-        assert!(s.insert("t", vec![SqlValue::Int(1), SqlValue::str("a")]).is_ok());
+        assert!(s
+            .insert("t", vec![SqlValue::Int(1), SqlValue::str("a")])
+            .is_ok());
         assert!(matches!(
             s.insert("t", vec![SqlValue::Int(1)]),
             Err(EngineError::ArityMismatch { .. })

@@ -147,7 +147,10 @@ mod tests {
     fn ordering_puts_nulls_first() {
         assert_eq!(SqlValue::Null.sql_cmp(&SqlValue::Int(-100)), Ordering::Less);
         assert_eq!(SqlValue::Int(1).sql_cmp(&SqlValue::Int(2)), Ordering::Less);
-        assert_eq!(SqlValue::str("a").sql_cmp(&SqlValue::str("b")), Ordering::Less);
+        assert_eq!(
+            SqlValue::str("a").sql_cmp(&SqlValue::str("b")),
+            Ordering::Less
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The three indexing schemes of Section 6 — canonical, natural and flat —
-//! evaluated with the in-memory shredded semantics, plus the Appendix A
-//! demonstration of why Van den Bussche's simulation does not work for bags.
+//! evaluated with the in-memory shredded-semantics backend, plus the
+//! Appendix A demonstration of why Van den Bussche's simulation does not
+//! work for bags.
 //!
 //! ```sh
 //! cargo run --example indexing_schemes
@@ -10,14 +11,24 @@ use baselines::vandenbussche as vdb;
 use query_shredding::prelude::*;
 
 fn main() {
-    let schema = organisation_schema();
     let db = generate(&OrgConfig::small());
     let q4 = datagen::queries::q4();
-    let reference = eval_nested(&q4, &db).unwrap();
+    let oracle = Shredder::builder()
+        .database(db.clone())
+        .backend(Box::new(NestedOracleBackend))
+        .build()
+        .unwrap();
+    let reference = oracle.run(&q4).unwrap();
 
     println!("Q4 (departments with their employees) under the three indexing schemes:\n");
-    for scheme in [IndexScheme::Canonical, IndexScheme::Flat, IndexScheme::Natural] {
-        let value = run_in_memory(&q4, &schema, &db, scheme).unwrap();
+    for scheme in IndexScheme::ALL {
+        let session = Shredder::builder()
+            .database(db.clone())
+            .backend(Box::new(ShreddedMemoryBackend))
+            .index_scheme(scheme)
+            .build()
+            .unwrap();
+        let value = session.run(&q4).unwrap();
         let agrees = value.multiset_eq(&reference);
         println!(
             "  {:<10} → {} rows at the top level, agrees with N⟦Q4⟧: {}",
@@ -37,7 +48,11 @@ fn main() {
     let report = vdb::measure_blowup(&r, &s);
     println!(
         "{:<22} {:>6} {:>16} {:>12} {:>9.1}",
-        "paper example", report.adom_size, report.correct_tuples, report.vdb_tuples, report.blowup_factor
+        "paper example",
+        report.adom_size,
+        report.correct_tuples,
+        report.vdb_tuples,
+        report.blowup_factor
     );
     for n in [4usize, 16, 64] {
         let (r, s) = vdb::scaled_instance(n, 2);

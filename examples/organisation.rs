@@ -1,6 +1,6 @@
 //! The paper's running example (Section 3): the nested organisation view
-//! `Qorg` and the outliers query `Q`, composed into `Qcomp`, evaluated over
-//! generated organisation data via query shredding.
+//! `Qorg` and the outliers query `Q`, evaluated over generated organisation
+//! data through a `Shredder` session.
 //!
 //! ```sh
 //! cargo run --example organisation
@@ -9,7 +9,6 @@
 use query_shredding::prelude::*;
 
 fn main() {
-    let schema = organisation_schema();
     // A small generated organisation (deterministic: same seed, same data).
     let db = generate(&OrgConfig {
         departments: 6,
@@ -17,35 +16,38 @@ fn main() {
         contacts_per_department: 4,
         ..OrgConfig::default()
     });
-    let engine = engine_from_database(&db).unwrap();
+    let session = Shredder::builder().database(db).build().unwrap();
 
     // Q1 = Qorg: the whole organisation as a nested value
     //   Bag ⟨name, employees: Bag ⟨name, salary, tasks: Bag String⟩,
     //        contacts: Bag ⟨name, client⟩⟩
     let q_org = datagen::queries::q_org();
-    let compiled = compile(&q_org, &schema).unwrap();
+    let prepared = session.prepare(&q_org).unwrap();
     println!(
         "Qorg has nesting degree {} → {} flat SQL queries",
-        compiled.result_type.nesting_degree(),
-        compiled.query_count()
+        prepared.result_type().nesting_degree(),
+        prepared.query_count()
     );
 
-    let organisation = run(&q_org, &schema, &engine).unwrap();
+    let organisation = session.execute(&prepared).unwrap();
     let departments = organisation.as_bag().unwrap();
-    println!("organisation view has {} departments; first department:", departments.len());
+    println!(
+        "organisation view has {} departments; first department:",
+        departments.len()
+    );
     println!("  {}\n", departments[0]);
 
     // Q6 = the outliers query of Section 3: poor/rich employees with their
     // tasks, and client contacts with the task "buy".
     let q6 = datagen::queries::q6();
-    let outliers = run(&q6, &schema, &engine).unwrap();
+    let outliers = session.run(&q6).unwrap();
     println!("outliers-and-clients view (Q6):");
     for dept in outliers.as_bag().unwrap().iter().take(3) {
         println!("  {}", dept);
     }
 
     // Both agree with direct nested evaluation.
-    assert!(organisation.multiset_eq(&eval_nested(&q_org, &db).unwrap()));
-    assert!(outliers.multiset_eq(&eval_nested(&q6, &db).unwrap()));
+    assert!(organisation.multiset_eq(&session.oracle(&q_org).unwrap()));
+    assert!(outliers.multiset_eq(&session.oracle(&q6).unwrap()));
     println!("\nboth queries agree with the nested reference semantics ✓");
 }

@@ -1,5 +1,5 @@
-//! Quickstart: write a nested query, shred it to SQL, run it, stitch the
-//! results and compare against direct nested evaluation.
+//! Quickstart: open a `Shredder` session, prepare a nested query, inspect
+//! its plan, execute it and compare against direct nested evaluation.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -11,9 +11,17 @@ fn main() {
     // 1. A flat schema and a small database (the paper's Figure 3, abridged).
     let schema = organisation_schema();
     let mut db = Database::new(schema.clone());
-    for (id, name) in [(1, "Product"), (2, "Quality"), (3, "Research"), (4, "Sales")] {
-        db.insert_row("departments", vec![("id", Value::Int(id)), ("name", Value::string(name))])
-            .unwrap();
+    for (id, name) in [
+        (1, "Product"),
+        (2, "Quality"),
+        (3, "Research"),
+        (4, "Sales"),
+    ] {
+        db.insert_row(
+            "departments",
+            vec![("id", Value::Int(id)), ("name", Value::string(name))],
+        )
+        .unwrap();
     }
     for (id, dept, name, salary) in [
         (1, "Product", "Alex", 20000),
@@ -52,20 +60,38 @@ fn main() {
         ])),
     );
 
-    // 3. Shred: the query compiles to nesting-degree-many flat SQL queries.
-    let compiled = compile(&query, &schema).expect("the query compiles");
-    println!("nesting degree / number of SQL queries: {}\n", compiled.query_count());
-    for (i, sql) in compiled.sql_texts().iter().enumerate() {
-        println!("--- shredded query q{} ---\n{}\n", i + 1, sql);
-    }
+    // 3. Open a session over the database. The default backend shreds to SQL
+    //    and executes on the in-memory engine.
+    let session = Shredder::builder()
+        .database(db)
+        .build()
+        .expect("the session configuration is valid");
 
-    // 4. Run on the in-memory SQL engine and stitch the results.
-    let engine = engine_from_database(&db).expect("database loads into the engine");
-    let shredded_result = run(&query, &schema, &engine).expect("shredding pipeline runs");
+    // 4. Prepare: the query compiles to nesting-degree-many flat SQL queries.
+    //    `explain()` shows each stage's SQL and column layout.
+    let prepared = session.prepare(&query).expect("the query compiles");
+    println!(
+        "nesting degree / number of SQL queries: {}\n",
+        prepared.query_count()
+    );
+    println!("{}", prepared.explain());
+
+    // 5. Execute on the in-memory SQL engine and stitch the results.
+    let shredded_result = session.execute(&prepared).expect("shredding pipeline runs");
     println!("stitched result:\n  {}\n", shredded_result);
 
-    // 5. Compare with evaluating the nested query directly (Theorem 4).
-    let reference = eval_nested(&query, &db).expect("nested evaluation succeeds");
+    // 6. Compare with evaluating the nested query directly (Theorem 4).
+    let reference = session.oracle(&query).expect("nested evaluation succeeds");
     assert!(shredded_result.multiset_eq(&reference));
     println!("shredded result ≡ direct nested evaluation ✓");
+
+    // 7. Preparing the same query again skips recompilation entirely.
+    let again = session.prepare(&query).unwrap();
+    let stats = session.cache_stats();
+    println!(
+        "second prepare served from the plan cache: {} (hits={}, misses={})",
+        again.from_cache(),
+        stats.hits,
+        stats.misses
+    );
 }

@@ -15,8 +15,22 @@
 //! * [`datagen`] — the organisation schema, a seeded data generator and the
 //!   benchmark queries QF1–QF6 / Q1–Q6.
 //!
-//! See the `examples/` directory for runnable walkthroughs and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the system inventory and the experiment index.
+//! See the `examples/` directory for runnable walkthroughs and `DESIGN.md`
+//! for the system inventory, the session lifecycle and the backend trait.
+//!
+//! The entry point is the [`shredding::session::Shredder`] session:
+//!
+//! ```
+//! use query_shredding::prelude::*;
+//!
+//! let db = generate(&OrgConfig::small());
+//! let session = Shredder::builder().database(db).build().unwrap();
+//! let q = datagen::queries::q4();
+//! let prepared = session.prepare(&q).unwrap();       // normalise + shred + SQL-gen
+//! let nested = session.execute(&prepared).unwrap();  // execute + stitch
+//! assert!(nested.multiset_eq(&session.oracle(&q).unwrap()));
+//! assert!(session.prepare(&q).unwrap().from_cache()); // plan cache hit
+//! ```
 
 pub use baselines;
 pub use datagen;
@@ -24,12 +38,20 @@ pub use nrc;
 pub use shredding;
 pub use sqlengine;
 
-/// Convenience prelude for examples and tests.
+/// Convenience prelude for examples and tests: the session API, the
+/// backends, and the workload generator.
 pub mod prelude {
-    pub use baselines::{run_flat, run_looplift};
+    pub use baselines::{FlatDefaultBackend, LoopLiftBackend, VandenBusscheBackend};
     pub use datagen::{generate, organisation_schema, OrgConfig};
     pub use nrc::builder::*;
     pub use nrc::{Database, Schema, TableSchema, Value};
-    pub use shredding::pipeline::{compile, engine_from_database, eval_nested, run, run_in_memory};
     pub use shredding::semantics::IndexScheme;
+    pub use shredding::session::{
+        NestedOracleBackend, PreparedQuery, ShreddedMemoryBackend, Shredder, ShredderBuilder,
+        SqlBackend, SqlEngineBackend,
+    };
+
+    // The pre-session free functions, kept as deprecated shims.
+    #[allow(deprecated)]
+    pub use shredding::pipeline::{compile, engine_from_database, eval_nested, run, run_in_memory};
 }

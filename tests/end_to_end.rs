@@ -1,44 +1,67 @@
 //! End-to-end integration tests spanning all workspace crates: every
 //! benchmark query of the paper's evaluation is compiled, executed on the SQL
 //! engine and compared against the nested reference semantics (Theorem 4),
-//! for query shredding and for the loop-lifting baseline.
+//! for query shredding and for the loop-lifting baseline — all through the
+//! `Shredder` session API.
 
 use query_shredding::prelude::*;
 
-fn small_instance() -> (Schema, Database, sqlengine::Engine) {
-    let schema = organisation_schema();
-    let db = generate(&OrgConfig {
+fn small_db() -> Database {
+    generate(&OrgConfig {
         departments: 4,
         employees_per_department: 6,
         contacts_per_department: 3,
         seed: 7,
         ..OrgConfig::default()
-    });
-    let engine = engine_from_database(&db).unwrap();
-    (schema, db, engine)
+    })
+}
+
+/// One session per compared backend, all sharing one loaded engine. Only the
+/// shredding session owns the database (it provides the oracle); the
+/// baseline sessions are schema + engine only.
+fn sessions() -> (Shredder, Shredder, Shredder) {
+    let shredding = Shredder::builder().database(small_db()).build().unwrap();
+    let engine = shredding.shared_engine().unwrap();
+    let looplift = Shredder::builder()
+        .schema(organisation_schema())
+        .engine(engine.clone())
+        .backend(Box::new(LoopLiftBackend))
+        .build()
+        .unwrap();
+    let flat = Shredder::builder()
+        .schema(organisation_schema())
+        .engine(engine)
+        .backend(Box::new(FlatDefaultBackend))
+        .build()
+        .unwrap();
+    (shredding, looplift, flat)
 }
 
 #[test]
 fn all_flat_benchmark_queries_agree_across_systems() {
-    let (schema, db, engine) = small_instance();
+    let (shredding, looplift, flat) = sessions();
     for (name, q) in datagen::queries::flat_queries() {
-        let reference = eval_nested(&q, &db).unwrap();
-        let shredded = run(&q, &schema, &engine).unwrap();
-        let lifted = run_looplift(&q, &schema, &engine).unwrap();
-        let default = run_flat(&q, &schema, &engine).unwrap();
+        let reference = shredding.oracle(&q).unwrap();
+        let shredded = shredding.run(&q).unwrap();
+        let lifted = looplift.run(&q).unwrap();
+        let default = flat.run(&q).unwrap();
         assert!(shredded.multiset_eq(&reference), "{} via shredding", name);
         assert!(lifted.multiset_eq(&reference), "{} via loop-lifting", name);
-        assert!(default.multiset_eq(&reference), "{} via default flat evaluation", name);
+        assert!(
+            default.multiset_eq(&reference),
+            "{} via default flat evaluation",
+            name
+        );
     }
 }
 
 #[test]
 fn all_nested_benchmark_queries_agree_across_systems() {
-    let (schema, db, engine) = small_instance();
+    let (shredding, looplift, _) = sessions();
     for (name, q) in datagen::queries::nested_queries() {
-        let reference = eval_nested(&q, &db).unwrap();
-        let shredded = run(&q, &schema, &engine).unwrap();
-        let lifted = run_looplift(&q, &schema, &engine).unwrap();
+        let reference = shredding.oracle(&q).unwrap();
+        let shredded = shredding.run(&q).unwrap();
+        let lifted = looplift.run(&q).unwrap();
         assert!(shredded.multiset_eq(&reference), "{} via shredding", name);
         assert!(lifted.multiset_eq(&reference), "{} via loop-lifting", name);
     }
@@ -46,11 +69,22 @@ fn all_nested_benchmark_queries_agree_across_systems() {
 
 #[test]
 fn nested_queries_agree_under_every_indexing_scheme() {
-    let (schema, db, _) = small_instance();
+    let db = small_db();
+    let oracle = Shredder::builder()
+        .database(db.clone())
+        .backend(Box::new(NestedOracleBackend))
+        .build()
+        .unwrap();
     for (name, q) in datagen::queries::nested_queries() {
-        let reference = eval_nested(&q, &db).unwrap();
-        for scheme in [IndexScheme::Canonical, IndexScheme::Flat, IndexScheme::Natural] {
-            let v = run_in_memory(&q, &schema, &db, scheme).unwrap();
+        let reference = oracle.run(&q).unwrap();
+        for scheme in IndexScheme::ALL {
+            let session = Shredder::builder()
+                .database(db.clone())
+                .backend(Box::new(ShreddedMemoryBackend))
+                .index_scheme(scheme)
+                .build()
+                .unwrap();
+            let v = session.run(&q).unwrap();
             assert!(
                 v.multiset_eq(&reference),
                 "{} with {} indexes disagrees with the nested semantics",
@@ -63,23 +97,37 @@ fn nested_queries_agree_under_every_indexing_scheme() {
 
 #[test]
 fn query_counts_match_nesting_degrees() {
-    let schema = organisation_schema();
-    let expected = [("Q1", 4), ("Q2", 1), ("Q3", 2), ("Q4", 2), ("Q5", 2), ("Q6", 3)];
+    // A schema-only session can plan and explain without any data.
+    let planner = Shredder::builder()
+        .schema(organisation_schema())
+        .build()
+        .unwrap();
+    let expected = [
+        ("Q1", 4),
+        ("Q2", 1),
+        ("Q3", 2),
+        ("Q4", 2),
+        ("Q5", 2),
+        ("Q6", 3),
+    ];
     for ((name, q), (ename, degree)) in datagen::queries::nested_queries().into_iter().zip(expected)
     {
         assert_eq!(name, ename);
-        let compiled = compile(&q, &schema).unwrap();
-        assert_eq!(compiled.query_count(), degree, "query count of {}", name);
-        assert_eq!(compiled.result_type.nesting_degree(), degree);
+        let prepared = planner.prepare(&q).unwrap();
+        assert_eq!(prepared.query_count(), degree, "query count of {}", name);
+        assert_eq!(prepared.result_type().nesting_degree(), degree);
     }
 }
 
 #[test]
 fn generated_sql_round_trips_through_the_parser() {
-    let schema = organisation_schema();
+    let planner = Shredder::builder()
+        .schema(organisation_schema())
+        .build()
+        .unwrap();
     for (_, q) in datagen::queries::nested_queries() {
-        let compiled = compile(&q, &schema).unwrap();
-        for text in compiled.sql_texts() {
+        let prepared = planner.prepare(&q).unwrap();
+        for text in prepared.sql_texts() {
             let parsed = sqlengine::parse_query(&text).expect("generated SQL parses");
             let reprinted = sqlengine::print_query(&parsed);
             let reparsed = sqlengine::parse_query(&reprinted).unwrap();
@@ -90,21 +138,46 @@ fn generated_sql_round_trips_through_the_parser() {
 
 #[test]
 fn the_default_backend_rejects_nested_queries_like_stock_links() {
-    let (schema, _, engine) = small_instance();
-    let err = run_flat(&datagen::queries::q1(), &schema, &engine);
-    assert!(err.is_err(), "default flat evaluation must reject nested results");
+    let (_, _, flat) = sessions();
+    let err = flat.run(&datagen::queries::q1());
+    assert!(
+        err.is_err(),
+        "default flat evaluation must reject nested results"
+    );
 }
 
 #[test]
 fn results_scale_with_the_data() {
-    let schema = organisation_schema();
-    let small = generate(&OrgConfig { departments: 2, employees_per_department: 5, ..OrgConfig::default() });
-    let large = generate(&OrgConfig { departments: 6, employees_per_department: 5, ..OrgConfig::default() });
     let q = datagen::queries::q4();
-    let small_engine = engine_from_database(&small).unwrap();
-    let large_engine = engine_from_database(&large).unwrap();
-    let small_result = run(&q, &schema, &small_engine).unwrap();
-    let large_result = run(&q, &schema, &large_engine).unwrap();
-    assert_eq!(small_result.as_bag().unwrap().len(), 2);
-    assert_eq!(large_result.as_bag().unwrap().len(), 6);
+    let small = Shredder::over(generate(&OrgConfig {
+        departments: 2,
+        employees_per_department: 5,
+        ..OrgConfig::default()
+    }))
+    .unwrap();
+    let large = Shredder::over(generate(&OrgConfig {
+        departments: 6,
+        employees_per_department: 5,
+        ..OrgConfig::default()
+    }))
+    .unwrap();
+    assert_eq!(small.run(&q).unwrap().as_bag().unwrap().len(), 2);
+    assert_eq!(large.run(&q).unwrap().as_bag().unwrap().len(), 6);
+}
+
+#[test]
+#[allow(deprecated)]
+fn the_deprecated_free_function_shims_still_work() {
+    // The pre-session API remains available (deprecated) for one release.
+    let db = small_db();
+    let schema = organisation_schema();
+    let engine = engine_from_database(&db).unwrap();
+    let q = datagen::queries::q4();
+    let reference = eval_nested(&q, &db).unwrap();
+    assert!(run(&q, &schema, &engine).unwrap().multiset_eq(&reference));
+    assert!(run_in_memory(&q, &schema, &db, IndexScheme::Flat)
+        .unwrap()
+        .multiset_eq(&reference));
+    let compiled = compile(&q, &schema).unwrap();
+    assert_eq!(compiled.query_count(), 2);
 }

@@ -2,149 +2,170 @@
 //! over randomly generated databases and a family of randomly assembled
 //! queries, normalisation preserves the nested semantics and shredding +
 //! stitching reproduces it, both in memory and through the SQL engine.
+//!
+//! The random cases are driven by the workspace's own seeded generator
+//! (`datagen::Rng`) rather than an external property-testing crate, so the
+//! suite is deterministic: a failure always reproduces.
 
-use proptest::prelude::*;
+use datagen::Rng;
 use query_shredding::prelude::*;
 
-/// A strategy for small organisation databases.
-fn db_strategy() -> impl Strategy<Value = OrgConfig> {
-    (1usize..5, 1usize..8, 0usize..4, any::<u64>()).prop_map(
-        |(departments, employees, contacts, seed)| OrgConfig {
-            departments,
-            employees_per_department: employees,
-            contacts_per_department: contacts,
-            seed,
-            ..OrgConfig::default()
-        },
-    )
+const CASES: u64 = 24;
+
+/// A random small organisation database configuration.
+fn random_config(rng: &mut Rng) -> OrgConfig {
+    OrgConfig {
+        departments: rng.range_usize(1, 4),
+        employees_per_department: rng.range_usize(1, 7),
+        contacts_per_department: rng.range_usize(0, 3),
+        seed: rng.next_u64(),
+        ..OrgConfig::default()
+    }
 }
 
-/// A strategy producing λNRC queries from a small combinator family:
-/// a random salary threshold filter, an optional nesting level over
-/// employees/tasks and an optional union branch.
-fn query_strategy() -> impl Strategy<Value = nrc::Term> {
-    (0i64..100_000, any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
-        |(threshold, nest_tasks, with_union, with_empty_test)| {
-            let inner = |dept: nrc::Term| {
-                let body = if nest_tasks {
-                    record(vec![
-                        ("name", project(var("e"), "name")),
-                        (
-                            "tasks",
-                            for_where(
-                                "t",
-                                table("tasks"),
-                                eq(project(var("t"), "employee"), project(var("e"), "name")),
-                                singleton(project(var("t"), "task")),
-                            ),
-                        ),
-                    ])
-                } else {
-                    record(vec![("name", project(var("e"), "name"))])
-                };
-                let cond = and(
-                    eq(project(var("e"), "dept"), dept),
-                    gt(project(var("e"), "salary"), int(threshold)),
-                );
-                for_where("e", table("employees"), cond, singleton(body))
-            };
-            let people = if with_union {
-                // The contacts branch must have the same element type as the
-                // employees branch, so it gets a singleton "buy" task bag when
-                // the employees branch is nested (as in the paper's Q6).
-                let contact_body = if nest_tasks {
-                    record(vec![
-                        ("name", project(var("c"), "name")),
-                        ("tasks", singleton(string("buy"))),
-                    ])
-                } else {
-                    record(vec![("name", project(var("c"), "name"))])
-                };
-                union(
-                    inner(project(var("d"), "name")),
+/// A random λNRC query from a small combinator family: a random salary
+/// threshold filter, an optional nesting level over employees/tasks and an
+/// optional union branch.
+fn random_query(rng: &mut Rng) -> nrc::Term {
+    let threshold = rng.range_i64(0, 99_999);
+    let nest_tasks = rng.chance(0.5);
+    let with_union = rng.chance(0.5);
+    let with_empty_test = rng.chance(0.5);
+
+    let inner = |dept: nrc::Term| {
+        let body = if nest_tasks {
+            record(vec![
+                ("name", project(var("e"), "name")),
+                (
+                    "tasks",
                     for_where(
-                        "c",
-                        table("contacts"),
-                        and(
-                            eq(project(var("c"), "dept"), project(var("d"), "name")),
-                            project(var("c"), "client"),
-                        ),
-                        singleton(contact_body),
+                        "t",
+                        table("tasks"),
+                        eq(project(var("t"), "employee"), project(var("e"), "name")),
+                        singleton(project(var("t"), "task")),
                     ),
-                )
-            } else {
-                inner(project(var("d"), "name"))
-            };
-            let dept_cond = if with_empty_test {
-                not(is_empty(for_where(
-                    "e2",
-                    table("employees"),
-                    eq(project(var("e2"), "dept"), project(var("d"), "name")),
-                    singleton(record(vec![])),
-                )))
-            } else {
-                boolean(true)
-            };
+                ),
+            ])
+        } else {
+            record(vec![("name", project(var("e"), "name"))])
+        };
+        let cond = and(
+            eq(project(var("e"), "dept"), dept),
+            gt(project(var("e"), "salary"), int(threshold)),
+        );
+        for_where("e", table("employees"), cond, singleton(body))
+    };
+    let people = if with_union {
+        // The contacts branch must have the same element type as the
+        // employees branch, so it gets a singleton "buy" task bag when
+        // the employees branch is nested (as in the paper's Q6).
+        let contact_body = if nest_tasks {
+            record(vec![
+                ("name", project(var("c"), "name")),
+                ("tasks", singleton(string("buy"))),
+            ])
+        } else {
+            record(vec![("name", project(var("c"), "name"))])
+        };
+        union(
+            inner(project(var("d"), "name")),
             for_where(
-                "d",
-                table("departments"),
-                dept_cond,
-                singleton(record(vec![
-                    ("department", project(var("d"), "name")),
-                    ("people", people),
-                ])),
-            )
-        },
+                "c",
+                table("contacts"),
+                and(
+                    eq(project(var("c"), "dept"), project(var("d"), "name")),
+                    project(var("c"), "client"),
+                ),
+                singleton(contact_body),
+            ),
+        )
+    } else {
+        inner(project(var("d"), "name"))
+    };
+    let dept_cond = if with_empty_test {
+        not(is_empty(for_where(
+            "e2",
+            table("employees"),
+            eq(project(var("e2"), "dept"), project(var("d"), "name")),
+            singleton(record(vec![])),
+        )))
+    } else {
+        boolean(true)
+    };
+    for_where(
+        "d",
+        table("departments"),
+        dept_cond,
+        singleton(record(vec![
+            ("department", project(var("d"), "name")),
+            ("people", people),
+        ])),
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Theorem 1: normalisation preserves the nested semantics.
-    #[test]
-    fn normalisation_preserves_semantics(config in db_strategy(), q in query_strategy()) {
-        let schema = organisation_schema();
+/// Run `check` over `CASES` random (database, query) pairs, reporting the
+/// per-case seed on failure so it can be replayed.
+fn for_random_cases(master_seed: u64, check: impl Fn(&Shredder, &nrc::Term, &Value)) {
+    let mut rng = Rng::seed_from_u64(master_seed);
+    for case in 0..CASES {
+        let config = random_config(&mut rng);
+        let q = random_query(&mut rng);
         let db = generate(&config);
-        let reference = eval_nested(&q, &db).unwrap();
-        let normalised = shredding::normalise(&q, &schema).unwrap();
-        let renormalised = eval_nested(&normalised.to_term(), &db).unwrap();
-        prop_assert!(reference.multiset_eq(&renormalised));
+        let session = Shredder::over(db).unwrap();
+        let reference = session.oracle(&q).unwrap();
+        eprintln!("case {} (db seed {})", case, config.seed);
+        check(&session, &q, &reference);
     }
+}
 
-    /// Theorem 4 (in-memory): stitching the shredded results equals direct
-    /// evaluation, under every indexing scheme.
-    #[test]
-    fn shredding_and_stitching_preserve_semantics(config in db_strategy(), q in query_strategy()) {
-        let schema = organisation_schema();
-        let db = generate(&config);
-        let reference = eval_nested(&q, &db).unwrap();
-        for scheme in [IndexScheme::Canonical, IndexScheme::Flat, IndexScheme::Natural] {
-            let v = run_in_memory(&q, &schema, &db, scheme).unwrap();
-            prop_assert!(v.multiset_eq(&reference), "scheme {}", scheme);
+/// Theorem 1: normalisation preserves the nested semantics.
+#[test]
+fn normalisation_preserves_semantics() {
+    for_random_cases(0xC0FFEE, |session, q, reference| {
+        let normalised = shredding::normalise(q, session.schema()).unwrap();
+        let renormalised = session.oracle(&normalised.to_term()).unwrap();
+        assert!(reference.multiset_eq(&renormalised));
+    });
+}
+
+/// Theorem 4 (in-memory): stitching the shredded results equals direct
+/// evaluation, under every indexing scheme.
+#[test]
+fn shredding_and_stitching_preserve_semantics() {
+    for_random_cases(0xBEEF, |session, q, reference| {
+        for scheme in IndexScheme::ALL {
+            let in_memory = Shredder::builder()
+                .database(session.database().unwrap().clone())
+                .backend(Box::new(ShreddedMemoryBackend))
+                .index_scheme(scheme)
+                .build()
+                .unwrap();
+            let v = in_memory.run(q).unwrap();
+            assert!(v.multiset_eq(reference), "scheme {}", scheme);
         }
-    }
+    });
+}
 
-    /// Theorem 4 (SQL path): compiling to SQL, executing on the engine and
-    /// stitching also equals direct evaluation.
-    #[test]
-    fn the_sql_path_preserves_semantics(config in db_strategy(), q in query_strategy()) {
-        let schema = organisation_schema();
-        let db = generate(&config);
-        let engine = engine_from_database(&db).unwrap();
-        let reference = eval_nested(&q, &db).unwrap();
-        let via_sql = run(&q, &schema, &engine).unwrap();
-        prop_assert!(via_sql.multiset_eq(&reference));
-    }
+/// Theorem 4 (SQL path): compiling to SQL, executing on the engine and
+/// stitching also equals direct evaluation.
+#[test]
+fn the_sql_path_preserves_semantics() {
+    for_random_cases(0xF00D, |session, q, reference| {
+        let via_sql = session.run(q).unwrap();
+        assert!(via_sql.multiset_eq(reference));
+    });
+}
 
-    /// The loop-lifting baseline is also correct (it is only slower).
-    #[test]
-    fn loop_lifting_preserves_semantics(config in db_strategy(), q in query_strategy()) {
-        let schema = organisation_schema();
-        let db = generate(&config);
-        let engine = engine_from_database(&db).unwrap();
-        let reference = eval_nested(&q, &db).unwrap();
-        let lifted = run_looplift(&q, &schema, &engine).unwrap();
-        prop_assert!(lifted.multiset_eq(&reference));
-    }
+/// The loop-lifting baseline is also correct (it is only slower).
+#[test]
+fn loop_lifting_preserves_semantics() {
+    for_random_cases(0xDECAF, |session, q, reference| {
+        let lifting = Shredder::builder()
+            .database(session.database().unwrap().clone())
+            .backend(Box::new(LoopLiftBackend))
+            .build()
+            .unwrap();
+        let lifted = lifting.run(q).unwrap();
+        assert!(lifted.multiset_eq(reference));
+    });
 }

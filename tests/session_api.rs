@@ -1,0 +1,347 @@
+//! Integration tests of the `Shredder` session API: plan-cache behaviour,
+//! builder validation, explain output, and backend-vs-oracle agreement
+//! across all three indexing schemes on the paper's full benchmark suite
+//! (QF1–QF6 and Q1–Q6).
+
+use query_shredding::prelude::*;
+
+fn small_db() -> Database {
+    generate(&OrgConfig {
+        departments: 3,
+        employees_per_department: 5,
+        contacts_per_department: 2,
+        seed: 11,
+        ..OrgConfig::default()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+#[test]
+fn a_second_execution_of_the_same_query_skips_recompilation() {
+    let session = Shredder::over(small_db()).unwrap();
+    let q = datagen::queries::q4();
+
+    let first = session.run(&q).unwrap();
+    let stats = session.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (0, 1), "first run compiles");
+
+    let second = session.run(&q).unwrap();
+    let stats = session.cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (1, 1),
+        "second run is served from the plan cache without recompiling"
+    );
+    assert!(first.multiset_eq(&second));
+
+    // The cached handle says so itself.
+    assert!(session.prepare(&q).unwrap().from_cache());
+}
+
+#[test]
+fn the_cache_is_keyed_on_the_normal_form() {
+    let session = Shredder::over(small_db()).unwrap();
+    // Two syntactically different writings that normalise to the same
+    // normal form (a trivially-true `where` is erased by normalisation)
+    // share one cached plan.
+    let q1 = for_in(
+        "d",
+        table("departments"),
+        singleton(project(var("d"), "name")),
+    );
+    let q2 = for_where(
+        "d",
+        table("departments"),
+        boolean(true),
+        singleton(project(var("d"), "name")),
+    );
+    session.prepare(&q1).unwrap();
+    let again = session.prepare(&q2).unwrap();
+    assert!(
+        again.from_cache(),
+        "queries with the same normal form should share a cached plan"
+    );
+}
+
+#[test]
+fn distinct_queries_occupy_distinct_cache_entries() {
+    let session = Shredder::over(small_db()).unwrap();
+    for (_, q) in datagen::queries::nested_queries() {
+        session.prepare(&q).unwrap();
+    }
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses, 6);
+    assert_eq!(stats.entries, 6);
+    assert_eq!(stats.hits, 0);
+}
+
+#[test]
+fn lru_eviction_bounds_the_cache() {
+    let session = Shredder::builder()
+        .database(small_db())
+        .plan_cache_capacity(2)
+        .build()
+        .unwrap();
+    let queries = datagen::queries::nested_queries();
+    for (_, q) in &queries {
+        session.prepare(q).unwrap();
+    }
+    let stats = session.cache_stats();
+    assert_eq!(stats.entries, 2);
+    assert_eq!(stats.evictions, 4);
+    // The two most recent plans are hits; older ones were evicted.
+    assert!(session.prepare(&queries[5].1).unwrap().from_cache());
+    assert!(!session.prepare(&queries[0].1).unwrap().from_cache());
+}
+
+#[test]
+fn disabled_caches_always_recompile() {
+    let session = Shredder::builder()
+        .database(small_db())
+        .without_plan_cache()
+        .build()
+        .unwrap();
+    let q = datagen::queries::q4();
+    assert!(!session.prepare(&q).unwrap().from_cache());
+    assert!(!session.prepare(&q).unwrap().from_cache());
+    assert_eq!(session.cache_stats(), Default::default());
+}
+
+#[test]
+fn clearing_the_cache_forces_recompilation() {
+    let session = Shredder::over(small_db()).unwrap();
+    let q = datagen::queries::q4();
+    session.prepare(&q).unwrap();
+    session.clear_plan_cache();
+    assert!(!session.prepare(&q).unwrap().from_cache());
+}
+
+// ---------------------------------------------------------------------------
+// Builder validation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn building_without_schema_or_database_fails() {
+    let err = Shredder::builder().build().unwrap_err();
+    assert!(err.to_string().contains("schema"), "got: {}", err);
+}
+
+#[test]
+fn building_with_a_mismatched_schema_fails() {
+    let other = Schema::new().with_table(TableSchema::new(
+        "unrelated",
+        vec![("x", nrc::BaseType::Int)],
+    ));
+    let err = Shredder::builder()
+        .schema(other)
+        .database(small_db())
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("differs"), "got: {}", err);
+}
+
+#[test]
+fn building_with_a_zero_capacity_cache_fails() {
+    let err = Shredder::builder()
+        .database(small_db())
+        .plan_cache_capacity(0)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("non-zero"), "got: {}", err);
+}
+
+#[test]
+fn cache_capacity_and_without_cache_are_mutually_exclusive() {
+    let err = Shredder::builder()
+        .database(small_db())
+        .plan_cache_capacity(8)
+        .without_plan_cache()
+        .build()
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("mutually exclusive"),
+        "got: {}",
+        err
+    );
+}
+
+#[test]
+fn schema_only_sessions_plan_but_refuse_to_execute() {
+    let planner = Shredder::builder()
+        .schema(organisation_schema())
+        .build()
+        .unwrap();
+    let prepared = planner.prepare(&datagen::queries::q6()).unwrap();
+    assert_eq!(prepared.query_count(), 3);
+    let err = planner.execute(&prepared).unwrap_err();
+    assert!(err.to_string().contains("no database"), "got: {}", err);
+}
+
+// ---------------------------------------------------------------------------
+// Explain
+// ---------------------------------------------------------------------------
+
+#[test]
+fn explain_reports_per_stage_sql_indexes_and_layout() {
+    let session = Shredder::over(small_db()).unwrap();
+    let prepared = session.prepare(&datagen::queries::q6()).unwrap();
+    let explain = prepared.explain();
+    assert_eq!(explain.backend, "sqlengine");
+    assert_eq!(explain.stages.len(), 3);
+    assert!(!explain.static_indexes.is_empty());
+    for stage in &explain.stages {
+        assert!(stage.sql.is_some());
+        assert!(!stage.columns.is_empty());
+    }
+    let text = explain.to_string();
+    assert!(text.contains("backend=sqlengine"));
+    assert!(text.contains("WITH") || text.contains("SELECT"), "{}", text);
+    assert!(
+        text.contains("ROW_NUMBER"),
+        "inner stages number their rows"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Backend-vs-oracle agreement on the full benchmark suite
+// ---------------------------------------------------------------------------
+
+/// Every benchmark query the paper evaluates: QF1–QF6 and Q1–Q6.
+fn all_benchmark_queries() -> Vec<(&'static str, nrc::Term)> {
+    let mut queries = datagen::queries::flat_queries();
+    queries.extend(datagen::queries::nested_queries());
+    queries
+}
+
+#[test]
+fn the_sqlengine_backend_agrees_with_the_oracle_on_every_benchmark_query() {
+    let session = Shredder::over(small_db()).unwrap();
+    for (name, q) in all_benchmark_queries() {
+        let reference = session.oracle(&q).unwrap();
+        let value = session.run(&q).unwrap();
+        assert!(value.multiset_eq(&reference), "{} via sqlengine", name);
+    }
+}
+
+#[test]
+fn the_shredded_memory_backend_agrees_with_the_oracle_under_every_scheme() {
+    let db = small_db();
+    let oracle = Shredder::builder()
+        .database(db.clone())
+        .backend(Box::new(NestedOracleBackend))
+        .build()
+        .unwrap();
+    for scheme in IndexScheme::ALL {
+        let session = Shredder::builder()
+            .database(db.clone())
+            .backend(Box::new(ShreddedMemoryBackend))
+            .index_scheme(scheme)
+            .build()
+            .unwrap();
+        for (name, q) in all_benchmark_queries() {
+            let reference = oracle.run(&q).unwrap();
+            let value = session.run(&q).unwrap();
+            assert!(
+                value.multiset_eq(&reference),
+                "{} via shredded-memory under {} indexes",
+                name,
+                scheme
+            );
+        }
+    }
+}
+
+#[test]
+fn the_looplift_backend_agrees_with_the_oracle_on_every_benchmark_query() {
+    let session = Shredder::builder()
+        .database(small_db())
+        .backend(Box::new(LoopLiftBackend))
+        .build()
+        .unwrap();
+    for (name, q) in all_benchmark_queries() {
+        let reference = session.oracle(&q).unwrap();
+        let value = session.run(&q).unwrap();
+        assert!(value.multiset_eq(&reference), "{} via looplift", name);
+    }
+}
+
+#[test]
+fn the_flat_backend_agrees_on_flat_queries_and_rejects_nested_ones() {
+    let session = Shredder::builder()
+        .database(small_db())
+        .backend(Box::new(FlatDefaultBackend))
+        .build()
+        .unwrap();
+    for (name, q) in datagen::queries::flat_queries() {
+        let reference = session.oracle(&q).unwrap();
+        let value = session.run(&q).unwrap();
+        assert!(value.multiset_eq(&reference), "{} via flat-default", name);
+    }
+    let planner = Shredder::builder()
+        .schema(organisation_schema())
+        .build()
+        .unwrap();
+    for (name, q) in datagen::queries::nested_queries() {
+        // Q2's result happens to be flat (nesting degree 1); every query
+        // with a genuinely nested result must be rejected like stock Links.
+        let degree = planner.prepare(&q).unwrap().result_type().nesting_degree();
+        if degree > 1 {
+            assert!(session.prepare(&q).is_err(), "{} must be rejected", name);
+        } else {
+            let reference = session.oracle(&q).unwrap();
+            assert!(session.run(&q).unwrap().multiset_eq(&reference), "{}", name);
+        }
+    }
+}
+
+#[test]
+fn prepared_queries_do_not_cross_sessions_with_different_schemes() {
+    let db = small_db();
+    let flat = Shredder::builder()
+        .database(db.clone())
+        .backend(Box::new(ShreddedMemoryBackend))
+        .index_scheme(IndexScheme::Flat)
+        .build()
+        .unwrap();
+    let natural = Shredder::builder()
+        .database(db)
+        .backend(Box::new(ShreddedMemoryBackend))
+        .index_scheme(IndexScheme::Natural)
+        .build()
+        .unwrap();
+    let prepared = flat.prepare(&datagen::queries::q4()).unwrap();
+    let err = natural.execute(&prepared).unwrap_err();
+    assert!(err.to_string().contains("indexes"), "got: {}", err);
+}
+
+#[test]
+fn prepared_queries_do_not_cross_sessions_with_different_schemas() {
+    let schema = Schema::new().with_table(
+        TableSchema::new("items", vec![("id", nrc::BaseType::Int)]).with_key(vec!["id"]),
+    );
+    let other = Shredder::builder().schema(schema).build().unwrap();
+    let planner = Shredder::builder()
+        .schema(organisation_schema())
+        .build()
+        .unwrap();
+    let prepared = planner.prepare(&datagen::queries::q4()).unwrap();
+    let err = other.execute(&prepared).unwrap_err();
+    assert!(err.to_string().contains("schema"), "got: {}", err);
+}
+
+#[test]
+fn prepared_queries_do_not_cross_sessions_with_different_backends() {
+    let db = small_db();
+    let sql = Shredder::over(db.clone()).unwrap();
+    let lifting = Shredder::builder()
+        .database(db)
+        .backend(Box::new(LoopLiftBackend))
+        .build()
+        .unwrap();
+    let prepared = sql.prepare(&datagen::queries::q4()).unwrap();
+    let err = lifting.execute(&prepared).unwrap_err();
+    assert!(err.to_string().contains("backend"), "got: {}", err);
+}
