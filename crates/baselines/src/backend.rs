@@ -40,6 +40,7 @@ impl SqlBackend for LoopLiftBackend {
             .map(|(stage, path)| StageExplain {
                 path: path.to_string(),
                 sql: Some(sqlengine::print_query(&stage.sql)),
+                physical: None,
                 columns: stage.layout.columns(),
             })
             .collect();
@@ -68,6 +69,7 @@ impl SqlBackend for FlatDefaultBackend {
         let stages = vec![StageExplain {
             path: "ε".to_string(),
             sql: Some(sqlengine::print_query(&compiled.sql)),
+            physical: None,
             columns: compiled.column_names(),
         }];
         Ok(BackendPlan::new(stages, compiled))
@@ -129,11 +131,13 @@ impl SqlBackend for VandenBusscheBackend {
             StageExplain {
                 path: "ε".to_string(),
                 sql: None,
+                physical: None,
                 columns: vec!["A".into(), "id".into(), "id1".into(), "id2".into()],
             },
             StageExplain {
                 path: "B".to_string(),
                 sql: None,
+                physical: None,
                 columns: vec!["id".into(), "id1".into(), "id2".into(), "B".into()],
             },
         ];

@@ -8,6 +8,7 @@
 //! experiments --all                      # everything
 //! experiments --max-departments 64      # extend the scaling sweep
 //! experiments --check                    # verify every result against N⟦−⟧
+//! experiments --vexec-json BENCH_pr2.json  # interpreter vs. vectorized engine
 //! ```
 //!
 //! Output layout mirrors the paper: one row per query and system, one column
@@ -23,6 +24,7 @@ struct Options {
     max_departments: usize,
     runs: usize,
     check: bool,
+    vexec_json: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -34,6 +36,7 @@ fn parse_args() -> Options {
         max_departments: 32,
         runs: 3,
         check: false,
+        vexec_json: None,
     };
     let mut i = 0;
     let mut any = false;
@@ -74,10 +77,19 @@ fn parse_args() -> Options {
                 opts.runs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(3);
             }
             "--check" => opts.check = true,
+            "--vexec-json" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--vexec-json expects a file path");
+                    std::process::exit(2);
+                });
+                opts.vexec_json = Some(path);
+                any = true;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--figure 10|11] [--appendix-a] [--all] \
-                     [--max-departments N] [--runs N] [--check]"
+                     [--max-departments N] [--runs N] [--check] [--vexec-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -185,6 +197,40 @@ fn print_blowup(label: &str, report: &vdb::BlowupReport) {
     );
 }
 
+/// Engine-level interpreter-vs-vectorized comparison over the compiled SQL
+/// stages of every benchmark query; prints a table and writes the
+/// machine-readable report (`BENCH_pr2.json` in CI).
+fn vexec_report(path: &str, opts: &Options) {
+    let instance = Instance::at_scale(opts.max_departments);
+    println!(
+        "\n=== Interpreter vs. vectorized executor ({} departments, median of {}) ===",
+        instance.departments, opts.runs
+    );
+    println!(
+        "{:<6} {:<7} {:>7} {:>10} {:>13} {:>13} {:>9}",
+        "query", "kind", "stages", "plan ms", "interp ms", "vexec ms", "speedup"
+    );
+    let rows = bench::compare_vectorized(&instance, opts.runs);
+    for row in &rows {
+        println!(
+            "{:<6} {:<7} {:>7} {:>10.4} {:>13.4} {:>13.4} {:>8.1}x",
+            row.query,
+            row.kind,
+            row.stages,
+            row.plan_ms,
+            row.interpreter_ms,
+            row.vectorized_ms,
+            row.speedup()
+        );
+    }
+    let json = bench::vexec_report_json(&instance, opts.runs, &rows);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {}: {}", path, e);
+        std::process::exit(1);
+    }
+    println!("wrote {}", path);
+}
+
 fn main() {
     let opts = parse_args();
     let scales = department_scales(opts.max_departments);
@@ -232,5 +278,8 @@ fn main() {
     }
     if opts.appendix_a {
         appendix_a();
+    }
+    if let Some(path) = &opts.vexec_json {
+        vexec_report(path, &opts);
     }
 }

@@ -220,6 +220,147 @@ pub fn check_against_reference(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Interpreter vs. vectorized executor (the PR 2 engine-level comparison)
+// ---------------------------------------------------------------------------
+
+/// One engine-level comparison: the same compiled SQL stages executed by the
+/// row-at-a-time interpreter and by the vectorized executor (pre-compiled
+/// physical plans), median total time over the stages.
+#[derive(Debug, Clone)]
+pub struct VexecComparison {
+    pub query: String,
+    /// `"flat"` (QF1–QF6) or `"nested"` (Q1–Q6).
+    pub kind: &'static str,
+    /// Number of flat SQL stages the query shreds into.
+    pub stages: usize,
+    /// Median time to plan every stage against live storage.
+    pub plan_ms: f64,
+    /// Median time to run every stage on the interpreter.
+    pub interpreter_ms: f64,
+    /// Median time to run every stage's pre-compiled plan vectorized.
+    pub vectorized_ms: f64,
+}
+
+impl VexecComparison {
+    /// Interpreter time over vectorized time (>1 means vectorized wins).
+    pub fn speedup(&self) -> f64 {
+        if self.vectorized_ms > 0.0 {
+            self.interpreter_ms / self.vectorized_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn median_ms<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    // Warm up once (as micro::run does) so one-time lazy costs — e.g. the
+    // first columnar transposition of a table — don't land in the median.
+    std::hint::black_box(f());
+    let mut times: Vec<f64> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64() * 1000.0
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    times[times.len() / 2]
+}
+
+/// Compare the interpreter and the vectorized executor on every benchmark
+/// query's compiled SQL stages, over the instance's loaded engine.
+pub fn compare_vectorized(instance: &Instance, runs: usize) -> Vec<VexecComparison> {
+    let engine = instance.engine();
+    let suites: [(&'static str, Vec<(&'static str, Term)>); 2] = [
+        ("flat", datagen::queries::flat_queries()),
+        ("nested", datagen::queries::nested_queries()),
+    ];
+    let mut out = Vec::new();
+    for (kind, queries) in suites {
+        for (name, q) in queries {
+            let compiled = shredding::pipeline::compile(&q, &instance.schema)
+                .expect("benchmark queries always compile");
+            let stages: Vec<_> = compiled.stages.annotations().into_iter().collect();
+            let plan_ms = median_ms(runs, || {
+                stages
+                    .iter()
+                    .map(|s| engine.prepare(&s.sql).expect("stage SQL always plans"))
+                    .collect::<Vec<_>>()
+            });
+            let interpreter_ms = median_ms(runs, || {
+                stages
+                    .iter()
+                    .map(|s| {
+                        engine
+                            .execute_interpreted(&s.sql)
+                            .expect("stage SQL always executes")
+                    })
+                    .collect::<Vec<_>>()
+            });
+            let vectorized_ms = median_ms(runs, || {
+                stages
+                    .iter()
+                    .map(|s| {
+                        engine
+                            .execute_plan(&s.plan)
+                            .expect("stage plans always execute")
+                    })
+                    .collect::<Vec<_>>()
+            });
+            out.push(VexecComparison {
+                query: name.to_string(),
+                kind,
+                stages: stages.len(),
+                plan_ms,
+                interpreter_ms,
+                vectorized_ms,
+            });
+        }
+    }
+    out
+}
+
+/// Render the comparison as the machine-readable `BENCH_pr2.json` document
+/// (hand-rolled: the workspace has no serde).
+pub fn vexec_report_json(instance: &Instance, runs: usize, rows: &[VexecComparison]) -> String {
+    // `speedup()` is infinite when the vectorized time rounds to zero;
+    // JSON has no `inf` token, so emit `null` for non-finite values.
+    fn f(ms: f64) -> String {
+        if ms.is_finite() {
+            format!("{:.4}", ms)
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"interpreter-vs-vectorized\",\n");
+    out.push_str(&format!(
+        "  \"departments\": {},\n  \"total_rows\": {},\n  \"runs\": {},\n",
+        instance.departments,
+        instance.engine().storage.total_rows(),
+        runs
+    ));
+    out.push_str("  \"queries\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{}\", \"kind\": \"{}\", \"stages\": {}, \
+             \"plan_ms\": {}, \"interpreter_ms\": {}, \"vectorized_ms\": {}, \
+             \"speedup\": {}}}{}\n",
+            row.query,
+            row.kind,
+            row.stages,
+            f(row.plan_ms),
+            f(row.interpreter_ms),
+            f(row.vectorized_ms),
+            f(row.speedup()),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// A minimal timing harness for the `benches/` targets (the workspace builds
 /// without external crates, so Criterion is not available): warm up once,
 /// time `iters` runs, report the median.
@@ -251,6 +392,19 @@ pub mod micro {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn the_vectorized_comparison_covers_the_full_suite() {
+        let instance = Instance::with_config(OrgConfig::small());
+        let rows = compare_vectorized(&instance, 1);
+        assert_eq!(rows.len(), 12, "QF1–QF6 and Q1–Q6");
+        assert!(rows.iter().any(|r| r.kind == "flat"));
+        assert!(rows.iter().any(|r| r.kind == "nested" && r.stages > 1));
+        let json = vexec_report_json(&instance, 1, &rows);
+        assert!(json.contains("\"interpreter-vs-vectorized\""));
+        assert!(json.contains("\"speedup\""));
+        assert_eq!(json.matches("\"query\"").count(), 12);
+    }
 
     #[test]
     fn measurements_report_sensible_values() {

@@ -28,18 +28,23 @@ use nrc::schema::{Database, Schema};
 use nrc::term::Term;
 use nrc::types::{Path, Type};
 use nrc::value::Value;
+use sqlengine::plan::{plan_query, PhysicalPlan, SchemaCatalog};
 use sqlengine::storage::{ColumnType, Storage, TableDef};
 use sqlengine::{Engine, Query};
 
 /// Everything produced for one bag constructor of the result type: the
-/// shredded query, its let-inserted form, the SQL rendering and the column
-/// layout used to decode results.
+/// shredded query, its let-inserted form, the SQL rendering, the compiled
+/// physical plan and the column layout used to decode results.
 #[derive(Debug, Clone)]
 pub struct QueryStage {
     pub path: Path,
     pub shredded: ShreddedQuery,
     pub let_inserted: LetQuery,
     pub sql: Query,
+    /// The physical plan compiled from `sql` against the source schema.
+    /// Executing a compiled query runs this plan directly — no parsing or
+    /// planning happens per execution, so cached plans amortise completely.
+    pub plan: PhysicalPlan,
     pub layout: ResultLayout,
 }
 
@@ -84,17 +89,20 @@ pub fn compile_normalised(
     if !matches!(result_type, Type::Bag(_)) {
         return Err(ShredError::NotAQuery(result_type.to_string()));
     }
+    let catalog = SchemaCatalog::new(table_defs_of_schema(schema));
     let stages = crate::shred::package_by(&result_type, &mut |path: &Path| {
         let shredded = shred_query(&normalised, path)?;
         let shredded_type = shred_type(&result_type, path)?;
         let layout = ResultLayout::new(&shredded_type.inner);
         let let_inserted = let_insert(&shredded)?;
         let sql = crate::sqlgen::sql_of_let_query(&let_inserted, &layout, schema)?;
+        let plan = plan_query(&sql, &catalog).map_err(ShredError::Engine)?;
         Ok::<QueryStage, ShredError>(QueryStage {
             path: path.clone(),
             shredded,
             let_inserted,
             sql,
+            plan,
             layout,
         })
     })?;
@@ -106,10 +114,12 @@ pub fn compile_normalised(
 }
 
 /// Execute a compiled query on a SQL engine and stitch the shredded results
-/// back into a nested value.
+/// back into a nested value. Each stage runs its pre-compiled physical plan
+/// on the vectorized executor — repeat executions perform no parsing or
+/// planning work.
 pub fn execute(compiled: &CompiledQuery, engine: &Engine) -> Result<Value, ShredError> {
     let results: Package<ShredResult> = compiled.stages.try_map(&mut |stage: &QueryStage| {
-        let rs = engine.execute(&stage.sql)?;
+        let rs = engine.execute_plan(&stage.plan)?;
         stage.layout.decode(&rs)
     })?;
     stitch(&results, IndexScheme::Flat)

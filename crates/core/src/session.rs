@@ -126,14 +126,18 @@ pub trait SqlBackend: fmt::Debug {
 }
 
 /// One per-stage entry of a plan's `explain()` output: the path of the bag
-/// constructor it evaluates, the SQL text (for SQL-producing backends) and
-/// the flat column layout used to decode its rows.
+/// constructor it evaluates, the SQL text (for SQL-producing backends), the
+/// physical plan the engine will run and the flat column layout used to
+/// decode its rows.
 #[derive(Debug, Clone)]
 pub struct StageExplain {
     /// The path of the result type's bag constructor this stage computes.
     pub path: String,
     /// The SQL text shipped to the engine, if the backend compiles to SQL.
     pub sql: Option<String>,
+    /// The rendered physical plan (scans, join strategy and build sides,
+    /// filters, row-numbering), for backends that pre-plan execution.
+    pub physical: Option<String>,
     /// The flat columns of the stage's result (indexes first, then data).
     pub columns: Vec<String>,
 }
@@ -274,6 +278,12 @@ impl fmt::Display for Explain {
             if let Some(sql) = &stage.sql {
                 for line in sql.lines() {
                     writeln!(f, "  | {}", line)?;
+                }
+            }
+            if let Some(physical) = &stage.physical {
+                writeln!(f, "  physical plan:")?;
+                for line in physical.lines() {
+                    writeln!(f, "  > {}", line)?;
                 }
             }
         }
@@ -777,6 +787,7 @@ impl SqlBackend for SqlEngineBackend {
             .map(|s| StageExplain {
                 path: s.path.to_string(),
                 sql: Some(sqlengine::print_query(&s.sql)),
+                physical: Some(s.plan.to_string()),
                 columns: s.layout.columns(),
             })
             .collect();
@@ -818,6 +829,7 @@ impl SqlBackend for ShreddedMemoryBackend {
             stages.push(StageExplain {
                 path: path.to_string(),
                 sql: None,
+                physical: None,
                 columns: ResultLayout::new(&shredded_type.inner).columns(),
             });
             Ok::<ShreddedQuery, ShredError>(shredded)

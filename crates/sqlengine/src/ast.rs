@@ -358,6 +358,32 @@ impl Expr {
         }
     }
 
+    /// Does the expression reference a column without a table qualifier?
+    /// (The executor and planner defer such predicates until every relation
+    /// is bound, since the reference may resolve into any of them.)
+    pub fn contains_unqualified_column(&self) -> bool {
+        match self {
+            Expr::Column { table: None, .. } => true,
+            Expr::Column { .. } | Expr::Literal(_) => false,
+            Expr::BinOp { left, right, .. } => {
+                left.contains_unqualified_column() || right.contains_unqualified_column()
+            }
+            Expr::Not(inner) => inner.contains_unqualified_column(),
+            Expr::Exists(_) => false,
+            Expr::RowNumber { order_by } => order_by.iter().any(Expr::contains_unqualified_column),
+        }
+    }
+
+    /// Does the expression contain an `EXISTS` subquery (at any depth)?
+    pub fn contains_exists(&self) -> bool {
+        match self {
+            Expr::Exists(_) => true,
+            Expr::BinOp { left, right, .. } => left.contains_exists() || right.contains_exists(),
+            Expr::Not(inner) => inner.contains_exists(),
+            _ => false,
+        }
+    }
+
     /// Split a conjunction into its conjuncts.
     pub fn conjuncts(&self) -> Vec<Expr> {
         match self {

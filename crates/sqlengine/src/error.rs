@@ -1,6 +1,7 @@
 //! Errors raised by the SQL engine (storage, planning, execution, parsing).
 
 use crate::storage::ColumnType;
+use crate::value::Row;
 use std::fmt;
 
 /// All errors the engine can report.
@@ -18,6 +19,12 @@ pub enum EngineError {
         column: String,
         expected: ColumnType,
         got: String,
+    },
+    /// A row whose key columns duplicate an existing row's was inserted into
+    /// a table with a declared key ([`crate::storage::TableDef::with_key`]).
+    DuplicateKey {
+        table: String,
+        key: Row,
     },
     UnknownColumn {
         qualifier: Option<String>,
@@ -55,6 +62,15 @@ impl fmt::Display for EngineError {
                 "column {}.{} expects {}, got {}",
                 table, column, expected, got
             ),
+            EngineError::DuplicateKey { table, key } => {
+                let rendered: Vec<String> = key.iter().map(|v| v.to_string()).collect();
+                write!(
+                    f,
+                    "duplicate key ({}) for table {}",
+                    rendered.join(", "),
+                    table
+                )
+            }
             EngineError::UnknownColumn { qualifier, name } => match qualifier {
                 Some(q) => write!(f, "unknown column {}.{}", q, name),
                 None => write!(f, "unknown column {}", name),

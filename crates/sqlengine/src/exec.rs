@@ -1,8 +1,18 @@
 //! Query execution.
 //!
-//! The executor evaluates the SQL AST directly over [`Storage`]. It performs
-//! the planning PostgreSQL would do for the query shapes the translation
-//! emits:
+//! [`Engine`] offers two execution paths:
+//!
+//! * the **vectorized default** — [`Engine::prepare`] compiles the AST into a
+//!   [`PhysicalPlan`] once and [`Engine::execute_plan`] runs it column-wise
+//!   (see [`crate::plan`] and [`crate::vexec`]); [`Engine::execute`] chains
+//!   the two for ad-hoc queries;
+//! * the **interpreter** — [`Engine::execute_interpreted`] evaluates the AST
+//!   directly, re-deriving its join strategy on every call. It is kept as
+//!   the executable oracle the vectorized path is differentially tested
+//!   against.
+//!
+//! The interpreter performs the planning PostgreSQL would do for the query
+//! shapes the translation emits:
 //!
 //! * `FROM` lists are joined left to right, using **hash joins** for
 //!   equi-join conjuncts and falling back to nested-loop (cross product)
@@ -18,14 +28,17 @@
 
 use crate::ast::{BinOp, Expr, FromItem, Query, Select, TableSource};
 use crate::error::EngineError;
+use crate::plan::PhysicalPlan;
 use crate::storage::{ResultSet, Storage};
-use crate::value::{Row, SqlValue};
+use crate::value::{compare_rows, Row, SqlValue};
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// A SQL engine: storage plus an execution entry point.
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     pub storage: Storage,
+    plans_built: Cell<u64>,
 }
 
 impl Engine {
@@ -36,11 +49,38 @@ impl Engine {
 
     /// An engine over existing storage.
     pub fn with_storage(storage: Storage) -> Engine {
-        Engine { storage }
+        Engine {
+            storage,
+            plans_built: Cell::new(0),
+        }
     }
 
-    /// Execute a query AST.
+    /// Compile a query AST into a physical plan, consulting storage for
+    /// table layouts and cardinalities (the hash-join build-side choice).
+    /// The returned plan can be executed any number of times with
+    /// [`execute_plan`](Engine::execute_plan) without re-planning.
+    pub fn prepare(&self, query: &Query) -> Result<PhysicalPlan, EngineError> {
+        self.plans_built.set(self.plans_built.get() + 1);
+        crate::plan::plan_query(query, &self.storage)
+    }
+
+    /// Run a pre-compiled physical plan on the vectorized executor.
+    pub fn execute_plan(&self, plan: &PhysicalPlan) -> Result<ResultSet, EngineError> {
+        crate::vexec::execute_plan(plan, &self.storage)
+    }
+
+    /// Execute a query AST: plan it and run the plan on the vectorized
+    /// executor (the default path). Callers that execute the same query
+    /// repeatedly should [`prepare`](Engine::prepare) once instead.
     pub fn execute(&self, query: &Query) -> Result<ResultSet, EngineError> {
+        let plan = self.prepare(query)?;
+        self.execute_plan(&plan)
+    }
+
+    /// Execute a query AST on the row-at-a-time interpreter. This is the
+    /// original execution path, kept as the oracle the vectorized executor
+    /// is differentially tested against.
+    pub fn execute_interpreted(&self, query: &Query) -> Result<ResultSet, EngineError> {
         let ctx = ExecCtx {
             storage: &self.storage,
         };
@@ -51,6 +91,14 @@ impl Engine {
     pub fn execute_sql(&self, sql: &str) -> Result<ResultSet, EngineError> {
         let query = crate::parser::parse_query(sql)?;
         self.execute(&query)
+    }
+
+    /// How many physical plans this engine has built (via
+    /// [`prepare`](Engine::prepare) or ad-hoc [`execute`](Engine::execute)).
+    /// Sessions that cache prepared plans assert this stays flat across
+    /// repeat executions.
+    pub fn plans_built(&self) -> u64 {
+        self.plans_built.get()
     }
 }
 
@@ -252,11 +300,12 @@ fn exec_select(
         out_rows.push(out);
     }
 
-    // 5. ORDER BY (stable sort over the precomputed keys).
+    // 5. ORDER BY: a stable sort over the precomputed keys. The permutation
+    //    is applied by moving each row exactly once — no per-row clones.
     if !select.order_by.is_empty() {
-        let mut indexed: Vec<usize> = (0..out_rows.len()).collect();
-        indexed.sort_by(|&a, &b| compare_rows(&sort_keys[a], &sort_keys[b]));
-        out_rows = indexed.into_iter().map(|i| out_rows[i].clone()).collect();
+        let mut indexed: Vec<(usize, Row)> = out_rows.into_iter().enumerate().collect();
+        indexed.sort_by(|(a, _), (b, _)| compare_rows(&sort_keys[*a], &sort_keys[*b]));
+        out_rows = indexed.into_iter().map(|(_, row)| row).collect();
     }
 
     // 6. DISTINCT.
@@ -334,14 +383,18 @@ fn join_relations(
             let all_bound_after = from_refs
                 .iter()
                 .all(|a| bound_aliases.contains(a) || *a == &rel.alias)
-                && !contains_unqualified_column(&conj)
-                && !matches!(conj, Expr::Exists(_))
-                && !expr_contains_exists(&conj);
+                && !conj.contains_unqualified_column()
+                && !conj.contains_exists();
             if !all_bound_after {
                 still_pending.push(conj);
                 continue;
             }
-            // Prefer using pure equi-joins as hash keys.
+            // Prefer using pure equi-joins as hash keys. One side must
+            // reference only bound aliases and the other only the incoming
+            // relation (the build side is evaluated in a scope holding just
+            // that relation's frame, so a mixed-side expression like
+            // `b.y + a.z` must stay a filter — the planner applies the same
+            // rule).
             if let Expr::BinOp {
                 op: BinOp::Eq,
                 left,
@@ -354,11 +407,13 @@ fn join_relations(
                 let r_new = r_refs.iter().any(|a| a == &rel.alias);
                 let l_bound_only = l_refs.iter().all(|a| bound_aliases.contains(a));
                 let r_bound_only = r_refs.iter().all(|a| bound_aliases.contains(a));
-                if l_bound_only && r_new && !l_new && !bound_aliases.is_empty() {
+                let l_new_only = l_refs.iter().all(|a| a == &rel.alias);
+                let r_new_only = r_refs.iter().all(|a| a == &rel.alias);
+                if l_bound_only && r_new && r_new_only && !l_new && !bound_aliases.is_empty() {
                     hash_keys.push(((**left).clone(), (**right).clone()));
                     continue;
                 }
-                if r_bound_only && l_new && !r_new && !bound_aliases.is_empty() {
+                if r_bound_only && l_new && l_new_only && !r_new && !bound_aliases.is_empty() {
                     hash_keys.push(((**right).clone(), (**left).clone()));
                     continue;
                 }
@@ -407,30 +462,6 @@ fn join_relations(
     }
 
     Ok(joined)
-}
-
-fn contains_unqualified_column(e: &Expr) -> bool {
-    match e {
-        Expr::Column { table: None, .. } => true,
-        Expr::Column { .. } | Expr::Literal(_) => false,
-        Expr::BinOp { left, right, .. } => {
-            contains_unqualified_column(left) || contains_unqualified_column(right)
-        }
-        Expr::Not(inner) => contains_unqualified_column(inner),
-        Expr::Exists(_) => false,
-        Expr::RowNumber { order_by } => order_by.iter().any(contains_unqualified_column),
-    }
-}
-
-fn expr_contains_exists(e: &Expr) -> bool {
-    match e {
-        Expr::Exists(_) => true,
-        Expr::BinOp { left, right, .. } => {
-            expr_contains_exists(left) || expr_contains_exists(right)
-        }
-        Expr::Not(inner) => expr_contains_exists(inner),
-        _ => false,
-    }
 }
 
 fn nested_loop_join(joined: &[Vec<usize>], new_len: usize) -> Vec<Vec<usize>> {
@@ -517,8 +548,9 @@ fn scope_for(outer: &Scope, relations: &[BoundRelation], combo: &[usize]) -> Sco
     outer.extended_with(frames)
 }
 
-/// The distinct `ROW_NUMBER` window specifications of a select block.
-fn collect_row_number_specs(select: &Select) -> Vec<Vec<Expr>> {
+/// The distinct `ROW_NUMBER` window specifications of a select block (also
+/// used by the physical planner).
+pub(crate) fn collect_row_number_specs(select: &Select) -> Vec<Vec<Expr>> {
     fn collect(e: &Expr, acc: &mut Vec<Vec<Expr>>) {
         match e {
             Expr::RowNumber { order_by } if !acc.contains(order_by) => {
@@ -566,16 +598,6 @@ fn compute_row_numbers(
         }
     }
     Ok(out)
-}
-
-fn compare_rows(a: &[SqlValue], b: &[SqlValue]) -> std::cmp::Ordering {
-    for (x, y) in a.iter().zip(b.iter()) {
-        let c = x.sql_cmp(y);
-        if c != std::cmp::Ordering::Equal {
-            return c;
-        }
-    }
-    a.len().cmp(&b.len())
 }
 
 /// `ROW_NUMBER` values for the current row, keyed by window specification.
@@ -629,7 +651,9 @@ fn eval_expr(
     }
 }
 
-fn eval_binop(op: BinOp, l: SqlValue, r: SqlValue) -> Result<SqlValue, EngineError> {
+/// Scalar binary-operator semantics, shared between the interpreter and the
+/// vectorized executor so the two paths cannot diverge.
+pub(crate) fn eval_binop(op: BinOp, l: SqlValue, r: SqlValue) -> Result<SqlValue, EngineError> {
     use BinOp::*;
     // SQL three-valued logic, simplified: any NULL operand yields NULL except
     // for AND/OR short-circuit cases that are determined by the other operand.

@@ -17,6 +17,14 @@
 //! It also contains a printer and parser for the dialect, so SQL can be
 //! round-tripped as text exactly as Links ships SQL strings to the database.
 //!
+//! Execution is split planner/executor: [`plan`] compiles a query into an
+//! explicit [`PhysicalPlan`] (scans, hash joins with a chosen build side,
+//! filters, exists-semijoins, row-numbering, sort, projection) and [`vexec`]
+//! runs the plan over a columnar representation with selection vectors.
+//! [`Engine::execute`] uses this vectorized path by default; the original
+//! row-at-a-time interpreter survives as [`Engine::execute_interpreted`],
+//! the oracle the vectorized executor is differentially tested against.
+//!
 //! ```
 //! use sqlengine::exec::Engine;
 //! use sqlengine::storage::{ColumnType, Storage, TableDef};
@@ -35,14 +43,17 @@ pub mod ast;
 pub mod error;
 pub mod exec;
 pub mod parser;
+pub mod plan;
 pub mod printer;
 pub mod storage;
 pub mod value;
+pub mod vexec;
 
 pub use ast::{BinOp, Expr, FromItem, Query, Select, SelectItem, TableSource};
 pub use error::EngineError;
 pub use exec::Engine;
 pub use parser::{parse_expr, parse_query};
+pub use plan::{Catalog, PhysicalPlan, SchemaCatalog};
 pub use printer::{print_expr, print_query};
 pub use storage::{ColumnType, ResultSet, Storage, Table, TableDef};
 pub use value::{Row, SqlValue};

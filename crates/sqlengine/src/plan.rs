@@ -1,0 +1,1095 @@
+//! Logical-to-physical query compilation.
+//!
+//! The planner turns a parsed [`Query`] into an explicit [`PhysicalPlan`]
+//! tree once, ahead of execution. The interpreter in [`crate::exec`]
+//! re-derives its join strategy from the AST on every call; the planner makes
+//! those decisions explicit and cacheable:
+//!
+//! * every `FROM` item becomes a scan node (table, CTE or subquery),
+//! * equi-join conjuncts become [`PhysicalPlan::HashJoin`] nodes with resolved
+//!   key expressions and a **chosen build side** (the smaller estimated
+//!   input builds the hash table; ties build on the incoming relation, which
+//!   is what the interpreter always does),
+//! * the remaining conjuncts become [`PhysicalPlan::Filter`] nodes placed as
+//!   soon as every alias they mention is bound (predicate pushdown),
+//! * `EXISTS` / `NOT EXISTS` conjuncts become [`PhysicalPlan::ExistsSemiJoin`]
+//!   nodes (semi / anti joins against a pre-planned subplan),
+//! * `ROW_NUMBER`, `ORDER BY`, projection and `DISTINCT` become explicit
+//!   operators.
+//!
+//! Column references are resolved to **positional** indexes into the input
+//! batch at plan time ([`VExpr::Col`]); references to enclosing queries stay
+//! symbolic ([`VExpr::Outer`]) and are looked up in the runtime scope stack,
+//! mirroring the interpreter's correlated-subquery semantics. The planner
+//! consults a [`Catalog`] for table layouts and (optionally) cardinalities,
+//! so plans can be built either from live [`Storage`] or from a schema alone
+//! ([`SchemaCatalog`]) — the latter is what lets `shredding`'s session cache
+//! fully planned queries before any data is attached.
+
+use crate::ast::{BinOp, Expr, FromItem, Query, Select, TableSource};
+use crate::error::EngineError;
+use crate::storage::{Storage, TableDef};
+use crate::value::SqlValue;
+use std::fmt;
+
+/// Default row-count estimate for relations whose cardinality the catalog
+/// does not know (CTEs, subqueries, schema-only planning).
+const DEFAULT_ROWS: f64 = 1000.0;
+
+/// Assumed selectivity of a filter or semi-join, for build-side estimation.
+const FILTER_SELECTIVITY: f64 = 0.5;
+
+// ---------------------------------------------------------------------------
+// The catalog
+// ---------------------------------------------------------------------------
+
+/// What the planner may ask about stored tables: their column layout and,
+/// when available, their cardinality.
+pub trait Catalog {
+    /// The column names of a stored table, in declaration order.
+    fn table_columns(&self, name: &str) -> Option<Vec<String>>;
+
+    /// The current number of rows of a stored table, if known.
+    fn table_rows(&self, name: &str) -> Option<usize>;
+}
+
+impl Catalog for Storage {
+    fn table_columns(&self, name: &str) -> Option<Vec<String>> {
+        self.table(name).ok().map(|t| t.def.column_names())
+    }
+
+    fn table_rows(&self, name: &str) -> Option<usize> {
+        self.table(name).ok().map(|t| t.len())
+    }
+}
+
+/// A data-free catalog built from table definitions alone: layouts are known,
+/// cardinalities are not. Used to plan against a schema before any database
+/// is attached.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaCatalog {
+    defs: Vec<TableDef>,
+}
+
+impl SchemaCatalog {
+    /// A catalog over the given table definitions.
+    pub fn new(defs: Vec<TableDef>) -> SchemaCatalog {
+        SchemaCatalog { defs }
+    }
+}
+
+impl Catalog for SchemaCatalog {
+    fn table_columns(&self, name: &str) -> Option<Vec<String>> {
+        self.defs
+            .iter()
+            .find(|d| d.name == name)
+            .map(TableDef::column_names)
+    }
+
+    fn table_rows(&self, _name: &str) -> Option<usize> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Physical expressions
+// ---------------------------------------------------------------------------
+
+/// A scalar expression with column references resolved against the plan
+/// node's input batch (positional) or against the enclosing queries' scope
+/// stack (symbolic, for correlated subqueries).
+#[derive(Debug, Clone)]
+pub enum VExpr {
+    /// Column `index` of the input batch. `alias`/`column` are kept for
+    /// rendering only.
+    Col {
+        index: usize,
+        alias: Option<String>,
+        column: String,
+    },
+    /// A reference into an enclosing query's row, resolved at runtime.
+    Outer {
+        table: Option<String>,
+        column: String,
+    },
+    /// A literal value.
+    Lit(SqlValue),
+    /// A binary operation.
+    BinOp {
+        op: BinOp,
+        left: Box<VExpr>,
+        right: Box<VExpr>,
+    },
+    /// Boolean negation.
+    Not(Box<VExpr>),
+    /// `EXISTS (subplan)`, evaluated per row with the row bound as an outer
+    /// scope frame.
+    Exists(Box<PhysicalPlan>),
+}
+
+impl fmt::Display for VExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VExpr::Col { alias, column, .. } => match alias {
+                Some(a) => write!(f, "{}.{}", a, column),
+                None => write!(f, "{}", column),
+            },
+            VExpr::Outer { table, column } => match table {
+                Some(t) => write!(f, "outer({}.{})", t, column),
+                None => write!(f, "outer({})", column),
+            },
+            VExpr::Lit(v) => write!(f, "{}", v),
+            VExpr::BinOp { op, left, right } => {
+                write!(f, "({} {} {})", left, op.symbol(), right)
+            }
+            VExpr::Not(inner) => write!(f, "NOT ({})", inner),
+            VExpr::Exists(_) => write!(f, "EXISTS (…)"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Physical plans
+// ---------------------------------------------------------------------------
+
+/// Which input of a [`PhysicalPlan::HashJoin`] builds the hash table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildSide {
+    Left,
+    Right,
+}
+
+impl fmt::Display for BuildSide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildSide::Left => write!(f, "left"),
+            BuildSide::Right => write!(f, "right"),
+        }
+    }
+}
+
+/// An executable physical plan tree. Produced once by [`plan_query`] and run
+/// any number of times by [`crate::vexec`].
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// A single row with no columns — the join identity (a `SELECT` without
+    /// `FROM` produces exactly one output row).
+    UnitRow,
+    /// Scan a stored table.
+    TableScan {
+        table: String,
+        alias: String,
+        columns: Vec<String>,
+        estimated_rows: Option<usize>,
+    },
+    /// Scan a `WITH`-bound result.
+    CteScan {
+        name: String,
+        alias: String,
+        columns: Vec<String>,
+    },
+    /// Re-alias the result of a planned subquery in `FROM`.
+    SubqueryScan {
+        input: Box<PhysicalPlan>,
+        alias: String,
+    },
+    /// Cross product (no usable equi-join key).
+    NestedLoopJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+    },
+    /// Hash equi-join. `left_keys[i]` pairs with `right_keys[i]`; `build`
+    /// says which input builds the hash table (the other side probes).
+    HashJoin {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        left_keys: Vec<VExpr>,
+        right_keys: Vec<VExpr>,
+        build: BuildSide,
+    },
+    /// Keep rows whose predicate evaluates to `TRUE`.
+    Filter {
+        input: Box<PhysicalPlan>,
+        predicate: VExpr,
+    },
+    /// Keep rows for which the correlated subplan is non-empty (`anti`
+    /// inverts: keep rows for which it is empty).
+    ExistsSemiJoin {
+        input: Box<PhysicalPlan>,
+        subplan: Box<PhysicalPlan>,
+        anti: bool,
+    },
+    /// Append one `#rn<i>` column per window specification, numbering rows
+    /// by the spec's sort keys.
+    RowNumber {
+        input: Box<PhysicalPlan>,
+        specs: Vec<Vec<VExpr>>,
+    },
+    /// Stable sort by the given keys.
+    Sort {
+        input: Box<PhysicalPlan>,
+        keys: Vec<VExpr>,
+    },
+    /// Evaluate the projection list; output columns are named `columns`.
+    Project {
+        input: Box<PhysicalPlan>,
+        exprs: Vec<VExpr>,
+        columns: Vec<String>,
+    },
+    /// Remove duplicate rows, keeping first occurrences.
+    Distinct { input: Box<PhysicalPlan> },
+    /// Bag union of several inputs.
+    UnionAll(Vec<PhysicalPlan>),
+    /// Bag difference.
+    ExceptAll {
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+    },
+    /// Materialise `definition` under `name` for `CteScan`s inside `body`.
+    With {
+        name: String,
+        definition: Box<PhysicalPlan>,
+        body: Box<PhysicalPlan>,
+    },
+}
+
+impl PhysicalPlan {
+    /// The output column names of the plan.
+    pub fn output_columns(&self) -> Vec<String> {
+        match self {
+            PhysicalPlan::UnitRow => Vec::new(),
+            PhysicalPlan::TableScan { columns, .. } | PhysicalPlan::CteScan { columns, .. } => {
+                columns.clone()
+            }
+            PhysicalPlan::SubqueryScan { input, .. } => input.output_columns(),
+            PhysicalPlan::NestedLoopJoin { left, right }
+            | PhysicalPlan::HashJoin { left, right, .. } => {
+                let mut cols = left.output_columns();
+                cols.extend(right.output_columns());
+                cols
+            }
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::ExistsSemiJoin { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Distinct { input } => input.output_columns(),
+            PhysicalPlan::RowNumber { input, specs } => {
+                let mut cols = input.output_columns();
+                cols.extend((0..specs.len()).map(|i| format!("#rn{}", i)));
+                cols
+            }
+            PhysicalPlan::Project { columns, .. } => columns.clone(),
+            PhysicalPlan::UnionAll(branches) => branches
+                .first()
+                .map(PhysicalPlan::output_columns)
+                .unwrap_or_default(),
+            PhysicalPlan::ExceptAll { left, .. } => left.output_columns(),
+            PhysicalPlan::With { body, .. } => body.output_columns(),
+        }
+    }
+
+    /// Number of operator nodes in the plan (used by tests and explain).
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            PhysicalPlan::UnitRow
+            | PhysicalPlan::TableScan { .. }
+            | PhysicalPlan::CteScan { .. } => 0,
+            PhysicalPlan::SubqueryScan { input, .. }
+            | PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::RowNumber { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Distinct { input } => input.node_count(),
+            PhysicalPlan::ExistsSemiJoin { input, subplan, .. } => {
+                input.node_count() + subplan.node_count()
+            }
+            PhysicalPlan::NestedLoopJoin { left, right }
+            | PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::ExceptAll { left, right } => left.node_count() + right.node_count(),
+            PhysicalPlan::UnionAll(branches) => branches.iter().map(PhysicalPlan::node_count).sum(),
+            PhysicalPlan::With {
+                definition, body, ..
+            } => definition.node_count() + body.node_count(),
+        }
+    }
+
+    /// Rough output-cardinality estimate, used to choose hash-join build
+    /// sides.
+    fn estimate(&self) -> f64 {
+        match self {
+            PhysicalPlan::UnitRow => 1.0,
+            PhysicalPlan::TableScan { estimated_rows, .. } => {
+                estimated_rows.map(|n| n as f64).unwrap_or(DEFAULT_ROWS)
+            }
+            PhysicalPlan::CteScan { .. } => DEFAULT_ROWS,
+            PhysicalPlan::SubqueryScan { input, .. } => input.estimate(),
+            PhysicalPlan::NestedLoopJoin { left, right } => left.estimate() * right.estimate(),
+            PhysicalPlan::HashJoin { left, right, .. } => left.estimate().max(right.estimate()),
+            PhysicalPlan::Filter { input, .. } | PhysicalPlan::ExistsSemiJoin { input, .. } => {
+                input.estimate() * FILTER_SELECTIVITY
+            }
+            PhysicalPlan::RowNumber { input, .. } | PhysicalPlan::Sort { input, .. } => {
+                input.estimate()
+            }
+            PhysicalPlan::Project { input, .. } => input.estimate(),
+            PhysicalPlan::Distinct { input } => input.estimate() * FILTER_SELECTIVITY,
+            PhysicalPlan::UnionAll(branches) => branches.iter().map(PhysicalPlan::estimate).sum(),
+            PhysicalPlan::ExceptAll { left, .. } => left.estimate(),
+            PhysicalPlan::With { body, .. } => body.estimate(),
+        }
+    }
+
+    fn render(&self, out: &mut String, level: usize) {
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+        match self {
+            PhysicalPlan::UnitRow => out.push_str("UnitRow\n"),
+            PhysicalPlan::TableScan {
+                table,
+                alias,
+                estimated_rows,
+                ..
+            } => {
+                out.push_str(&format!("TableScan {} AS {}", table, alias));
+                if let Some(n) = estimated_rows {
+                    out.push_str(&format!(" (rows={})", n));
+                }
+                out.push('\n');
+            }
+            PhysicalPlan::CteScan { name, alias, .. } => {
+                out.push_str(&format!("CteScan {} AS {}\n", name, alias));
+            }
+            PhysicalPlan::SubqueryScan { input, alias } => {
+                out.push_str(&format!("SubqueryScan AS {}\n", alias));
+                input.render(out, level + 1);
+            }
+            PhysicalPlan::NestedLoopJoin { left, right } => {
+                out.push_str("NestedLoopJoin\n");
+                left.render(out, level + 1);
+                right.render(out, level + 1);
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                build,
+            } => {
+                let keys: Vec<String> = left_keys
+                    .iter()
+                    .zip(right_keys)
+                    .map(|(l, r)| format!("{} = {}", l, r))
+                    .collect();
+                out.push_str(&format!(
+                    "HashJoin build={} keys=[{}]\n",
+                    build,
+                    keys.join(", ")
+                ));
+                left.render(out, level + 1);
+                right.render(out, level + 1);
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                out.push_str(&format!("Filter {}\n", predicate));
+                input.render(out, level + 1);
+            }
+            PhysicalPlan::ExistsSemiJoin {
+                input,
+                subplan,
+                anti,
+            } => {
+                out.push_str(if *anti {
+                    "ExistsSemiJoin anti\n"
+                } else {
+                    "ExistsSemiJoin\n"
+                });
+                input.render(out, level + 1);
+                subplan.render(out, level + 1);
+            }
+            PhysicalPlan::RowNumber { input, specs } => {
+                let rendered: Vec<String> = specs
+                    .iter()
+                    .map(|keys| {
+                        let ks: Vec<String> = keys.iter().map(VExpr::to_string).collect();
+                        format!("[{}]", ks.join(", "))
+                    })
+                    .collect();
+                out.push_str(&format!("RowNumber over {}\n", rendered.join(" ")));
+                input.render(out, level + 1);
+            }
+            PhysicalPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys.iter().map(VExpr::to_string).collect();
+                out.push_str(&format!("Sort [{}]\n", ks.join(", ")));
+                input.render(out, level + 1);
+            }
+            PhysicalPlan::Project {
+                input,
+                exprs,
+                columns,
+            } => {
+                let items: Vec<String> = exprs
+                    .iter()
+                    .zip(columns)
+                    .map(|(e, c)| format!("{} AS {}", e, c))
+                    .collect();
+                out.push_str(&format!("Project [{}]\n", items.join(", ")));
+                input.render(out, level + 1);
+            }
+            PhysicalPlan::Distinct { input } => {
+                out.push_str("Distinct\n");
+                input.render(out, level + 1);
+            }
+            PhysicalPlan::UnionAll(branches) => {
+                out.push_str("UnionAll\n");
+                for b in branches {
+                    b.render(out, level + 1);
+                }
+            }
+            PhysicalPlan::ExceptAll { left, right } => {
+                out.push_str("ExceptAll\n");
+                left.render(out, level + 1);
+                right.render(out, level + 1);
+            }
+            PhysicalPlan::With {
+                name,
+                definition,
+                body,
+            } => {
+                out.push_str(&format!("With {}\n", name));
+                definition.render(out, level + 1);
+                body.render(out, level + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        write!(f, "{}", out.trim_end())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The planner
+// ---------------------------------------------------------------------------
+
+/// Compile a query into a physical plan against the given catalog.
+pub fn plan_query(query: &Query, catalog: &dyn Catalog) -> Result<PhysicalPlan, EngineError> {
+    let planner = Planner { catalog };
+    let mut ctx = PlanCtx::default();
+    planner.plan_query(query, &mut ctx)
+}
+
+/// One column of a plan node's output: the binding alias (absent after
+/// projection) and the column name.
+type SchemaCol = (Option<String>, String);
+
+/// Planning context: `WITH` bindings and the schemas of enclosing queries
+/// (outermost first), for correlated-reference resolution.
+#[derive(Default)]
+struct PlanCtx {
+    ctes: Vec<(String, Vec<String>)>,
+    outer: Vec<Vec<SchemaCol>>,
+}
+
+/// Window specifications available to projection/sort resolution: the
+/// original `ORDER BY` key lists and the batch position of the first `#rn`
+/// column.
+struct RnMap<'a> {
+    specs: &'a [Vec<Expr>],
+    base: usize,
+}
+
+struct Planner<'a> {
+    catalog: &'a dyn Catalog,
+}
+
+impl Planner<'_> {
+    fn plan_query(&self, query: &Query, ctx: &mut PlanCtx) -> Result<PhysicalPlan, EngineError> {
+        match query {
+            Query::Select(s) => self.plan_select(s, ctx),
+            Query::UnionAll(branches) => {
+                if branches.is_empty() {
+                    return Err(EngineError::TypeError("empty UNION ALL".to_string()));
+                }
+                let plans = branches
+                    .iter()
+                    .map(|b| self.plan_query(b, ctx))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(PhysicalPlan::UnionAll(plans))
+            }
+            Query::ExceptAll(left, right) => Ok(PhysicalPlan::ExceptAll {
+                left: Box::new(self.plan_query(left, ctx)?),
+                right: Box::new(self.plan_query(right, ctx)?),
+            }),
+            Query::With {
+                name,
+                definition,
+                body,
+            } => {
+                let def_plan = self.plan_select(definition, ctx)?;
+                ctx.ctes.push((name.clone(), def_plan.output_columns()));
+                let body_plan = self.plan_query(body, ctx);
+                ctx.ctes.pop();
+                Ok(PhysicalPlan::With {
+                    name: name.clone(),
+                    definition: Box::new(def_plan),
+                    body: Box::new(body_plan?),
+                })
+            }
+        }
+    }
+
+    fn plan_select(&self, select: &Select, ctx: &mut PlanCtx) -> Result<PhysicalPlan, EngineError> {
+        // 1. Plan the FROM items.
+        let mut rels: Vec<(PhysicalPlan, String, Vec<String>)> = Vec::new();
+        for item in &select.from {
+            rels.push(self.plan_from_item(item, ctx)?);
+        }
+        let from_aliases: Vec<String> = rels.iter().map(|(_, a, _)| a.clone()).collect();
+
+        // 2. Join left to right, mirroring the interpreter's conjunct
+        //    partitioning: hash keys where an equi-join connects the incoming
+        //    relation to the bound ones, filters as soon as every mentioned
+        //    alias is bound, the rest (EXISTS, unqualified references) after
+        //    the final join.
+        let mut pending: Vec<Expr> = select
+            .where_clause
+            .as_ref()
+            .map(|w| w.conjuncts())
+            .unwrap_or_default();
+        let mut current: Option<PhysicalPlan> = None;
+        let mut schema: Vec<SchemaCol> = Vec::new();
+        let mut bound_aliases: Vec<String> = Vec::new();
+
+        for (rel_plan, alias, columns) in rels {
+            let rel_schema: Vec<SchemaCol> = columns
+                .iter()
+                .map(|c| (Some(alias.clone()), c.clone()))
+                .collect();
+
+            let mut hash_keys: Vec<(Expr, Expr)> = Vec::new(); // (bound side, new side)
+            let mut now_applicable: Vec<Expr> = Vec::new();
+            let mut still_pending: Vec<Expr> = Vec::new();
+            for conj in pending.drain(..) {
+                let refs = conj.referenced_aliases();
+                let from_refs: Vec<&String> =
+                    refs.iter().filter(|a| from_aliases.contains(a)).collect();
+                let all_bound_after = from_refs
+                    .iter()
+                    .all(|a| bound_aliases.contains(a) || *a == &alias)
+                    && !conj.contains_unqualified_column()
+                    && !conj.contains_exists();
+                if !all_bound_after {
+                    still_pending.push(conj);
+                    continue;
+                }
+                if let Expr::BinOp {
+                    op: BinOp::Eq,
+                    left,
+                    right,
+                } = &conj
+                {
+                    let l_refs = left.referenced_aliases();
+                    let r_refs = right.referenced_aliases();
+                    let l_new = l_refs.iter().any(|a| a == &alias);
+                    let r_new = r_refs.iter().any(|a| a == &alias);
+                    let l_bound_only = l_refs.iter().all(|a| bound_aliases.contains(a));
+                    let r_bound_only = r_refs.iter().all(|a| bound_aliases.contains(a));
+                    let r_new_only = r_refs.iter().all(|a| a == &alias);
+                    let l_new_only = l_refs.iter().all(|a| a == &alias);
+                    if l_bound_only && r_new && r_new_only && !l_new && !bound_aliases.is_empty() {
+                        hash_keys.push(((**left).clone(), (**right).clone()));
+                        continue;
+                    }
+                    if r_bound_only && l_new && l_new_only && !r_new && !bound_aliases.is_empty() {
+                        hash_keys.push(((**right).clone(), (**left).clone()));
+                        continue;
+                    }
+                }
+                now_applicable.push(conj);
+            }
+            pending = still_pending;
+
+            let joined = match current.take() {
+                None => {
+                    debug_assert!(hash_keys.is_empty(), "first relation has no bound side");
+                    rel_plan
+                }
+                Some(acc) => {
+                    if hash_keys.is_empty() {
+                        PhysicalPlan::NestedLoopJoin {
+                            left: Box::new(acc),
+                            right: Box::new(rel_plan),
+                        }
+                    } else {
+                        let mut left_keys = Vec::with_capacity(hash_keys.len());
+                        let mut right_keys = Vec::with_capacity(hash_keys.len());
+                        for (bound_side, new_side) in &hash_keys {
+                            left_keys.push(self.resolve(bound_side, ctx, &schema, None)?);
+                            right_keys.push(self.resolve(new_side, ctx, &rel_schema, None)?);
+                        }
+                        // Build-side heuristic: the smaller estimated input
+                        // builds the hash table; ties build on the incoming
+                        // relation.
+                        let build = if rel_plan.estimate() <= acc.estimate() {
+                            BuildSide::Right
+                        } else {
+                            BuildSide::Left
+                        };
+                        PhysicalPlan::HashJoin {
+                            left: Box::new(acc),
+                            right: Box::new(rel_plan),
+                            left_keys,
+                            right_keys,
+                            build,
+                        }
+                    }
+                }
+            };
+            schema.extend(rel_schema);
+            bound_aliases.push(alias);
+
+            let mut filtered = joined;
+            for conj in &now_applicable {
+                let predicate = self.resolve(conj, ctx, &schema, None)?;
+                filtered = PhysicalPlan::Filter {
+                    input: Box::new(filtered),
+                    predicate,
+                };
+            }
+            current = Some(filtered);
+        }
+
+        let mut plan = current.unwrap_or(PhysicalPlan::UnitRow);
+
+        // 3. Residual conjuncts: EXISTS becomes a semi/anti join; anything
+        //    else (unqualified references, EXISTS under OR) a plain filter.
+        for conj in &pending {
+            plan = match conj {
+                Expr::Exists(sub) => PhysicalPlan::ExistsSemiJoin {
+                    input: Box::new(plan),
+                    subplan: Box::new(self.plan_subquery(sub, ctx, &schema)?),
+                    anti: false,
+                },
+                Expr::Not(inner) => match inner.as_ref() {
+                    Expr::Exists(sub) => PhysicalPlan::ExistsSemiJoin {
+                        input: Box::new(plan),
+                        subplan: Box::new(self.plan_subquery(sub, ctx, &schema)?),
+                        anti: true,
+                    },
+                    _ => PhysicalPlan::Filter {
+                        predicate: self.resolve(conj, ctx, &schema, None)?,
+                        input: Box::new(plan),
+                    },
+                },
+                _ => PhysicalPlan::Filter {
+                    predicate: self.resolve(conj, ctx, &schema, None)?,
+                    input: Box::new(plan),
+                },
+            };
+        }
+
+        // 4. ROW_NUMBER windows used by the projection.
+        let specs = crate::exec::collect_row_number_specs(select);
+        if !specs.is_empty() {
+            let mut resolved_specs = Vec::with_capacity(specs.len());
+            for keys in &specs {
+                let resolved = keys
+                    .iter()
+                    .map(|k| self.resolve(k, ctx, &schema, None))
+                    .collect::<Result<Vec<_>, _>>()?;
+                resolved_specs.push(resolved);
+            }
+            let base = schema.len();
+            plan = PhysicalPlan::RowNumber {
+                input: Box::new(plan),
+                specs: resolved_specs,
+            };
+            for i in 0..specs.len() {
+                schema.push((None, format!("#rn{}", i)));
+            }
+            debug_assert_eq!(base + specs.len(), schema.len());
+        }
+        let rn = RnMap {
+            specs: &specs,
+            base: schema.len() - specs.len(),
+        };
+
+        // 5. ORDER BY sorts the joined rows before projection (projection is
+        //    per-row, so this matches the interpreter's stable post-projection
+        //    sort on pre-projection keys).
+        if !select.order_by.is_empty() {
+            let keys = select
+                .order_by
+                .iter()
+                .map(|k| self.resolve(k, ctx, &schema, Some(&rn)))
+                .collect::<Result<Vec<_>, _>>()?;
+            plan = PhysicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
+        }
+
+        // 6. Projection.
+        let mut exprs = Vec::with_capacity(select.items.len());
+        let mut columns = Vec::with_capacity(select.items.len());
+        for item in &select.items {
+            exprs.push(self.resolve(&item.expr, ctx, &schema, Some(&rn))?);
+            columns.push(item.alias.clone());
+        }
+        plan = PhysicalPlan::Project {
+            input: Box::new(plan),
+            exprs,
+            columns,
+        };
+
+        // 7. DISTINCT.
+        if select.distinct {
+            plan = PhysicalPlan::Distinct {
+                input: Box::new(plan),
+            };
+        }
+        Ok(plan)
+    }
+
+    fn plan_from_item(
+        &self,
+        item: &FromItem,
+        ctx: &mut PlanCtx,
+    ) -> Result<(PhysicalPlan, String, Vec<String>), EngineError> {
+        let (plan, columns) = match &item.source {
+            TableSource::Named(name) => {
+                if let Some((_, columns)) = ctx.ctes.iter().rev().find(|(n, _)| n == name).cloned()
+                {
+                    (
+                        PhysicalPlan::CteScan {
+                            name: name.clone(),
+                            alias: item.alias.clone(),
+                            columns: columns.clone(),
+                        },
+                        columns,
+                    )
+                } else if let Some(columns) = self.catalog.table_columns(name) {
+                    (
+                        PhysicalPlan::TableScan {
+                            table: name.clone(),
+                            alias: item.alias.clone(),
+                            columns: columns.clone(),
+                            estimated_rows: self.catalog.table_rows(name),
+                        },
+                        columns,
+                    )
+                } else {
+                    return Err(EngineError::NoSuchTable(name.clone()));
+                }
+            }
+            TableSource::Subquery(q) => {
+                let sub = self.plan_query(q, ctx)?;
+                let columns = sub.output_columns();
+                (
+                    PhysicalPlan::SubqueryScan {
+                        input: Box::new(sub),
+                        alias: item.alias.clone(),
+                    },
+                    columns,
+                )
+            }
+        };
+        Ok((plan, item.alias.clone(), columns))
+    }
+
+    /// Plan a correlated subquery: the enclosing schema becomes an outer
+    /// frame its column references may resolve against.
+    fn plan_subquery(
+        &self,
+        query: &Query,
+        ctx: &mut PlanCtx,
+        schema: &[SchemaCol],
+    ) -> Result<PhysicalPlan, EngineError> {
+        ctx.outer.push(schema.to_vec());
+        let plan = self.plan_query(query, ctx);
+        ctx.outer.pop();
+        plan
+    }
+
+    /// Resolve a scalar expression against the node's input schema, falling
+    /// back to the enclosing queries' schemas for correlated references.
+    fn resolve(
+        &self,
+        expr: &Expr,
+        ctx: &mut PlanCtx,
+        schema: &[SchemaCol],
+        rn: Option<&RnMap<'_>>,
+    ) -> Result<VExpr, EngineError> {
+        match expr {
+            Expr::Column { table, column } => self.resolve_column(table, column, ctx, schema),
+            Expr::Literal(v) => Ok(VExpr::Lit(v.clone())),
+            Expr::BinOp { op, left, right } => Ok(VExpr::BinOp {
+                op: *op,
+                left: Box::new(self.resolve(left, ctx, schema, rn)?),
+                right: Box::new(self.resolve(right, ctx, schema, rn)?),
+            }),
+            Expr::Not(inner) => Ok(VExpr::Not(Box::new(self.resolve(inner, ctx, schema, rn)?))),
+            Expr::Exists(q) => Ok(VExpr::Exists(Box::new(self.plan_subquery(q, ctx, schema)?))),
+            Expr::RowNumber { order_by } => {
+                let rn = rn.ok_or_else(|| {
+                    EngineError::TypeError(
+                        "ROW_NUMBER is only allowed in the select list".to_string(),
+                    )
+                })?;
+                let idx =
+                    rn.specs.iter().position(|s| s == order_by).ok_or_else(|| {
+                        EngineError::TypeError("unplanned ROW_NUMBER".to_string())
+                    })?;
+                Ok(VExpr::Col {
+                    index: rn.base + idx,
+                    alias: None,
+                    column: format!("#rn{}", idx),
+                })
+            }
+        }
+    }
+
+    fn resolve_column(
+        &self,
+        table: &Option<String>,
+        column: &str,
+        ctx: &PlanCtx,
+        schema: &[SchemaCol],
+    ) -> Result<VExpr, EngineError> {
+        match table {
+            Some(alias) => {
+                if schema.iter().any(|(a, _)| a.as_deref() == Some(alias)) {
+                    return match schema
+                        .iter()
+                        .position(|(a, c)| a.as_deref() == Some(alias) && c == column)
+                    {
+                        Some(index) => Ok(VExpr::Col {
+                            index,
+                            alias: Some(alias.clone()),
+                            column: column.to_string(),
+                        }),
+                        None => Err(EngineError::UnknownColumn {
+                            qualifier: Some(alias.clone()),
+                            name: column.to_string(),
+                        }),
+                    };
+                }
+                for outer in ctx.outer.iter().rev() {
+                    if outer.iter().any(|(a, _)| a.as_deref() == Some(alias)) {
+                        return if outer
+                            .iter()
+                            .any(|(a, c)| a.as_deref() == Some(alias) && c == column)
+                        {
+                            Ok(VExpr::Outer {
+                                table: Some(alias.clone()),
+                                column: column.to_string(),
+                            })
+                        } else {
+                            Err(EngineError::UnknownColumn {
+                                qualifier: Some(alias.clone()),
+                                name: column.to_string(),
+                            })
+                        };
+                    }
+                }
+                Err(EngineError::UnknownAlias(alias.clone()))
+            }
+            None => {
+                // Mirror the interpreter: an unqualified name must be unique
+                // across the current schema *and* every enclosing frame.
+                let local: Vec<usize> = schema
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, c))| c == column)
+                    .map(|(i, _)| i)
+                    .collect();
+                let outer_hits: usize = ctx
+                    .outer
+                    .iter()
+                    .map(|frame| frame.iter().filter(|(_, c)| c == column).count())
+                    .sum();
+                if local.len() + outer_hits > 1 {
+                    return Err(EngineError::AmbiguousColumn(column.to_string()));
+                }
+                if let Some(&index) = local.first() {
+                    return Ok(VExpr::Col {
+                        index,
+                        alias: schema[index].0.clone(),
+                        column: column.to_string(),
+                    });
+                }
+                if outer_hits == 1 {
+                    return Ok(VExpr::Outer {
+                        table: None,
+                        column: column.to_string(),
+                    });
+                }
+                Err(EngineError::UnknownColumn {
+                    qualifier: None,
+                    name: column.to_string(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, Query, Select};
+    use crate::storage::ColumnType;
+
+    fn catalog() -> SchemaCatalog {
+        SchemaCatalog::new(vec![
+            TableDef::new(
+                "employees",
+                vec![
+                    ("id", ColumnType::Int),
+                    ("dept", ColumnType::Text),
+                    ("name", ColumnType::Text),
+                    ("salary", ColumnType::Int),
+                ],
+            ),
+            TableDef::new(
+                "departments",
+                vec![("id", ColumnType::Int), ("name", ColumnType::Text)],
+            ),
+        ])
+    }
+
+    #[test]
+    fn equi_joins_plan_as_hash_joins() {
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("d", "name"), "dept")
+                .item(Expr::col("e", "name"), "emp")
+                .from_named("departments", "d")
+                .from_named("employees", "e")
+                .filter(Expr::eq(Expr::col("d", "name"), Expr::col("e", "dept"))),
+        );
+        let plan = plan_query(&q, &catalog()).unwrap();
+        let rendered = plan.to_string();
+        assert!(rendered.contains("HashJoin"), "{}", rendered);
+        assert!(rendered.contains("d.name = e.dept"), "{}", rendered);
+        assert_eq!(plan.output_columns(), vec!["dept", "emp"]);
+    }
+
+    #[test]
+    fn cross_products_plan_as_nested_loops() {
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("a", "id"), "x")
+                .from_named("employees", "a")
+                .from_named("employees", "b"),
+        );
+        let plan = plan_query(&q, &catalog()).unwrap();
+        assert!(plan.to_string().contains("NestedLoopJoin"));
+    }
+
+    #[test]
+    fn single_table_predicates_plan_as_filters() {
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("e", "name"), "name")
+                .from_named("employees", "e")
+                .filter(Expr::binop(
+                    BinOp::Gt,
+                    Expr::col("e", "salary"),
+                    Expr::lit(10_000),
+                )),
+        );
+        let plan = plan_query(&q, &catalog()).unwrap();
+        let rendered = plan.to_string();
+        assert!(
+            rendered.contains("Filter (e.salary > 10000)"),
+            "{}",
+            rendered
+        );
+    }
+
+    #[test]
+    fn exists_conjuncts_plan_as_semi_joins() {
+        let sub = Query::select(
+            Select::new()
+                .item(Expr::lit(1), "one")
+                .from_named("departments", "d")
+                .filter(Expr::eq(Expr::col("d", "name"), Expr::col("e", "dept"))),
+        );
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("e", "name"), "name")
+                .from_named("employees", "e")
+                .filter(Expr::not(Expr::Exists(Box::new(sub)))),
+        );
+        let plan = plan_query(&q, &catalog()).unwrap();
+        let rendered = plan.to_string();
+        assert!(rendered.contains("ExistsSemiJoin anti"), "{}", rendered);
+        assert!(rendered.contains("outer(e.dept)"), "{}", rendered);
+    }
+
+    #[test]
+    fn build_side_prefers_the_smaller_cardinality() {
+        let mut storage = Storage::new();
+        storage
+            .create_table(TableDef::new("big", vec![("k", ColumnType::Int)]))
+            .unwrap();
+        storage
+            .create_table(TableDef::new("small", vec![("k", ColumnType::Int)]))
+            .unwrap();
+        for i in 0..50 {
+            storage.insert("big", vec![SqlValue::Int(i)]).unwrap();
+        }
+        storage.insert("small", vec![SqlValue::Int(1)]).unwrap();
+
+        // big ⋈ small: the incoming (right) side is smaller — build right.
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("b", "k"), "k")
+                .from_named("big", "b")
+                .from_named("small", "s")
+                .filter(Expr::eq(Expr::col("b", "k"), Expr::col("s", "k"))),
+        );
+        assert!(plan_query(&q, &storage)
+            .unwrap()
+            .to_string()
+            .contains("build=right"));
+
+        // small ⋈ big: the accumulated (left) side is smaller — build left.
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("b", "k"), "k")
+                .from_named("small", "s")
+                .from_named("big", "b")
+                .filter(Expr::eq(Expr::col("b", "k"), Expr::col("s", "k"))),
+        );
+        assert!(plan_query(&q, &storage)
+            .unwrap()
+            .to_string()
+            .contains("build=left"));
+    }
+
+    #[test]
+    fn unknown_tables_and_columns_fail_at_plan_time() {
+        let q = Query::select(
+            Select::new()
+                .item(Expr::lit(1), "x")
+                .from_named("missing", "m"),
+        );
+        assert!(matches!(
+            plan_query(&q, &catalog()),
+            Err(EngineError::NoSuchTable(_))
+        ));
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("e", "missing"), "x")
+                .from_named("employees", "e"),
+        );
+        assert!(matches!(
+            plan_query(&q, &catalog()),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+    }
+}

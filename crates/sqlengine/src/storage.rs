@@ -6,8 +6,10 @@
 
 use crate::error::EngineError;
 use crate::value::{Row, SqlValue};
-use std::collections::BTreeMap;
+use std::cell::OnceCell;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
+use std::rc::Rc;
 
 /// The declared type of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,10 +87,26 @@ impl TableDef {
 }
 
 /// A stored table: a definition plus its rows.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Rows must be added through [`Table::insert`] (or the [`Storage`] entry
+/// points), which enforces the schema — arity, column types and the key
+/// declared with [`TableDef::with_key`] — and keeps the cached columnar view
+/// consistent.
+#[derive(Debug, Clone)]
 pub struct Table {
     pub def: TableDef,
     pub rows: Vec<Row>,
+    /// Key values seen so far, for O(1) duplicate-key detection.
+    key_seen: HashSet<Row>,
+    /// Lazily transposed column-major view served to the vectorized
+    /// executor; invalidated by `insert`.
+    columnar: OnceCell<Vec<Rc<Vec<SqlValue>>>>,
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Table) -> bool {
+        self.def == other.def && self.rows == other.rows
+    }
 }
 
 impl Table {
@@ -97,10 +115,15 @@ impl Table {
         Table {
             def,
             rows: Vec::new(),
+            key_seen: HashSet::new(),
+            columnar: OnceCell::new(),
         }
     }
 
-    /// Insert a row after checking its arity and column types.
+    /// Insert a row after checking its arity, column types and — when the
+    /// table declares a key — key uniqueness. A row whose key contains
+    /// `NULL` is never considered a duplicate (SQL `UNIQUE` semantics; the
+    /// natural indexing scheme pads key columns with `NULL`).
     pub fn insert(&mut self, row: Row) -> Result<(), EngineError> {
         if row.len() != self.def.arity() {
             return Err(EngineError::ArityMismatch {
@@ -119,8 +142,47 @@ impl Table {
                 });
             }
         }
+        if !self.def.key.is_empty() {
+            let key: Option<Row> = self
+                .def
+                .key
+                .iter()
+                .map(|k| {
+                    self.def
+                        .column_index(k)
+                        .map(|i| row[i].clone())
+                        .filter(|v| !v.is_null())
+                })
+                .collect();
+            if let Some(key) = key {
+                if !self.key_seen.insert(key.clone()) {
+                    return Err(EngineError::DuplicateKey {
+                        table: self.def.name.clone(),
+                        key,
+                    });
+                }
+            }
+        }
         self.rows.push(row);
+        self.columnar.take();
         Ok(())
+    }
+
+    /// The column-major view of the table: one shared vector per column, in
+    /// declaration order. Built lazily on first use and cached until the
+    /// next insert; the vectorized executor scans these vectors zero-copy.
+    pub fn columnar(&self) -> &[Rc<Vec<SqlValue>>] {
+        self.columnar.get_or_init(|| {
+            let mut columns: Vec<Vec<SqlValue>> = (0..self.def.arity())
+                .map(|_| Vec::with_capacity(self.rows.len()))
+                .collect();
+            for row in &self.rows {
+                for (c, v) in row.iter().enumerate() {
+                    columns[c].push(v.clone());
+                }
+            }
+            columns.into_iter().map(Rc::new).collect()
+        })
     }
 
     /// Number of rows.
@@ -313,6 +375,62 @@ mod tests {
         let mut s = Storage::new();
         s.create_table(def()).unwrap();
         assert!(s.insert("t", vec![SqlValue::Null, SqlValue::Null]).is_ok());
+    }
+
+    #[test]
+    fn declared_keys_reject_duplicate_rows() {
+        let mut s = Storage::new();
+        s.create_table(def()).unwrap();
+        s.insert("t", vec![SqlValue::Int(1), SqlValue::str("a")])
+            .unwrap();
+        s.insert("t", vec![SqlValue::Int(2), SqlValue::str("a")])
+            .unwrap();
+        let err = s
+            .insert("t", vec![SqlValue::Int(1), SqlValue::str("b")])
+            .unwrap_err();
+        assert!(
+            matches!(&err, EngineError::DuplicateKey { table, key }
+                if table == "t" && key == &vec![SqlValue::Int(1)]),
+            "got: {}",
+            err
+        );
+        assert_eq!(s.table("t").unwrap().len(), 2, "the duplicate is rejected");
+    }
+
+    #[test]
+    fn null_keys_and_keyless_tables_admit_repeats() {
+        let mut s = Storage::new();
+        s.create_table(def()).unwrap();
+        // NULL never collides with NULL (SQL UNIQUE semantics).
+        s.insert("t", vec![SqlValue::Null, SqlValue::str("a")])
+            .unwrap();
+        s.insert("t", vec![SqlValue::Null, SqlValue::str("b")])
+            .unwrap();
+        // A table without a key accepts fully duplicate rows.
+        s.create_table(TableDef::new("bag", vec![("x", ColumnType::Int)]))
+            .unwrap();
+        s.insert("bag", vec![SqlValue::Int(7)]).unwrap();
+        s.insert("bag", vec![SqlValue::Int(7)]).unwrap();
+        assert_eq!(s.table("bag").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn the_columnar_view_transposes_rows_and_tracks_inserts() {
+        let mut s = Storage::new();
+        s.create_table(def()).unwrap();
+        s.insert("t", vec![SqlValue::Int(1), SqlValue::str("a")])
+            .unwrap();
+        {
+            let cols = s.table("t").unwrap().columnar();
+            assert_eq!(cols.len(), 2);
+            assert_eq!(*cols[0], vec![SqlValue::Int(1)]);
+            assert_eq!(*cols[1], vec![SqlValue::str("a")]);
+        }
+        // Inserting invalidates the cached view.
+        s.insert("t", vec![SqlValue::Int(2), SqlValue::str("b")])
+            .unwrap();
+        let cols = s.table("t").unwrap().columnar();
+        assert_eq!(*cols[0], vec![SqlValue::Int(1), SqlValue::Int(2)]);
     }
 
     #[test]

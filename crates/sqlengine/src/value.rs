@@ -132,6 +132,19 @@ impl From<String> for SqlValue {
 /// A row is a vector of scalar values, positionally matched to a row schema.
 pub type Row = Vec<SqlValue>;
 
+/// Lexicographic row comparison under [`SqlValue::sql_cmp`], used by
+/// `ORDER BY` and `ROW_NUMBER` in both the interpreter and the vectorized
+/// executor.
+pub fn compare_rows(a: &[SqlValue], b: &[SqlValue]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let c = x.sql_cmp(y);
+        if c != Ordering::Equal {
+            return c;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,766 @@
+//! Vectorized execution of [`PhysicalPlan`] trees over columnar batches.
+//!
+//! Where the interpreter in [`crate::exec`] walks the AST row by row —
+//! cloning a scope frame per joined row combination — this executor runs a
+//! pre-compiled plan over a columnar representation:
+//!
+//! * a [`Batch`] holds one `Vec<SqlValue>` per column, shared by `Rc` so
+//!   table scans and CTE references are zero-copy,
+//! * filters and sorts produce **selection vectors** instead of moving data,
+//! * expressions are evaluated column-at-a-time ([`VExpr::Col`] is a resolved
+//!   position, so there is no name lookup per row),
+//! * only joins, projections and row-numbering materialise new columns.
+//!
+//! Correlated subqueries (`EXISTS`, semi/anti joins) necessarily fall back to
+//! one subplan execution per outer row; the row's values are pushed as a
+//! scope frame that the subplan's [`VExpr::Outer`] references resolve
+//! against, mirroring the interpreter's correlation semantics exactly. The
+//! interpreter remains the executable oracle this module is differentially
+//! tested against (see `tests/vexec_differential.rs`).
+
+use crate::error::EngineError;
+use crate::exec::eval_binop;
+use crate::plan::{BuildSide, PhysicalPlan, VExpr};
+use crate::storage::{ResultSet, Storage};
+use crate::value::{compare_rows, Row, SqlValue};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Execute a physical plan against storage, producing a flat result set.
+pub fn execute_plan(plan: &PhysicalPlan, storage: &Storage) -> Result<ResultSet, EngineError> {
+    let ctx = VecCtx { storage };
+    let batch = exec(plan, &ctx, &CteEnv::default(), &ScopeStack::default())?;
+    Ok(batch.into_result_set())
+}
+
+/// One column of a batch schema: binding alias (absent after projection) and
+/// column name.
+type SchemaCol = (Option<String>, String);
+
+/// A columnar batch: a schema, shared column vectors and an optional
+/// selection vector picking the live rows.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    schema: Rc<Vec<SchemaCol>>,
+    columns: Vec<Rc<Vec<SqlValue>>>,
+    sel: Option<Rc<Vec<usize>>>,
+    /// Number of physical rows in `columns` (needed explicitly because a
+    /// batch may have zero columns but a positive row count).
+    base_rows: usize,
+}
+
+impl Batch {
+    /// Number of live (selected) rows.
+    pub fn len(&self) -> usize {
+        match &self.sel {
+            Some(sel) => sel.len(),
+            None => self.base_rows,
+        }
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical row index of logical row `i`.
+    fn phys(&self, i: usize) -> usize {
+        match &self.sel {
+            Some(sel) => sel[i],
+            None => i,
+        }
+    }
+
+    /// The values of logical row `i`, gathered across columns.
+    fn row(&self, i: usize) -> Row {
+        let p = self.phys(i);
+        self.columns.iter().map(|c| c[p].clone()).collect()
+    }
+
+    /// Gather one column into a dense vector (respecting the selection).
+    fn gather(&self, col: usize) -> Vec<SqlValue> {
+        let data = &self.columns[col];
+        match &self.sel {
+            None => data.as_ref().clone(),
+            Some(sel) => sel.iter().map(|&p| data[p].clone()).collect(),
+        }
+    }
+
+    /// Compact the selection away so columns can be extended or shared.
+    fn materialised(&self) -> Batch {
+        match &self.sel {
+            None => self.clone(),
+            Some(_) => Batch {
+                schema: self.schema.clone(),
+                columns: (0..self.columns.len())
+                    .map(|c| Rc::new(self.gather(c)))
+                    .collect(),
+                sel: None,
+                base_rows: self.len(),
+            },
+        }
+    }
+
+    /// Rebuild a batch from explicit rows (used by the set operations).
+    fn from_rows(schema: Rc<Vec<SchemaCol>>, rows: Vec<Row>) -> Batch {
+        let width = schema.len();
+        let base_rows = rows.len();
+        let mut columns: Vec<Vec<SqlValue>> =
+            (0..width).map(|_| Vec::with_capacity(base_rows)).collect();
+        for row in rows {
+            for (c, v) in row.into_iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        Batch {
+            schema,
+            columns: columns.into_iter().map(Rc::new).collect(),
+            sel: None,
+            base_rows,
+        }
+    }
+
+    fn into_result_set(self) -> ResultSet {
+        let columns = self.schema.iter().map(|(_, c)| c.clone()).collect();
+        let rows = (0..self.len()).map(|i| self.row(i)).collect();
+        ResultSet { columns, rows }
+    }
+}
+
+/// Execution context shared by every node.
+struct VecCtx<'a> {
+    storage: &'a Storage,
+}
+
+/// Runtime environment of `WITH`-bound batches, innermost last. Cloning is
+/// cheap: batches share their columns by `Rc`.
+#[derive(Default, Clone)]
+struct CteEnv {
+    bindings: Vec<(String, Batch)>,
+}
+
+impl CteEnv {
+    fn lookup(&self, name: &str) -> Option<&Batch> {
+        self.bindings
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b)
+    }
+
+    fn extended(&self, name: &str, batch: Batch) -> CteEnv {
+        let mut bindings = self.bindings.clone();
+        bindings.push((name.to_string(), batch));
+        CteEnv { bindings }
+    }
+}
+
+/// The scope stack for correlated subqueries: one frame per enclosing row,
+/// innermost last.
+#[derive(Default, Clone)]
+struct ScopeStack {
+    frames: Vec<ScopeFrame>,
+}
+
+#[derive(Clone)]
+struct ScopeFrame {
+    schema: Rc<Vec<SchemaCol>>,
+    values: Row,
+}
+
+impl ScopeStack {
+    fn pushed(&self, frame: ScopeFrame) -> ScopeStack {
+        let mut frames = self.frames.clone();
+        frames.push(frame);
+        ScopeStack { frames }
+    }
+
+    fn lookup(&self, table: &Option<String>, column: &str) -> Result<SqlValue, EngineError> {
+        match table {
+            Some(alias) => {
+                for frame in self.frames.iter().rev() {
+                    if frame
+                        .schema
+                        .iter()
+                        .any(|(a, _)| a.as_deref() == Some(alias.as_str()))
+                    {
+                        return match frame
+                            .schema
+                            .iter()
+                            .position(|(a, c)| a.as_deref() == Some(alias.as_str()) && c == column)
+                        {
+                            Some(idx) => Ok(frame.values[idx].clone()),
+                            None => Err(EngineError::UnknownColumn {
+                                qualifier: Some(alias.clone()),
+                                name: column.to_string(),
+                            }),
+                        };
+                    }
+                }
+                Err(EngineError::UnknownAlias(alias.clone()))
+            }
+            None => {
+                for frame in self.frames.iter().rev() {
+                    if let Some(idx) = frame.schema.iter().position(|(_, c)| c == column) {
+                        return Ok(frame.values[idx].clone());
+                    }
+                }
+                Err(EngineError::UnknownColumn {
+                    qualifier: None,
+                    name: column.to_string(),
+                })
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan execution
+// ---------------------------------------------------------------------------
+
+fn exec(
+    plan: &PhysicalPlan,
+    ctx: &VecCtx<'_>,
+    ctes: &CteEnv,
+    scope: &ScopeStack,
+) -> Result<Batch, EngineError> {
+    match plan {
+        PhysicalPlan::UnitRow => Ok(Batch {
+            schema: Rc::new(Vec::new()),
+            columns: Vec::new(),
+            sel: None,
+            base_rows: 1,
+        }),
+        PhysicalPlan::TableScan {
+            table,
+            alias,
+            columns,
+            ..
+        } => {
+            let table = ctx.storage.table(table)?;
+            let names = table.def.column_names();
+            // Column references were resolved to positions at plan time;
+            // refuse to scan a table whose live layout differs from the one
+            // the plan was compiled against (e.g. a plan compiled for one
+            // schema executed on an engine loaded from another).
+            if names != *columns {
+                return Err(EngineError::TypeError(format!(
+                    "physical plan for table {} was compiled against columns ({}) \
+                     but storage has ({})",
+                    table.def.name,
+                    columns.join(", "),
+                    names.join(", ")
+                )));
+            }
+            let schema: Vec<SchemaCol> = names
+                .into_iter()
+                .map(|c| (Some(alias.clone()), c))
+                .collect();
+            Ok(Batch {
+                schema: Rc::new(schema),
+                columns: table.columnar().to_vec(),
+                sel: None,
+                base_rows: table.len(),
+            })
+        }
+        PhysicalPlan::CteScan { name, alias, .. } => {
+            let bound = ctes
+                .lookup(name)
+                .ok_or_else(|| EngineError::UnknownCte(name.clone()))?;
+            Ok(realias(bound, alias))
+        }
+        PhysicalPlan::SubqueryScan { input, alias } => {
+            let inner = exec(input, ctx, ctes, scope)?;
+            Ok(realias(&inner, alias))
+        }
+        PhysicalPlan::NestedLoopJoin { left, right } => {
+            let l = exec(left, ctx, ctes, scope)?;
+            let r = exec(right, ctx, ctes, scope)?;
+            let pairs: Vec<(usize, usize)> = (0..l.len())
+                .flat_map(|i| (0..r.len()).map(move |j| (i, j)))
+                .collect();
+            Ok(join_gather(&l, &r, &pairs))
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            build,
+        } => {
+            let l = exec(left, ctx, ctes, scope)?;
+            let r = exec(right, ctx, ctes, scope)?;
+            let lk = eval_keys(left_keys, &l, ctx, ctes, scope)?;
+            let rk = eval_keys(right_keys, &r, ctx, ctes, scope)?;
+            let (build_keys, probe_keys, probe_is_left) = match build {
+                BuildSide::Right => (rk, lk, true),
+                BuildSide::Left => (lk, rk, false),
+            };
+            let mut table: HashMap<Row, Vec<usize>> = HashMap::new();
+            'build: for (i, key) in build_keys.into_iter().enumerate() {
+                for v in &key {
+                    if v.is_null() {
+                        continue 'build;
+                    }
+                }
+                table.entry(key).or_default().push(i);
+            }
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
+            'probe: for (i, key) in probe_keys.into_iter().enumerate() {
+                for v in &key {
+                    if v.is_null() {
+                        continue 'probe;
+                    }
+                }
+                if let Some(matches) = table.get(&key) {
+                    for &j in matches {
+                        if probe_is_left {
+                            pairs.push((i, j));
+                        } else {
+                            pairs.push((j, i));
+                        }
+                    }
+                }
+            }
+            Ok(join_gather(&l, &r, &pairs))
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let batch = exec(input, ctx, ctes, scope)?;
+            let values = eval(predicate, &batch, ctx, ctes, scope)?;
+            let sel: Vec<usize> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.as_bool() == Some(true))
+                .map(|(i, _)| batch.phys(i))
+                .collect();
+            Ok(Batch {
+                sel: Some(Rc::new(sel)),
+                ..batch
+            })
+        }
+        PhysicalPlan::ExistsSemiJoin {
+            input,
+            subplan,
+            anti,
+        } => {
+            let batch = exec(input, ctx, ctes, scope)?;
+            let mut sel = Vec::new();
+            for i in 0..batch.len() {
+                let frame = ScopeFrame {
+                    schema: batch.schema.clone(),
+                    values: batch.row(i),
+                };
+                let inner = exec(subplan, ctx, ctes, &scope.pushed(frame))?;
+                if inner.is_empty() == *anti {
+                    sel.push(batch.phys(i));
+                }
+            }
+            Ok(Batch {
+                sel: Some(Rc::new(sel)),
+                ..batch
+            })
+        }
+        PhysicalPlan::RowNumber { input, specs } => {
+            // Ties in a window's keys are broken by the batch's row order
+            // (stable sort), which may differ from the interpreter's join
+            // order when the planner chose a different build side — the same
+            // latitude PostgreSQL has for tied ROW_NUMBER keys. The shredding
+            // translation only numbers over key columns that uniquely
+            // identify rows, so its stages are never affected.
+            let batch = exec(input, ctx, ctes, scope)?.materialised();
+            let len = batch.len();
+            let mut schema = batch.schema.as_ref().clone();
+            let mut columns = batch.columns.clone();
+            for (spec_idx, keys) in specs.iter().enumerate() {
+                let key_values = eval_keys(keys, &batch, ctx, ctes, scope)?;
+                let mut order: Vec<usize> = (0..len).collect();
+                order.sort_by(|&a, &b| compare_rows(&key_values[a], &key_values[b]));
+                let mut rn = vec![SqlValue::Null; len];
+                for (number, row_idx) in order.into_iter().enumerate() {
+                    rn[row_idx] = SqlValue::Int((number + 1) as i64);
+                }
+                schema.push((None, format!("#rn{}", spec_idx)));
+                columns.push(Rc::new(rn));
+            }
+            Ok(Batch {
+                schema: Rc::new(schema),
+                columns,
+                sel: None,
+                base_rows: len,
+            })
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let batch = exec(input, ctx, ctes, scope)?;
+            let key_values = eval_keys(keys, &batch, ctx, ctes, scope)?;
+            let mut order: Vec<usize> = (0..batch.len()).collect();
+            order.sort_by(|&a, &b| compare_rows(&key_values[a], &key_values[b]));
+            let sel: Vec<usize> = order.into_iter().map(|i| batch.phys(i)).collect();
+            Ok(Batch {
+                sel: Some(Rc::new(sel)),
+                ..batch
+            })
+        }
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            columns,
+        } => {
+            let batch = exec(input, ctx, ctes, scope)?;
+            let len = batch.len();
+            let schema: Vec<SchemaCol> = columns.iter().map(|c| (None, c.clone())).collect();
+            let out = exprs
+                .iter()
+                .map(|e| eval(e, &batch, ctx, ctes, scope).map(Rc::new))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Batch {
+                schema: Rc::new(schema),
+                columns: out,
+                sel: None,
+                base_rows: len,
+            })
+        }
+        PhysicalPlan::Distinct { input } => {
+            let batch = exec(input, ctx, ctes, scope)?;
+            let mut seen: HashSet<Row> = HashSet::new();
+            let sel: Vec<usize> = (0..batch.len())
+                .filter(|&i| seen.insert(batch.row(i)))
+                .map(|i| batch.phys(i))
+                .collect();
+            Ok(Batch {
+                sel: Some(Rc::new(sel)),
+                ..batch
+            })
+        }
+        PhysicalPlan::UnionAll(branches) => {
+            let mut iter = branches.iter();
+            let first = iter
+                .next()
+                .ok_or_else(|| EngineError::TypeError("empty UNION ALL".to_string()))?;
+            let acc = exec(first, ctx, ctes, scope)?.materialised();
+            let width = acc.columns.len();
+            let mut columns: Vec<Vec<SqlValue>> = (0..width)
+                .map(|c| acc.columns[c].as_ref().clone())
+                .collect();
+            let mut total = acc.base_rows;
+            for branch in iter {
+                let next = exec(branch, ctx, ctes, scope)?;
+                if next.columns.len() != width {
+                    return Err(EngineError::TypeError(format!(
+                        "UNION ALL branches have {} and {} columns",
+                        width,
+                        next.columns.len()
+                    )));
+                }
+                total += next.len();
+                for (c, column) in columns.iter_mut().enumerate() {
+                    column.extend(next.gather(c));
+                }
+            }
+            Ok(Batch {
+                schema: acc.schema,
+                columns: columns.into_iter().map(Rc::new).collect(),
+                sel: None,
+                base_rows: total,
+            })
+        }
+        PhysicalPlan::ExceptAll { left, right } => {
+            let l = exec(left, ctx, ctes, scope)?;
+            let r = exec(right, ctx, ctes, scope)?;
+            let mut counts: HashMap<Row, usize> = HashMap::new();
+            for i in 0..r.len() {
+                *counts.entry(r.row(i)).or_insert(0) += 1;
+            }
+            let mut rows = Vec::new();
+            for i in 0..l.len() {
+                let row = l.row(i);
+                match counts.get_mut(&row) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => rows.push(row),
+                }
+            }
+            Ok(Batch::from_rows(l.schema.clone(), rows))
+        }
+        PhysicalPlan::With {
+            name,
+            definition,
+            body,
+        } => {
+            let bound = exec(definition, ctx, ctes, scope)?;
+            let extended = ctes.extended(name, bound);
+            exec(body, ctx, &extended, scope)
+        }
+    }
+}
+
+/// Rebind a batch's columns under a new `FROM` alias (zero-copy).
+fn realias(batch: &Batch, alias: &str) -> Batch {
+    let schema: Vec<SchemaCol> = batch
+        .schema
+        .iter()
+        .map(|(_, c)| (Some(alias.to_string()), c.clone()))
+        .collect();
+    let compact = batch.materialised();
+    Batch {
+        schema: Rc::new(schema),
+        ..compact
+    }
+}
+
+/// Materialise the concatenation of two batches at the given row pairs.
+fn join_gather(left: &Batch, right: &Batch, pairs: &[(usize, usize)]) -> Batch {
+    let mut schema = left.schema.as_ref().clone();
+    schema.extend(right.schema.iter().cloned());
+    let mut columns: Vec<Rc<Vec<SqlValue>>> =
+        Vec::with_capacity(left.columns.len() + right.columns.len());
+    for c in 0..left.columns.len() {
+        let data = &left.columns[c];
+        columns.push(Rc::new(
+            pairs
+                .iter()
+                .map(|&(i, _)| data[left.phys(i)].clone())
+                .collect(),
+        ));
+    }
+    for c in 0..right.columns.len() {
+        let data = &right.columns[c];
+        columns.push(Rc::new(
+            pairs
+                .iter()
+                .map(|&(_, j)| data[right.phys(j)].clone())
+                .collect(),
+        ));
+    }
+    Batch {
+        schema: Rc::new(schema),
+        columns,
+        sel: None,
+        base_rows: pairs.len(),
+    }
+}
+
+/// Evaluate a list of key expressions, transposed to one key row per batch
+/// row.
+fn eval_keys(
+    keys: &[VExpr],
+    batch: &Batch,
+    ctx: &VecCtx<'_>,
+    ctes: &CteEnv,
+    scope: &ScopeStack,
+) -> Result<Vec<Row>, EngineError> {
+    let len = batch.len();
+    let columns = keys
+        .iter()
+        .map(|k| eval(k, batch, ctx, ctes, scope))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((0..len)
+        .map(|i| columns.iter().map(|c| c[i].clone()).collect())
+        .collect())
+}
+
+/// Column-at-a-time expression evaluation: one output value per live row.
+fn eval(
+    expr: &VExpr,
+    batch: &Batch,
+    ctx: &VecCtx<'_>,
+    ctes: &CteEnv,
+    scope: &ScopeStack,
+) -> Result<Vec<SqlValue>, EngineError> {
+    let len = batch.len();
+    match expr {
+        VExpr::Col { index, .. } => Ok(batch.gather(*index)),
+        VExpr::Outer { table, column } => {
+            // Constant within one batch: the enclosing row is fixed for the
+            // whole subplan execution.
+            let v = scope.lookup(table, column)?;
+            Ok(vec![v; len])
+        }
+        VExpr::Lit(v) => Ok(vec![v.clone(); len]),
+        VExpr::BinOp { op, left, right } => {
+            let l = eval(left, batch, ctx, ctes, scope)?;
+            let r = eval(right, batch, ctx, ctes, scope)?;
+            l.into_iter()
+                .zip(r)
+                .map(|(a, b)| eval_binop(*op, a, b))
+                .collect()
+        }
+        VExpr::Not(inner) => {
+            let values = eval(inner, batch, ctx, ctes, scope)?;
+            values
+                .into_iter()
+                .map(|v| match v {
+                    SqlValue::Bool(b) => Ok(SqlValue::Bool(!b)),
+                    SqlValue::Null => Ok(SqlValue::Null),
+                    other => Err(EngineError::TypeError(format!(
+                        "NOT applied to {}",
+                        other.type_name()
+                    ))),
+                })
+                .collect()
+        }
+        VExpr::Exists(subplan) => {
+            let mut out = Vec::with_capacity(len);
+            for i in 0..len {
+                let frame = ScopeFrame {
+                    schema: batch.schema.clone(),
+                    values: batch.row(i),
+                };
+                let inner = exec(subplan, ctx, ctes, &scope.pushed(frame))?;
+                out.push(SqlValue::Bool(!inner.is_empty()));
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Expr, Query, Select};
+    use crate::exec::Engine;
+    use crate::storage::{ColumnType, TableDef};
+
+    fn engine() -> Engine {
+        let mut storage = Storage::new();
+        storage
+            .create_table(TableDef::new(
+                "nums",
+                vec![("n", ColumnType::Int), ("tag", ColumnType::Text)],
+            ))
+            .unwrap();
+        for (n, tag) in [(1, "odd"), (2, "even"), (3, "odd"), (4, "even")] {
+            storage
+                .insert("nums", vec![SqlValue::Int(n), SqlValue::str(tag)])
+                .unwrap();
+        }
+        Engine::with_storage(storage)
+    }
+
+    fn run_both(engine: &Engine, q: &Query) -> (ResultSet, ResultSet) {
+        let interpreted = engine.execute_interpreted(q).unwrap();
+        let plan = engine.prepare(q).unwrap();
+        let vectorized = engine.execute_plan(&plan).unwrap();
+        (interpreted, vectorized)
+    }
+
+    #[test]
+    fn scans_filters_and_projections_match_the_interpreter() {
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("x", "n"), "n")
+                .item(
+                    Expr::binop(BinOp::Mul, Expr::col("x", "n"), Expr::lit(10)),
+                    "n10",
+                )
+                .from_named("nums", "x")
+                .filter(Expr::binop(BinOp::Gt, Expr::col("x", "n"), Expr::lit(1))),
+        );
+        let (i, v) = run_both(&engine(), &q);
+        assert_eq!(i, v);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn hash_joins_match_the_interpreter() {
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("a", "n"), "l")
+                .item(Expr::col("b", "n"), "r")
+                .from_named("nums", "a")
+                .from_named("nums", "b")
+                .filter(Expr::eq(Expr::col("a", "tag"), Expr::col("b", "tag"))),
+        );
+        let (i, v) = run_both(&engine(), &q);
+        assert_eq!(i.len(), v.len());
+        let mut li = i.rows.clone();
+        let mut lv = v.rows.clone();
+        li.sort_by(|a, b| compare_rows(a, b));
+        lv.sort_by(|a, b| compare_rows(a, b));
+        assert_eq!(li, lv);
+    }
+
+    #[test]
+    fn with_row_number_union_and_distinct_match_the_interpreter() {
+        let inner = Select::new()
+            .item(Expr::col("x", "tag"), "tag")
+            .item(Expr::row_number(vec![Expr::col("x", "n")]), "rank")
+            .from_named("nums", "x");
+        let outer = Select::new()
+            .item(Expr::col("q", "tag"), "tag")
+            .from_named("q", "q")
+            .filter(Expr::binop(BinOp::Le, Expr::col("q", "rank"), Expr::lit(2)))
+            .distinct();
+        let q = Query::with("q", inner, Query::select(outer));
+        let (i, v) = run_both(&engine(), &q);
+        assert_eq!(i, v);
+    }
+
+    #[test]
+    fn correlated_exists_matches_the_interpreter() {
+        let sub = Query::select(
+            Select::new()
+                .item(Expr::lit(1), "one")
+                .from_named("nums", "y")
+                .filter(Expr::and(
+                    Expr::eq(Expr::col("y", "tag"), Expr::col("x", "tag")),
+                    Expr::binop(BinOp::Gt, Expr::col("y", "n"), Expr::col("x", "n")),
+                )),
+        );
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("x", "n"), "n")
+                .from_named("nums", "x")
+                .filter(Expr::not(Expr::Exists(Box::new(sub)))),
+        );
+        let (i, v) = run_both(&engine(), &q);
+        assert_eq!(i, v);
+        // The largest odd and even numbers survive the anti-join.
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn order_by_and_except_all_match_the_interpreter() {
+        let all = Select::new()
+            .item(Expr::col("x", "tag"), "tag")
+            .from_named("nums", "x")
+            .order_by(Expr::col("x", "n"));
+        let odd = Select::new()
+            .item(Expr::col("x", "tag"), "tag")
+            .from_named("nums", "x")
+            .filter(Expr::eq(Expr::col("x", "tag"), Expr::lit("odd")));
+        let q = Query::ExceptAll(Box::new(Query::select(all)), Box::new(Query::select(odd)));
+        let (i, v) = run_both(&engine(), &q);
+        assert_eq!(i, v);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn a_plan_compiled_against_a_different_layout_is_refused() {
+        use crate::plan::{plan_query, SchemaCatalog};
+        // The plan resolves columns positionally against (n, tag)…
+        let stale = SchemaCatalog::new(vec![TableDef::new(
+            "nums",
+            vec![("tag", ColumnType::Text), ("n", ColumnType::Int)],
+        )]);
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("x", "n"), "n")
+                .from_named("nums", "x"),
+        );
+        let plan = plan_query(&q, &stale).unwrap();
+        // …but the engine's table stores (n, tag): refuse, don't transpose.
+        let err = engine().execute_plan(&plan).unwrap_err();
+        assert!(
+            err.to_string().contains("different") || err.to_string().contains("columns"),
+            "got: {}",
+            err
+        );
+    }
+
+    #[test]
+    fn select_without_from_yields_one_row() {
+        let q = Query::select(Select::new().item(Expr::lit(42), "x"));
+        let (i, v) = run_both(&engine(), &q);
+        assert_eq!(i, v);
+        assert_eq!(v.rows, vec![vec![SqlValue::Int(42)]]);
+    }
+}

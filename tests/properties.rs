@@ -156,6 +156,33 @@ fn the_sql_path_preserves_semantics() {
     });
 }
 
+/// Printer↔parser round trip: every SQL string `core::sqlgen` produces for
+/// the paper's benchmark suite (QF1–QF6 and Q1–Q6) parses back to an AST
+/// that prints identically.
+#[test]
+fn generated_sql_round_trips_through_the_parser() {
+    let schema = organisation_schema();
+    let mut queries = datagen::queries::flat_queries();
+    queries.extend(datagen::queries::nested_queries());
+    let mut stages = 0;
+    for (name, q) in queries {
+        let compiled = compile(&q, &schema).unwrap();
+        for sql in compiled.sql_texts() {
+            let parsed = query_shredding::sqlengine::parse_query(&sql).unwrap_or_else(|e| {
+                panic!("{}: generated SQL fails to parse: {}\n{}", name, e, sql)
+            });
+            let reprinted = query_shredding::sqlengine::print_query(&parsed);
+            assert_eq!(
+                reprinted, sql,
+                "{}: print ∘ parse is not the identity",
+                name
+            );
+            stages += 1;
+        }
+    }
+    assert!(stages >= 12, "the suite must cover every query's stages");
+}
+
 /// The loop-lifting baseline is also correct (it is only slower).
 #[test]
 fn loop_lifting_preserves_semantics() {

@@ -42,6 +42,29 @@ fn a_second_execution_of_the_same_query_skips_recompilation() {
 }
 
 #[test]
+fn cached_plans_re_execute_without_parsing_or_planning() {
+    let session = Shredder::over(small_db()).unwrap();
+    let q = datagen::queries::q4();
+
+    // First run: one cache miss compiles the stages, including their
+    // physical plans (planned against the schema, not the engine).
+    session.run(&q).unwrap();
+    // Repeat runs are cache hits; execution runs the cached physical plans
+    // directly, so the engine itself never parses or plans anything.
+    for _ in 0..3 {
+        session.run(&q).unwrap();
+    }
+    let stats = session.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (3, 1));
+    assert_eq!(
+        session.engine().unwrap().plans_built(),
+        0,
+        "re-executing a cached PreparedQuery must do zero engine-side \
+         parsing or planning"
+    );
+}
+
+#[test]
 fn the_cache_is_keyed_on_the_normal_form() {
     let session = Shredder::over(small_db()).unwrap();
     // Two syntactically different writings that normalise to the same
@@ -195,6 +218,10 @@ fn explain_reports_per_stage_sql_indexes_and_layout() {
     for stage in &explain.stages {
         assert!(stage.sql.is_some());
         assert!(!stage.columns.is_empty());
+        assert!(
+            stage.physical.is_some(),
+            "the sqlengine backend pre-plans every stage"
+        );
     }
     let text = explain.to_string();
     assert!(text.contains("backend=sqlengine"));
@@ -202,6 +229,11 @@ fn explain_reports_per_stage_sql_indexes_and_layout() {
     assert!(
         text.contains("ROW_NUMBER"),
         "inner stages number their rows"
+    );
+    assert!(
+        text.contains("physical plan:") && text.contains("TableScan"),
+        "explain renders the physical plan alongside the SQL:\n{}",
+        text
     );
 }
 
