@@ -14,10 +14,12 @@
 use nrc::types::{BaseType, Type};
 use nrc::value::Value;
 use shredding::error::ShredError;
-use shredding::session::{BackendPlan, ExecContext, PlanRequest, SqlBackend, StageExplain};
+use shredding::session::{
+    BackendPlan, Bindings, ExecContext, PlanRequest, SqlBackend, StageExplain,
+};
 
-use crate::flat_default::{compile_flat, execute_flat, FlatCompiled};
-use crate::looplift::{compile_looplift, execute_looplift, LoopLiftedQuery};
+use crate::flat_default::{compile_flat, execute_flat_bound, FlatCompiled};
+use crate::looplift::{compile_looplift, execute_looplift_bound, LoopLiftedQuery};
 use crate::vandenbussche::{encode, NestedRelation};
 
 /// The loop-lifting baseline as a session backend (paper Figure 1(b)).
@@ -47,9 +49,14 @@ impl SqlBackend for LoopLiftBackend {
         Ok(BackendPlan::new(stages, compiled))
     }
 
-    fn execute(&self, plan: &BackendPlan, cx: &ExecContext<'_>) -> Result<Value, ShredError> {
+    fn execute(
+        &self,
+        plan: &BackendPlan,
+        cx: &ExecContext<'_>,
+        bindings: &Bindings,
+    ) -> Result<Value, ShredError> {
         let compiled: &LoopLiftedQuery = plan.downcast()?;
-        execute_looplift(compiled, cx.engine()?)
+        execute_looplift_bound(compiled, cx.engine()?, &bindings.to_sql_params()?)
     }
 }
 
@@ -75,9 +82,14 @@ impl SqlBackend for FlatDefaultBackend {
         Ok(BackendPlan::new(stages, compiled))
     }
 
-    fn execute(&self, plan: &BackendPlan, cx: &ExecContext<'_>) -> Result<Value, ShredError> {
+    fn execute(
+        &self,
+        plan: &BackendPlan,
+        cx: &ExecContext<'_>,
+        bindings: &Bindings,
+    ) -> Result<Value, ShredError> {
         let compiled: &FlatCompiled = plan.downcast()?;
-        execute_flat(compiled, cx.engine()?)
+        execute_flat_bound(compiled, cx.engine()?, &bindings.to_sql_params()?)
     }
 }
 
@@ -144,9 +156,15 @@ impl SqlBackend for VandenBusscheBackend {
         Ok(BackendPlan::new(stages, req.term.clone()))
     }
 
-    fn execute(&self, plan: &BackendPlan, cx: &ExecContext<'_>) -> Result<Value, ShredError> {
+    fn execute(
+        &self,
+        plan: &BackendPlan,
+        cx: &ExecContext<'_>,
+        bindings: &Bindings,
+    ) -> Result<Value, ShredError> {
         let term: &nrc::Term = plan.downcast()?;
-        let value = nrc::eval(term, cx.db()?).map_err(ShredError::Eval)?;
+        let value = nrc::eval_with_params(term, cx.db()?, &bindings.to_value_map())
+            .map_err(ShredError::Eval)?;
         let relation = NestedRelation::from_value(&value).map_err(ShredError::Decode)?;
         // Round-trip through the simulation's flat representation.
         let decoded = encode(&relation).decode();

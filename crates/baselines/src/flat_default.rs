@@ -111,7 +111,17 @@ impl FlatCompiled {
 
 /// Execute a compiled flat query and convert the rows back to λNRC values.
 pub fn execute_flat(compiled: &FlatCompiled, engine: &Engine) -> Result<Value, ShredError> {
-    let rs = engine.execute(&compiled.sql)?;
+    execute_flat_bound(compiled, engine, &sqlengine::ParamValues::new())
+}
+
+/// Execute a compiled flat query with bound values for its `:name`
+/// placeholders.
+pub fn execute_flat_bound(
+    compiled: &FlatCompiled,
+    engine: &Engine,
+    params: &sqlengine::ParamValues,
+) -> Result<Value, ShredError> {
+    let rs = engine.execute_bound(&compiled.sql, params)?;
     decode_flat(compiled, &rs)
 }
 
@@ -163,6 +173,7 @@ fn expr_of_base(base: &NfBase) -> Result<Expr, ShredError> {
             Constant::String(s) => sqlengine::SqlValue::str(s.clone()),
             Constant::Unit => sqlengine::SqlValue::Int(0),
         }),
+        NfBase::Param(name, _) => Expr::param(name),
         NfBase::Prim(PrimOp::Not, args) => Expr::not(expr_of_base(&args[0])?),
         NfBase::Prim(op, args) => {
             let binop = match op {

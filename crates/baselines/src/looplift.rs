@@ -86,9 +86,19 @@ pub fn compile_looplift(term: &Term, schema: &Schema) -> Result<LoopLiftedQuery,
 
 /// Execute a loop-lifted query and stitch the results.
 pub fn execute_looplift(compiled: &LoopLiftedQuery, engine: &Engine) -> Result<Value, ShredError> {
+    execute_looplift_bound(compiled, engine, &sqlengine::ParamValues::new())
+}
+
+/// Execute a loop-lifted query with bound values for its `:name`
+/// placeholders.
+pub fn execute_looplift_bound(
+    compiled: &LoopLiftedQuery,
+    engine: &Engine,
+    params: &sqlengine::ParamValues,
+) -> Result<Value, ShredError> {
     let results: Package<ShredResult> =
         compiled.stages.try_map(&mut |stage: &LoopLiftedStage| {
-            let rs = engine.execute(&stage.sql)?;
+            let rs = engine.execute_bound(&stage.sql, params)?;
             stage.layout.decode(&rs)
         })?;
     stitch(&results, IndexScheme::Flat)
@@ -349,6 +359,7 @@ fn lifted_expr(
             Constant::String(s) => value_to_sql(&Value::String(s.clone()))?,
             Constant::Unit => value_to_sql(&Value::Unit)?,
         }),
+        LetBase::Param(name, _) => Expr::param(name),
         LetBase::Prim(PrimOp::Not, args) => Expr::not(lifted_expr(
             &args[0], outer_gens, inner_gens, in_context, schema,
         )?),

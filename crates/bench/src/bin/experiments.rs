@@ -9,6 +9,7 @@
 //! experiments --max-departments 64      # extend the scaling sweep
 //! experiments --check                    # verify every result against N⟦−⟧
 //! experiments --vexec-json BENCH_pr2.json  # interpreter vs. vectorized engine
+//! experiments --params-json BENCH_pr3.json # bound re-execution vs. replanning
 //! ```
 //!
 //! Output layout mirrors the paper: one row per query and system, one column
@@ -25,6 +26,8 @@ struct Options {
     runs: usize,
     check: bool,
     vexec_json: Option<String>,
+    params_json: Option<String>,
+    param_bindings: usize,
 }
 
 fn parse_args() -> Options {
@@ -37,6 +40,8 @@ fn parse_args() -> Options {
         runs: 3,
         check: false,
         vexec_json: None,
+        params_json: None,
+        param_bindings: 64,
     };
     let mut i = 0;
     let mut any = false;
@@ -86,10 +91,28 @@ fn parse_args() -> Options {
                 opts.vexec_json = Some(path);
                 any = true;
             }
+            "--params-json" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--params-json expects a file path");
+                    std::process::exit(2);
+                });
+                opts.params_json = Some(path);
+                any = true;
+            }
+            "--param-bindings" => {
+                i += 1;
+                opts.param_bindings =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--param-bindings expects a number");
+                        std::process::exit(2);
+                    });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--figure 10|11] [--appendix-a] [--all] \
-                     [--max-departments N] [--runs N] [--check] [--vexec-json PATH]"
+                     [--max-departments N] [--runs N] [--check] [--vexec-json PATH] \
+                     [--params-json PATH] [--param-bindings N]"
                 );
                 std::process::exit(0);
             }
@@ -231,6 +254,58 @@ fn vexec_report(path: &str, opts: &Options) {
     println!("wrote {}", path);
 }
 
+/// The PR 3 parametric-workload comparison: one prepared shape re-executed
+/// with N distinct bindings (bind variables) against replanning per
+/// constant. Writes the machine-readable report and fails the process if the
+/// ad-hoc plan-cache hit rate is zero (auto-parameterization regressed).
+fn params_report(path: &str, opts: &Options) {
+    let instance = Instance::at_scale(opts.max_departments);
+    println!(
+        "\n=== Bound re-execution vs. replanning ({} departments, {} bindings, median of {}) ===",
+        instance.departments, opts.param_bindings, opts.runs
+    );
+    println!(
+        "{:<14} {:>10} {:>13} {:>14} {:>9} {:>10} {:>8}",
+        "workload", "prepare ms", "bound ms/exec", "replan ms/exec", "speedup", "hit rate", "plans"
+    );
+    let rows = bench::compare_params(&instance, opts.param_bindings, opts.runs);
+    for row in &rows {
+        println!(
+            "{:<14} {:>10.4} {:>13.4} {:>14.4} {:>8.1}x {:>9.1}% {:>8}",
+            row.workload,
+            row.prepare_ms,
+            row.bound_per_exec_ms,
+            row.replan_per_exec_ms,
+            row.speedup(),
+            row.cache_hit_rate * 100.0,
+            row.engine_plans_built_during_bound,
+        );
+    }
+    let json = bench::params_report_json(&instance, opts.runs, &rows);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {}: {}", path, e);
+        std::process::exit(1);
+    }
+    println!("wrote {}", path);
+    for row in &rows {
+        if row.cache_hit_rate <= 0.0 {
+            eprintln!(
+                "FAIL: workload {} has a 0% plan-cache hit rate — queries differing \
+                 only in constants are not sharing plans",
+                row.workload
+            );
+            std::process::exit(1);
+        }
+        if row.engine_plans_built_during_bound > 0 {
+            eprintln!(
+                "FAIL: workload {} built {} engine plans during bound re-execution",
+                row.workload, row.engine_plans_built_during_bound
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let scales = department_scales(opts.max_departments);
@@ -281,5 +356,8 @@ fn main() {
     }
     if let Some(path) = &opts.vexec_json {
         vexec_report(path, &opts);
+    }
+    if let Some(path) = &opts.params_json {
+        params_report(path, &opts);
     }
 }

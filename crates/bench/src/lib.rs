@@ -361,6 +361,263 @@ pub fn vexec_report_json(instance: &Instance, runs: usize, rows: &[VexecComparis
     out
 }
 
+// ---------------------------------------------------------------------------
+// Parameterized prepared queries (the PR 3 bind-variable comparison)
+// ---------------------------------------------------------------------------
+
+/// One parametric-workload comparison: a single prepared shape re-executed
+/// with `bindings` distinct parameter bindings versus replanning the query
+/// once per constant, plus the plan-cache hit rate of the equivalent ad-hoc
+/// (auto-parameterized) workload.
+#[derive(Debug, Clone)]
+pub struct ParamsComparison {
+    pub workload: String,
+    /// Number of distinct bindings executed.
+    pub bindings: usize,
+    /// Median time of one full compile (normalise → shred → SQL → plan).
+    pub prepare_ms: f64,
+    /// Median per-execution time of `execute_bound` on the single prepared
+    /// shape.
+    pub bound_per_exec_ms: f64,
+    /// Median per-execution time of the replan path (compile + execute per
+    /// constant).
+    pub replan_per_exec_ms: f64,
+    /// Plan-cache hit rate of the ad-hoc workload (N `run` calls whose
+    /// constants differ), under auto-parameterization.
+    pub cache_hit_rate: f64,
+    /// Engine-side plans built while re-executing the prepared shape
+    /// (must be zero: binding never reaches the planner).
+    pub engine_plans_built_during_bound: u64,
+}
+
+impl ParamsComparison {
+    /// Replan time over bound-execution time (>1 means binding wins).
+    pub fn speedup(&self) -> f64 {
+        if self.bound_per_exec_ms > 0.0 {
+            self.replan_per_exec_ms / self.bound_per_exec_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// One parametric workload: a parameterized term plus a generator producing
+/// the i-th binding set and the equivalent constant-inlined term.
+struct ParamWorkload {
+    name: &'static str,
+    term: Term,
+    bind: Box<dyn Fn(usize) -> shredding::session::Params>,
+    inline: Box<dyn Fn(usize) -> Term>,
+}
+
+fn param_workloads(departments: usize) -> Vec<ParamWorkload> {
+    use nrc::builder::*;
+    let dept_name = move |i: usize| format!("dept_{:05}", i % departments.max(1));
+    let cutoff = |i: usize| (i as i64 % 7) * 10_000;
+
+    let flat = |dpt: Term, cut: Term| {
+        for_where(
+            "e",
+            table("employees"),
+            and(
+                eq(project(var("e"), "dept"), dpt),
+                gt(project(var("e"), "salary"), cut),
+            ),
+            singleton(record(vec![("name", project(var("e"), "name"))])),
+        )
+    };
+    let nested = |dpt: Term| {
+        for_where(
+            "e",
+            table("employees"),
+            eq(project(var("e"), "dept"), dpt),
+            singleton(record(vec![
+                ("name", project(var("e"), "name")),
+                (
+                    "tasks",
+                    for_where(
+                        "t",
+                        table("tasks"),
+                        eq(project(var("t"), "employee"), project(var("e"), "name")),
+                        singleton(project(var("t"), "task")),
+                    ),
+                ),
+            ])),
+        )
+    };
+    let anti = |cut: Term| {
+        for_where(
+            "d",
+            table("departments"),
+            is_empty(for_where(
+                "e",
+                table("employees"),
+                and(
+                    eq(project(var("e"), "dept"), project(var("d"), "name")),
+                    gt(project(var("e"), "salary"), cut),
+                ),
+                singleton(var("e")),
+            )),
+            singleton(project(var("d"), "name")),
+        )
+    };
+
+    vec![
+        ParamWorkload {
+            name: "flat-filter",
+            term: flat(string_param("dpt"), int_param("cutoff")),
+            bind: Box::new(move |i| {
+                shredding::session::Params::new()
+                    .bind("dpt", dept_name(i).as_str())
+                    .bind("cutoff", cutoff(i))
+            }),
+            inline: Box::new(move |i| flat(string(&dept_name(i)), int(cutoff(i)))),
+        },
+        ParamWorkload {
+            name: "nested-tasks",
+            term: nested(string_param("dpt")),
+            bind: Box::new(move |i| {
+                shredding::session::Params::new().bind("dpt", dept_name(i).as_str())
+            }),
+            inline: Box::new(move |i| nested(string(&dept_name(i)))),
+        },
+        ParamWorkload {
+            name: "anti-join",
+            term: anti(int_param("cutoff")),
+            bind: Box::new(move |i| shredding::session::Params::new().bind("cutoff", cutoff(i))),
+            inline: Box::new(move |i| anti(int(cutoff(i)))),
+        },
+    ]
+}
+
+/// Compare bound re-execution of one prepared shape against replanning per
+/// constant, over `bindings` distinct binding sets, for each parametric
+/// workload. Also reports the plan-cache hit rate of the equivalent ad-hoc
+/// workload (the auto-parameterization path) and verifies that bound
+/// execution agrees with the reference semantics on every binding.
+pub fn compare_params(instance: &Instance, bindings: usize, runs: usize) -> Vec<ParamsComparison> {
+    let db = instance.db().clone();
+    let engine = instance
+        .session(System::Shredding)
+        .shared_engine()
+        .expect("the instance's engine is loaded");
+    let bindings = bindings.max(1);
+    let mut out = Vec::new();
+    for workload in param_workloads(instance.departments) {
+        // The bound path: one prepared shape, N bindings.
+        let session = Shredder::builder()
+            .database(db.clone())
+            .engine(engine.clone())
+            .build()
+            .expect("generated data always configures a session");
+        let prepare_ms = median_ms(runs, || session.prepare_uncached(&workload.term).unwrap());
+        let prepared = session.prepare(&workload.term).expect("workload prepares");
+        // Correctness: every binding must agree with the reference semantics.
+        for i in 0..bindings {
+            let params = (workload.bind)(i);
+            let bound = session.execute_bound(&prepared, &params).unwrap();
+            let reference = session.oracle_bound(&workload.term, &params).unwrap();
+            assert!(
+                bound.multiset_eq(&reference),
+                "{}: bound execution disagrees with the oracle on binding {}",
+                workload.name,
+                i
+            );
+        }
+        let plans_before = engine.plans_built();
+        let bound_total_ms = median_ms(runs, || {
+            for i in 0..bindings {
+                std::hint::black_box(
+                    session
+                        .execute_bound(&prepared, &(workload.bind)(i))
+                        .unwrap(),
+                );
+            }
+        });
+        let engine_plans_built_during_bound = engine.plans_built() - plans_before;
+
+        // The replan path: compile + execute once per constant.
+        let replan = Shredder::builder()
+            .database(db.clone())
+            .engine(engine.clone())
+            .without_plan_cache()
+            .build()
+            .expect("generated data always configures a session");
+        let replan_total_ms = median_ms(runs, || {
+            for i in 0..bindings {
+                let term = (workload.inline)(i);
+                let prepared = replan.prepare_uncached(&term).unwrap();
+                std::hint::black_box(replan.execute(&prepared).unwrap());
+            }
+        });
+
+        // The ad-hoc path: N `run` calls whose constants differ share one
+        // plan thanks to auto-parameterization; report the hit rate.
+        let adhoc = Shredder::builder()
+            .database(db.clone())
+            .engine(engine.clone())
+            .build()
+            .expect("generated data always configures a session");
+        for i in 0..bindings {
+            adhoc.run(&(workload.inline)(i)).unwrap();
+        }
+        let stats = adhoc.cache_stats();
+        let cache_hit_rate = if stats.hits + stats.misses == 0 {
+            0.0
+        } else {
+            stats.hits as f64 / (stats.hits + stats.misses) as f64
+        };
+
+        out.push(ParamsComparison {
+            workload: workload.name.to_string(),
+            bindings,
+            prepare_ms,
+            bound_per_exec_ms: bound_total_ms / bindings as f64,
+            replan_per_exec_ms: replan_total_ms / bindings as f64,
+            cache_hit_rate,
+            engine_plans_built_during_bound,
+        });
+    }
+    out
+}
+
+/// Render the parametric comparison as the machine-readable `BENCH_pr3.json`
+/// document (hand-rolled: the workspace has no serde).
+pub fn params_report_json(instance: &Instance, runs: usize, rows: &[ParamsComparison]) -> String {
+    fn f(x: f64) -> String {
+        if x.is_finite() {
+            format!("{:.4}", x)
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"parameterized-prepared-queries\",\n");
+    out.push_str(&format!(
+        "  \"departments\": {},\n  \"runs\": {},\n",
+        instance.departments, runs
+    ));
+    out.push_str("  \"workloads\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"bindings\": {}, \"prepare_ms\": {}, \
+             \"bound_per_exec_ms\": {}, \"replan_per_exec_ms\": {}, \"speedup\": {}, \
+             \"cache_hit_rate\": {}, \"engine_plans_built_during_bound\": {}}}{}\n",
+            row.workload,
+            row.bindings,
+            f(row.prepare_ms),
+            f(row.bound_per_exec_ms),
+            f(row.replan_per_exec_ms),
+            f(row.speedup()),
+            f(row.cache_hit_rate),
+            row.engine_plans_built_during_bound,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// A minimal timing harness for the `benches/` targets (the workspace builds
 /// without external crates, so Criterion is not available): warm up once,
 /// time `iters` runs, report the median.

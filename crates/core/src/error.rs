@@ -31,6 +31,22 @@ pub enum ShredError {
     InvalidIndexing(String),
     /// A shredded result row could not be decoded back into a nested value.
     Decode(String),
+    /// A parameter required by the prepared query was not bound at execution
+    /// time.
+    MissingParam {
+        name: String,
+        expected: nrc::BaseType,
+    },
+    /// A bound value's type does not match the parameter's declared type, or
+    /// the same parameter name was declared at two different types.
+    ParamTypeMismatch {
+        name: String,
+        expected: String,
+        found: String,
+    },
+    /// A binding was supplied for a parameter name the prepared query does
+    /// not declare.
+    UnknownParam { name: String, declared: Vec<String> },
     /// A `Shredder` session was misconfigured (builder validation, missing
     /// database, or a prepared query used with the wrong session).
     Config(String),
@@ -62,6 +78,37 @@ impl fmt::Display for ShredError {
             }
             ShredError::InvalidIndexing(msg) => write!(f, "invalid indexing scheme: {}", msg),
             ShredError::Decode(msg) => write!(f, "cannot decode shredded result: {}", msg),
+            ShredError::MissingParam { name, expected } => write!(
+                f,
+                "missing binding for parameter ?{} : {}; bind a value with \
+                 Params::new().bind(\"{}\", …) and execute with execute_bound",
+                name, expected, name
+            ),
+            ShredError::ParamTypeMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "parameter ?{} expects a value of type {} but was bound to {}",
+                name, expected, found
+            ),
+            ShredError::UnknownParam { name, declared } => {
+                if declared.is_empty() {
+                    write!(
+                        f,
+                        "unknown parameter \"{}\": the prepared query declares no parameters",
+                        name
+                    )
+                } else {
+                    write!(
+                        f,
+                        "unknown parameter \"{}\": the prepared query declares only [{}]",
+                        name,
+                        declared.join(", ")
+                    )
+                }
+            }
             ShredError::Config(msg) => write!(f, "session configuration error: {}", msg),
             ShredError::Internal(msg) => write!(f, "internal error: {}", msg),
         }

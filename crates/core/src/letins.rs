@@ -82,6 +82,9 @@ pub enum LetBase {
         path: Vec<String>,
     },
     Const(Constant),
+    /// A typed bind variable `?name : O`; SQL generation renders it as the
+    /// named placeholder `:name`.
+    Param(String, nrc::BaseType),
     Prim(PrimOp, Vec<LetBase>),
     /// `empty L` over a (binding-free) let-inserted query.
     IsEmpty(Box<LetQuery>),
@@ -244,6 +247,7 @@ fn translate_base(base: &ShBase, outer_vars: &[String]) -> Result<LetBase, Shred
             },
         },
         ShBase::Const(c) => LetBase::Const(c.clone()),
+        ShBase::Param(name, ty) => LetBase::Param(name.clone(), *ty),
         ShBase::Prim(op, args) => LetBase::Prim(
             *op,
             args.iter()
@@ -279,7 +283,7 @@ fn rewrite_outer_refs(base: &LetBase, outer_vars: &[String]) -> Result<LetBase, 
                 None => base.clone(),
             }
         }
-        LetBase::Proj { .. } | LetBase::Const(_) => base.clone(),
+        LetBase::Proj { .. } | LetBase::Const(_) | LetBase::Param(_, _) => base.clone(),
         LetBase::Prim(op, args) => LetBase::Prim(
             *op,
             args.iter()
@@ -540,6 +544,10 @@ fn eval_let_base(
             }
         }
         LetBase::Const(c) => Ok(Value::from_constant(c)),
+        LetBase::Param(name, ty) => Err(ShredError::MissingParam {
+            name: name.clone(),
+            expected: *ty,
+        }),
         LetBase::Prim(op, args) => {
             let vals = args
                 .iter()
@@ -674,7 +682,7 @@ mod tests {
         fn mentions_z(b: &LetBase) -> bool {
             match b {
                 LetBase::Proj { var, .. } => var == OUTER_VAR,
-                LetBase::Const(_) => false,
+                LetBase::Const(_) | LetBase::Param(_, _) => false,
                 LetBase::Prim(_, args) => args.iter().any(mentions_z),
                 LetBase::IsEmpty(_) => false,
             }

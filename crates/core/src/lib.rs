@@ -88,13 +88,12 @@ pub use error::ShredError;
 pub use flatten::ResultLayout;
 pub use nf::{NormQuery, StaticIndex};
 pub use normalise::{normalise, normalise_with_type};
-pub use pipeline::{compile, engine_from_database, execute, CompiledQuery};
-#[allow(deprecated)]
-pub use pipeline::{run, run_in_memory};
+pub use pipeline::{compile, engine_from_database, execute, execute_bound, CompiledQuery};
 pub use semantics::{IndexScheme, IndexTables, IndexValue};
 pub use session::{
-    BackendPlan, CacheStats, ExecContext, Explain, NestedOracleBackend, PlanRequest, PreparedQuery,
-    ShreddedMemoryBackend, Shredder, ShredderBuilder, SqlBackend, SqlEngineBackend, StageExplain,
+    auto_parameterize, BackendPlan, Bindings, CacheStats, ExecContext, Explain,
+    NestedOracleBackend, ParamSpec, Params, PlanRequest, PreparedQuery, ShreddedMemoryBackend,
+    Shredder, ShredderBuilder, SqlBackend, SqlEngineBackend, StageExplain,
 };
 pub use shred::{shred_query, shred_type, Package, ShreddedQuery, ShreddedType};
 pub use stitch::stitch;

@@ -17,6 +17,8 @@
 
 use nrc::builder;
 use nrc::term::{Constant, PrimOp, Term};
+use nrc::types::BaseType;
+use std::collections::HashMap;
 use std::fmt;
 
 /// A static index: the unique name `a` attached to each `returnᵃ`.
@@ -109,8 +111,14 @@ pub enum NfTerm {
 /// an emptiness test over a nested query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NfBase {
-    Proj { var: String, field: String },
+    Proj {
+        var: String,
+        field: String,
+    },
     Const(Constant),
+    /// A typed bind variable `?name : O`, preserved through normalisation as
+    /// an opaque atom; its value is supplied at execution time.
+    Param(String, BaseType),
     Prim(PrimOp, Vec<NfBase>),
     IsEmpty(Box<NormQuery>),
 }
@@ -152,10 +160,27 @@ impl NfBase {
         match self {
             NfBase::Proj { var, field } => builder::project(builder::var(var), field),
             NfBase::Const(c) => Term::Const(c.clone()),
+            NfBase::Param(name, ty) => Term::Param(name.clone(), *ty),
             NfBase::Prim(op, args) => {
                 Term::PrimApp(*op, args.iter().map(NfBase::to_term).collect())
             }
             NfBase::IsEmpty(q) => builder::is_empty(q.to_term()),
+        }
+    }
+
+    /// Replace parameters with the bound constants. Parameters without a
+    /// binding are left in place.
+    pub fn bind_params(&self, bindings: &HashMap<String, Constant>) -> NfBase {
+        match self {
+            NfBase::Param(name, _) => match bindings.get(name) {
+                Some(c) => NfBase::Const(c.clone()),
+                None => self.clone(),
+            },
+            NfBase::Proj { .. } | NfBase::Const(_) => self.clone(),
+            NfBase::Prim(op, args) => {
+                NfBase::Prim(*op, args.iter().map(|a| a.bind_params(bindings)).collect())
+            }
+            NfBase::IsEmpty(q) => NfBase::IsEmpty(Box::new(q.bind_params(bindings))),
         }
     }
 
@@ -169,7 +194,7 @@ impl NfBase {
                         acc.push(var.clone());
                     }
                 }
-                NfBase::Const(_) => {}
+                NfBase::Const(_) | NfBase::Param(_, _) => {}
                 NfBase::Prim(_, args) => args.iter().for_each(|a| go(a, acc)),
                 NfBase::IsEmpty(q) => {
                     for v in q.to_term().free_vars() {
@@ -198,6 +223,20 @@ impl NfTerm {
                     .collect(),
             ),
             NfTerm::Query(q) => q.to_term(),
+        }
+    }
+
+    /// Replace parameters with the bound constants.
+    pub fn bind_params(&self, bindings: &HashMap<String, Constant>) -> NfTerm {
+        match self {
+            NfTerm::Base(b) => NfTerm::Base(b.bind_params(bindings)),
+            NfTerm::Record(fields) => NfTerm::Record(
+                fields
+                    .iter()
+                    .map(|(l, t)| (l.clone(), t.bind_params(bindings)))
+                    .collect(),
+            ),
+            NfTerm::Query(q) => NfTerm::Query(q.bind_params(bindings)),
         }
     }
 }
@@ -253,6 +292,24 @@ impl NormQuery {
     /// All static indexes occurring in the query, in definition order.
     pub fn tags(&self) -> Vec<StaticIndex> {
         self.branches.iter().flat_map(Comprehension::tags).collect()
+    }
+
+    /// Replace parameters with the bound constants throughout the query
+    /// (used by backends that evaluate normal forms directly rather than
+    /// binding at the engine level).
+    pub fn bind_params(&self, bindings: &HashMap<String, Constant>) -> NormQuery {
+        NormQuery {
+            branches: self
+                .branches
+                .iter()
+                .map(|c| Comprehension {
+                    generators: c.generators.clone(),
+                    condition: c.condition.bind_params(bindings),
+                    tag: c.tag,
+                    body: c.body.bind_params(bindings),
+                })
+                .collect(),
+        }
     }
 
     /// Number of comprehensions (union branches) at the top level.

@@ -101,7 +101,9 @@ fn step(term: &Term) -> Option<Term> {
     }
     // Recurse into children, left to right.
     match term {
-        Term::Var(_) | Term::Const(_) | Term::Table(_) | Term::EmptyBag(_) => None,
+        Term::Var(_) | Term::Const(_) | Term::Param(_, _) | Term::Table(_) | Term::EmptyBag(_) => {
+            None
+        }
         Term::PrimApp(op, args) => step_in_list(args).map(|args| Term::PrimApp(*op, args)),
         Term::If(c, t, e) => {
             step_in_three(c, t, e).map(|(c, t, e)| Term::If(Box::new(c), Box::new(t), Box::new(e)))
@@ -462,6 +464,7 @@ impl<'a> Normaliser<'a> {
                 ))),
             },
             Term::Const(c) => Ok(NfBase::Const(c.clone())),
+            Term::Param(name, ty) => Ok(NfBase::Param(name.clone(), *ty)),
             Term::PrimApp(op, args) => Ok(NfBase::Prim(
                 *op,
                 args.iter()

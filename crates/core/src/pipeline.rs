@@ -118,8 +118,21 @@ pub fn compile_normalised(
 /// on the vectorized executor — repeat executions perform no parsing or
 /// planning work.
 pub fn execute(compiled: &CompiledQuery, engine: &Engine) -> Result<Value, ShredError> {
+    execute_bound(compiled, engine, &sqlengine::ParamValues::new())
+}
+
+/// Execute a compiled query with bound values for its `:name` param slots.
+/// The stages' physical plans are immutable — binding happens inside the
+/// vectorized executor, so re-executing the same compiled query with
+/// different bindings does zero parsing, shredding, SQL generation or
+/// physical planning.
+pub fn execute_bound(
+    compiled: &CompiledQuery,
+    engine: &Engine,
+    params: &sqlengine::ParamValues,
+) -> Result<Value, ShredError> {
     let results: Package<ShredResult> = compiled.stages.try_map(&mut |stage: &QueryStage| {
-        let rs = engine.execute_plan(&stage.plan)?;
+        let rs = engine.execute_plan_bound(&stage.plan, params)?;
         stage.layout.decode(&rs)
     })?;
     stitch(&results, IndexScheme::Flat)
@@ -247,9 +260,9 @@ pub fn engine_from_database(db: &Database) -> Result<Engine, ShredError> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::session::{ShreddedMemoryBackend, Shredder};
     use nrc::builder::*;
     use nrc::schema::TableSchema;
     use nrc::types::BaseType;
@@ -385,11 +398,18 @@ mod tests {
     fn assert_all_paths_agree(q: &Term) {
         let schema = schema();
         let db = db();
-        let reference = eval_nested(q, &db).unwrap();
+        let reference = nrc::eval(q, &db).unwrap();
 
-        // In-memory shredded semantics, all three indexing schemes.
+        // In-memory shredded semantics, all three indexing schemes (through
+        // the session API's shredded-memory backend).
         for scheme in IndexScheme::ALL {
-            let v = run_in_memory(q, &schema, &db, scheme).unwrap();
+            let session = Shredder::builder()
+                .database(db.clone())
+                .backend(Box::new(ShreddedMemoryBackend))
+                .index_scheme(scheme)
+                .build()
+                .unwrap();
+            let v = session.run(q).unwrap();
             assert!(
                 v.multiset_eq(&reference),
                 "in-memory shredding with {} indexes disagrees:\n  expected {}\n  got {}",
@@ -560,7 +580,8 @@ mod tests {
         );
         let db = db();
         let engine = engine_from_database(&db).unwrap();
-        let v = run(&q, &schema(), &engine).unwrap();
+        let compiled = compile(&q, &schema()).unwrap();
+        let v = execute(&compiled, &engine).unwrap();
         let quality = v
             .as_bag()
             .unwrap()

@@ -413,6 +413,12 @@ pub fn eval_nf_base(base: &NfBase, env: &Env, db: &Database) -> Result<Value, Sh
                 .ok_or_else(|| ShredError::Internal(format!("no field {} in {}", field, v)))
         }
         NfBase::Const(c) => Ok(Value::from_constant(c)),
+        // The in-memory evaluators bind parameters by substitution before
+        // evaluation; reaching one here means no binding was supplied.
+        NfBase::Param(name, ty) => Err(ShredError::MissingParam {
+            name: name.clone(),
+            expected: *ty,
+        }),
         NfBase::Prim(op, args) => {
             let vals = args
                 .iter()
@@ -625,6 +631,10 @@ fn eval_sh_base(
                 .ok_or_else(|| ShredError::Internal(format!("no field {} in {}", field, v)))
         }
         ShBase::Const(c) => Ok(Value::from_constant(c)),
+        ShBase::Param(name, ty) => Err(ShredError::MissingParam {
+            name: name.clone(),
+            expected: *ty,
+        }),
         ShBase::Prim(op, args) => {
             let vals = args
                 .iter()

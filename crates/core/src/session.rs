@@ -9,14 +9,25 @@
 //! ```text
 //! Shredder::builder() … .build()      configure: schema, data, backend, indexes
 //!   │
-//!   ├─ prepare(term)  ──▶ PreparedQuery   normalise → (cache?) → backend plan
+//!   ├─ prepare(term)  ──▶ PreparedQuery   auto-param → normalise → (cache?) → plan
 //!   │       │                              │
-//!   │       └─ explain()                   per-stage SQL, layouts, indexes
+//!   │       ├─ explain()                   per-stage SQL, layouts, indexes
+//!   │       └─ params()                    declared bind variables (name : type)
 //!   │
-//!   ├─ execute(&prepared) ──▶ Value        backend-specific execution + stitch
-//!   ├─ run(term)           = prepare + execute
-//!   └─ oracle(term)        = the nested reference semantics N⟦−⟧ (ground truth)
+//!   ├─ execute(&prepared)            ──▶ Value   execution with default bindings
+//!   ├─ execute_bound(&prepared, &p)  ──▶ Value   execution with explicit bindings
+//!   ├─ run(term)            = prepare + execute
+//!   ├─ oracle(term)         = the nested reference semantics N⟦−⟧ (ground truth)
+//!   └─ oracle_bound(term,p) = N⟦−⟧ under a parameter binding environment
 //! ```
+//!
+//! Queries may declare typed **parameters** (bind variables) — explicitly
+//! with [`nrc::builder::param`], or implicitly via the session's
+//! auto-parameterization, which lifts integer and string literals out of
+//! ad-hoc terms so queries differing only in such constants share one
+//! cached plan. The plan cache is keyed on the *param-shape* normal form;
+//! re-executing a prepared shape with fresh bindings performs zero parsing,
+//! shredding, SQL generation or physical planning.
 //!
 //! Two backends ship with this crate: [`SqlEngineBackend`] (shred to SQL,
 //! execute on the in-memory `sqlengine`, stitch — the paper's Figure 1(c))
@@ -34,7 +45,7 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::error::ShredError;
-use crate::flatten::ResultLayout;
+use crate::flatten::{value_to_sql, ResultLayout};
 use crate::nf::NormQuery;
 use crate::normalise::normalise_with_type;
 use crate::pipeline::{self, CompiledQuery};
@@ -42,13 +53,150 @@ use crate::semantics::{eval_shredded_package, IndexScheme, IndexTables};
 use crate::shred::{package_by, shred_query, shred_type, Package, ShreddedQuery};
 use crate::stitch::stitch;
 use nrc::schema::{Database, Schema};
-use nrc::term::Term;
-use nrc::types::Type;
+use nrc::term::{Constant, Term};
+use nrc::types::{BaseType, Type};
 use nrc::value::Value;
 use sqlengine::Engine;
 
 /// Default number of plans the session keeps cached.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Parameters and bindings
+// ---------------------------------------------------------------------------
+
+/// One declared parameter of a prepared query: its name and base type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// The parameter's name (without the `?` / `:` sigil).
+    pub name: String,
+    /// The parameter's declared base type.
+    pub ty: BaseType,
+}
+
+impl fmt::Display for ParamSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{} : {}", self.name, self.ty)
+    }
+}
+
+/// A set of named parameter bindings, built fluently and passed to
+/// [`Shredder::execute_bound`]:
+///
+/// ```
+/// use shredding::session::Params;
+/// use nrc::value::Value;
+/// let params = Params::new()
+///     .bind("dpt", "Sales")
+///     .bind("cutoff", 1000i64);
+/// assert_eq!(params.get("cutoff"), Some(&Value::Int(1000)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params {
+    values: Vec<(String, Value)>,
+}
+
+impl Params {
+    /// An empty binding set.
+    pub fn new() -> Params {
+        Params::default()
+    }
+
+    /// Bind `name` to a value, replacing any earlier binding of the same
+    /// name. Accepts anything convertible into a [`Value`] (`i64`, `bool`,
+    /// `&str`, `String`, or a `Value` itself).
+    pub fn bind(mut self, name: &str, value: impl Into<Value>) -> Params {
+        self.set(name, value);
+        self
+    }
+
+    /// Non-consuming version of [`bind`](Params::bind).
+    pub fn set(&mut self, name: &str, value: impl Into<Value>) {
+        let value = value.into();
+        match self.values.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.values.push((name.to_string(), value)),
+        }
+    }
+
+    /// The bound value of a name, if any.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Iterate over the bindings in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.values.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Is the binding set empty?
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Fully resolved parameter values handed to a backend's `execute`: one
+/// type-checked value per declared parameter of the plan. Produced by the
+/// session from the prepared query's defaults overlaid with the caller's
+/// [`Params`]; backends never see missing or mistyped bindings.
+#[derive(Debug, Clone, Default)]
+pub struct Bindings {
+    values: Vec<(String, Value)>,
+}
+
+impl Bindings {
+    /// No bindings (for parameter-free plans).
+    pub fn none() -> Bindings {
+        Bindings::default()
+    }
+
+    /// The bound value of a name, if any.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Are there no bindings?
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate over the bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.values.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// The bindings as engine-level SQL parameter values (for backends that
+    /// ship plans with `:name` slots to the vectorized executor).
+    pub fn to_sql_params(&self) -> Result<sqlengine::ParamValues, ShredError> {
+        let mut out = sqlengine::ParamValues::new();
+        for (name, value) in &self.values {
+            out.insert(name.clone(), value_to_sql(value)?);
+        }
+        Ok(out)
+    }
+
+    /// The bindings as constants (for backends that substitute parameters
+    /// into terms or normal forms before evaluating).
+    pub fn to_constants(&self) -> HashMap<String, Constant> {
+        self.values
+            .iter()
+            .filter_map(|(n, v)| v.as_constant().map(|c| (n.clone(), c)))
+            .collect()
+    }
+
+    /// The bindings as a λNRC evaluation parameter environment.
+    pub fn to_value_map(&self) -> nrc::ParamBindings {
+        self.values
+            .iter()
+            .map(|(n, v)| (n.clone(), v.clone()))
+            .collect()
+    }
+}
 
 // ---------------------------------------------------------------------------
 // The backend trait
@@ -58,7 +206,7 @@ pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
 /// normalises the term once (also deriving the plan-cache key from the
 /// normal form) and hands both the source term and the normal form over.
 pub struct PlanRequest<'a> {
-    /// The original λNRC term.
+    /// The original λNRC term (after auto-parameterization, when enabled).
     pub term: &'a Term,
     /// Its normal form (Theorem 1: semantically equivalent to `term`).
     pub normalised: &'a NormQuery,
@@ -66,6 +214,13 @@ pub struct PlanRequest<'a> {
     pub result_type: &'a Type,
     /// The flat source schema Σ.
     pub schema: &'a Schema,
+    /// The declared parameters of the normal form, deduplicated and
+    /// conflict-checked.
+    pub params: &'a [ParamSpec],
+    /// Default bindings extracted by auto-parameterization (the literals
+    /// that were lifted out of the term); empty when the caller wrote
+    /// explicit parameters or auto-parameterization is off.
+    pub defaults: &'a Params,
 }
 
 /// Execution-time context handed to a backend: the session's database, index
@@ -118,11 +273,19 @@ pub trait SqlBackend: fmt::Debug {
     fn name(&self) -> &'static str;
 
     /// Translate a normalised query into a backend plan. Called once per
-    /// distinct normal form when the plan cache is enabled.
+    /// distinct param-shape normal form when the plan cache is enabled —
+    /// queries differing only in bound constants share one plan.
     fn prepare(&self, req: &PlanRequest<'_>) -> Result<BackendPlan, ShredError>;
 
-    /// Evaluate a plan produced by `prepare` against the session's data.
-    fn execute(&self, plan: &BackendPlan, cx: &ExecContext<'_>) -> Result<Value, ShredError>;
+    /// Evaluate a plan produced by `prepare` against the session's data,
+    /// with a fully resolved value for every parameter the plan declares.
+    /// `bindings` is empty for parameter-free plans.
+    fn execute(
+        &self,
+        plan: &BackendPlan,
+        cx: &ExecContext<'_>,
+        bindings: &Bindings,
+    ) -> Result<Value, ShredError>;
 }
 
 /// One per-stage entry of a plan's `explain()` output: the path of the bag
@@ -181,6 +344,42 @@ impl fmt::Debug for BackendPlan {
 
 /// A query prepared by a [`Shredder`] session: the backend plan plus enough
 /// metadata to explain and to re-execute it without recompiling.
+///
+/// A prepared query may declare **parameters** (bind variables), either
+/// written explicitly with `nrc::builder::param` or lifted out of literal
+/// constants by the session's auto-parameterization. Re-executing the same
+/// prepared shape with different bindings does zero parsing, shredding, SQL
+/// generation or physical planning:
+///
+/// ```
+/// use nrc::builder::*;
+/// use shredding::session::{Params, Shredder};
+/// # use nrc::schema::{Database, Schema, TableSchema};
+/// # use nrc::types::BaseType;
+/// # use nrc::value::Value;
+/// # let schema = Schema::new().with_table(
+/// #     TableSchema::new("items", vec![("id", BaseType::Int)]).with_key(vec!["id"]));
+/// # let mut db = Database::new(schema);
+/// # db.insert_row("items", vec![("id", Value::Int(1))]).unwrap();
+/// # db.insert_row("items", vec![("id", Value::Int(2))]).unwrap();
+/// let session = Shredder::builder().database(db).build().unwrap();
+/// let query = for_where(
+///     "x",
+///     table("items"),
+///     eq(project(var("x"), "id"), int_param("wanted")),
+///     singleton(project(var("x"), "id")),
+/// );
+/// let prepared = session.prepare(&query).unwrap();
+/// assert_eq!(prepared.params().len(), 1);
+/// let one = session
+///     .execute_bound(&prepared, &Params::new().bind("wanted", 1i64))
+///     .unwrap();
+/// let two = session
+///     .execute_bound(&prepared, &Params::new().bind("wanted", 2i64))
+///     .unwrap();
+/// assert_eq!(one, Value::bag(vec![Value::Int(1)]));
+/// assert_eq!(two, Value::bag(vec![Value::Int(2)]));
+/// ```
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     backend: &'static str,
@@ -189,10 +388,25 @@ pub struct PreparedQuery {
     normalised: Rc<NormQuery>,
     result_type: Type,
     plan: Rc<BackendPlan>,
+    params: Rc<Vec<ParamSpec>>,
+    defaults: Rc<Params>,
     from_cache: bool,
 }
 
 impl PreparedQuery {
+    /// The parameters this query declares, in first-occurrence order. Every
+    /// parameter without a default (i.e. every explicitly written one) must
+    /// be bound via [`Shredder::execute_bound`].
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// The default bindings extracted by auto-parameterization (empty for
+    /// explicitly parameterized queries).
+    pub fn default_bindings(&self) -> &Params {
+        &self.defaults
+    }
+
     /// Per-stage explain output: backend, index scheme, static indexes of the
     /// normal form and one entry per flat query.
     pub fn explain(&self) -> Explain {
@@ -412,6 +626,7 @@ pub struct ShredderBuilder {
     backend: Option<Box<dyn SqlBackend>>,
     cache_capacity: Option<usize>,
     cache_disabled: bool,
+    auto_param: bool,
 }
 
 impl fmt::Debug for ShredderBuilder {
@@ -435,6 +650,7 @@ impl Default for ShredderBuilder {
             backend: None,
             cache_capacity: None,
             cache_disabled: false,
+            auto_param: true,
         }
     }
 }
@@ -486,6 +702,16 @@ impl ShredderBuilder {
     /// Disable the plan cache: every `prepare` invokes the backend.
     pub fn without_plan_cache(mut self) -> Self {
         self.cache_disabled = true;
+        self
+    }
+
+    /// Enable or disable auto-parameterization (on by default): `prepare`
+    /// and `run` lift integer and string literals out of ad-hoc terms into
+    /// typed parameters with default bindings, so queries differing only in
+    /// such constants share one cached plan. Boolean and unit constants stay
+    /// inline because normalisation uses them to prune conditionals.
+    pub fn auto_parameterize(mut self, enabled: bool) -> Self {
+        self.auto_param = enabled;
         self
     }
 
@@ -541,6 +767,7 @@ impl ShredderBuilder {
             scheme: self.scheme,
             backend: self.backend.unwrap_or_else(|| Box::new(SqlEngineBackend)),
             cache,
+            auto_param: self.auto_param,
         })
     }
 }
@@ -576,6 +803,7 @@ pub struct Shredder {
     scheme: IndexScheme,
     backend: Box<dyn SqlBackend>,
     cache: Option<RefCell<PlanCache>>,
+    auto_param: bool,
 }
 
 impl Shredder {
@@ -629,13 +857,43 @@ impl Shredder {
     }
 
     /// Normalise and plan a query, consulting the plan cache. A second
-    /// `prepare` of a query with the same normal form returns the cached plan
-    /// without invoking the backend (`PreparedQuery::from_cache` reports
-    /// which).
+    /// `prepare` of a query with the same *param-shape* normal form returns
+    /// the cached plan without invoking the backend
+    /// (`PreparedQuery::from_cache` reports which). With
+    /// auto-parameterization on (the default), integer and string literals
+    /// are lifted into parameters first, so two ad-hoc queries differing
+    /// only in such constants share one plan.
     pub fn prepare(&self, term: &Term) -> Result<PreparedQuery, ShredError> {
+        let (term, defaults) = self.parameterize(term);
+        self.prepare_inner(&term, defaults, true)
+    }
+
+    /// Normalise and plan a query without touching the plan cache. Use this
+    /// when measuring compilation itself (the benchmark harness does).
+    pub fn prepare_uncached(&self, term: &Term) -> Result<PreparedQuery, ShredError> {
+        let (term, defaults) = self.parameterize(term);
+        self.prepare_inner(&term, defaults, false)
+    }
+
+    fn parameterize(&self, term: &Term) -> (Term, Params) {
+        if self.auto_param {
+            auto_parameterize(term)
+        } else {
+            (term.clone(), Params::new())
+        }
+    }
+
+    fn prepare_inner(
+        &self,
+        term: &Term,
+        defaults: Params,
+        use_cache: bool,
+    ) -> Result<PreparedQuery, ShredError> {
         let (normalised, result_type) = normalise_with_type(term, &self.schema)?;
-        let Some(cache) = &self.cache else {
-            return self.plan(term, normalised, result_type);
+        let params = param_specs(term)?;
+        let cache = if use_cache { self.cache.as_ref() } else { None };
+        let Some(cache) = cache else {
+            return self.plan(term, normalised, result_type, params, defaults);
         };
         let key = plan_key(&normalised);
         if let Some((normalised, result_type, plan)) = cache.borrow_mut().lookup(&key) {
@@ -646,10 +904,12 @@ impl Shredder {
                 normalised,
                 result_type,
                 plan,
+                params: Rc::new(params),
+                defaults: Rc::new(defaults),
                 from_cache: true,
             });
         }
-        let prepared = self.plan(term, normalised, result_type)?;
+        let prepared = self.plan(term, normalised, result_type, params, defaults)?;
         cache.borrow_mut().insert(
             key,
             prepared.normalised.clone(),
@@ -659,24 +919,21 @@ impl Shredder {
         Ok(prepared)
     }
 
-    /// Normalise and plan a query without touching the plan cache. Use this
-    /// when measuring compilation itself (the benchmark harness does).
-    pub fn prepare_uncached(&self, term: &Term) -> Result<PreparedQuery, ShredError> {
-        let (normalised, result_type) = normalise_with_type(term, &self.schema)?;
-        self.plan(term, normalised, result_type)
-    }
-
     fn plan(
         &self,
         term: &Term,
         normalised: NormQuery,
         result_type: Type,
+        params: Vec<ParamSpec>,
+        defaults: Params,
     ) -> Result<PreparedQuery, ShredError> {
         let req = PlanRequest {
             term,
             normalised: &normalised,
             result_type: &result_type,
             schema: &self.schema,
+            params: &params,
+            defaults: &defaults,
         };
         let plan = self.backend.prepare(&req)?;
         Ok(PreparedQuery {
@@ -686,12 +943,30 @@ impl Shredder {
             normalised: Rc::new(normalised),
             result_type,
             plan: Rc::new(plan),
+            params: Rc::new(params),
+            defaults: Rc::new(defaults),
             from_cache: false,
         })
     }
 
-    /// Execute a prepared query on this session's data.
+    /// Execute a prepared query on this session's data, using the prepared
+    /// query's default bindings for every parameter (equivalent to
+    /// `execute_bound` with no explicit bindings).
     pub fn execute(&self, prepared: &PreparedQuery) -> Result<Value, ShredError> {
+        self.execute_bound(prepared, &Params::new())
+    }
+
+    /// Execute a prepared query with explicit parameter bindings. Explicit
+    /// bindings override the prepared query's defaults; every declared
+    /// parameter must end up bound. This is the hot path for parametric
+    /// workloads: the plan is immutable, so re-executing with different
+    /// bindings does zero parsing, shredding, SQL generation or physical
+    /// planning.
+    pub fn execute_bound(
+        &self,
+        prepared: &PreparedQuery,
+        params: &Params,
+    ) -> Result<Value, ShredError> {
         if prepared.backend != self.backend.name() {
             return Err(ShredError::Config(format!(
                 "prepared query belongs to the {} backend but this session uses {}",
@@ -710,7 +985,9 @@ impl Shredder {
                 "prepared query was planned against a different schema".into(),
             ));
         }
-        self.backend.execute(&prepared.plan, &self.exec_context())
+        let bindings = resolve_bindings(&prepared.params, &prepared.defaults, params)?;
+        self.backend
+            .execute(&prepared.plan, &self.exec_context(), &bindings)
     }
 
     /// Prepare (or fetch from the cache) and execute in one call.
@@ -719,12 +996,30 @@ impl Shredder {
         self.execute(&prepared)
     }
 
+    /// Prepare (or fetch from the cache) and execute with bindings in one
+    /// call.
+    pub fn run_bound(&self, term: &Term, params: &Params) -> Result<Value, ShredError> {
+        let prepared = self.prepare(term)?;
+        self.execute_bound(&prepared, params)
+    }
+
     /// Evaluate a query directly with the nested reference semantics N⟦−⟧
     /// (no shredding, no SQL). The ground truth every backend is validated
     /// against (Theorem 4).
     pub fn oracle(&self, term: &Term) -> Result<Value, ShredError> {
         let cx = self.exec_context();
         nrc::eval(term, cx.db()?).map_err(ShredError::Eval)
+    }
+
+    /// The reference semantics with explicit parameter bindings — the ground
+    /// truth for bound execution (used by the differential test suites).
+    pub fn oracle_bound(&self, term: &Term, params: &Params) -> Result<Value, ShredError> {
+        let cx = self.exec_context();
+        let bindings: nrc::ParamBindings = params
+            .iter()
+            .map(|(n, v)| (n.to_string(), v.clone()))
+            .collect();
+        nrc::eval_with_params(term, cx.db()?, &bindings).map_err(ShredError::Eval)
     }
 
     /// Counters describing the plan cache (all zero when caching is
@@ -754,9 +1049,165 @@ impl Shredder {
 }
 
 /// The plan-cache key of a normal form. Normal forms are small, so their
-/// canonical debug rendering doubles as a cheap structural key.
+/// canonical debug rendering doubles as a cheap structural key. Parameters
+/// appear by name, never by value, so the key identifies a *param shape*:
+/// all bindings of one prepared shape share a single cache entry.
 fn plan_key(normalised: &NormQuery) -> String {
     format!("{:?}", normalised)
+}
+
+/// Collect and validate the declared parameters of a term: a name declared
+/// at two different base types is a conflict. Collection happens on the
+/// source term (not the normal form) so that a parameter normalisation
+/// eliminates — e.g. one bound inside a beta-reduced dead branch — is still
+/// declared and bindable; backends simply ignore bindings their plan never
+/// references.
+fn param_specs(term: &Term) -> Result<Vec<ParamSpec>, ShredError> {
+    let raw = term.params();
+    let mut specs: Vec<ParamSpec> = Vec::with_capacity(raw.len());
+    for (name, ty) in raw {
+        if let Some(existing) = specs.iter().find(|s| s.name == name) {
+            if existing.ty != ty {
+                return Err(ShredError::ParamTypeMismatch {
+                    name,
+                    expected: existing.ty.to_string(),
+                    found: format!("a second declaration at type {}", ty),
+                });
+            }
+            continue;
+        }
+        specs.push(ParamSpec { name, ty });
+    }
+    Ok(specs)
+}
+
+/// Overlay explicit bindings on the prepared query's defaults and validate
+/// the result against the declared parameters: unknown names and type
+/// mismatches are rejected, and every declared parameter must be bound.
+fn resolve_bindings(
+    specs: &[ParamSpec],
+    defaults: &Params,
+    explicit: &Params,
+) -> Result<Bindings, ShredError> {
+    for (name, value) in explicit.iter() {
+        let spec =
+            specs
+                .iter()
+                .find(|s| s.name == name)
+                .ok_or_else(|| ShredError::UnknownParam {
+                    name: name.to_string(),
+                    declared: specs.iter().map(|s| s.name.clone()).collect(),
+                })?;
+        match value.base_type() {
+            Some(ty) if ty == spec.ty => {}
+            Some(ty) => {
+                return Err(ShredError::ParamTypeMismatch {
+                    name: name.to_string(),
+                    expected: spec.ty.to_string(),
+                    found: ty.to_string(),
+                })
+            }
+            None => {
+                return Err(ShredError::ParamTypeMismatch {
+                    name: name.to_string(),
+                    expected: spec.ty.to_string(),
+                    found: "a non-base value (parameters are base-typed)".to_string(),
+                })
+            }
+        }
+    }
+    let mut values = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let value = explicit
+            .get(&spec.name)
+            .or_else(|| defaults.get(&spec.name))
+            .ok_or_else(|| ShredError::MissingParam {
+                name: spec.name.clone(),
+                expected: spec.ty,
+            })?;
+        values.push((spec.name.clone(), value.clone()));
+    }
+    Ok(Bindings { values })
+}
+
+/// Lift integer and string literals out of a term, replacing each with a
+/// fresh typed parameter and recording the literal as that parameter's
+/// default binding. Two ad-hoc terms differing only in such constants
+/// therefore normalise to the same param-shape normal form and share one
+/// cached plan. Boolean and unit constants stay inline: normalisation uses
+/// boolean constants to prune conditionals, so lifting them would change
+/// plan shapes (and `true`/`false` carry no cardinality anyway).
+pub fn auto_parameterize(term: &Term) -> (Term, Params) {
+    let existing: Vec<String> = term.params().into_iter().map(|(n, _)| n).collect();
+    let mut next = 0usize;
+    let mut defaults = Params::new();
+    let lifted = lift_literals(term, &existing, &mut next, &mut defaults);
+    (lifted, defaults)
+}
+
+fn lift_literals(
+    term: &Term,
+    existing: &[String],
+    next: &mut usize,
+    defaults: &mut Params,
+) -> Term {
+    use nrc::term::Constant as C;
+    match term {
+        Term::Const(c @ (C::Int(_) | C::String(_))) => {
+            let name = loop {
+                *next += 1;
+                let candidate = format!("__p{}", next);
+                if !existing.contains(&candidate) {
+                    break candidate;
+                }
+            };
+            defaults.set(&name, Value::from_constant(c));
+            Term::Param(name, c.type_of())
+        }
+        Term::Var(_) | Term::Const(_) | Term::Param(_, _) | Term::Table(_) | Term::EmptyBag(_) => {
+            term.clone()
+        }
+        Term::PrimApp(op, args) => Term::PrimApp(
+            *op,
+            args.iter()
+                .map(|a| lift_literals(a, existing, next, defaults))
+                .collect(),
+        ),
+        Term::If(c, t, e) => Term::If(
+            Box::new(lift_literals(c, existing, next, defaults)),
+            Box::new(lift_literals(t, existing, next, defaults)),
+            Box::new(lift_literals(e, existing, next, defaults)),
+        ),
+        Term::Lam(x, b) => Term::Lam(
+            x.clone(),
+            Box::new(lift_literals(b, existing, next, defaults)),
+        ),
+        Term::App(f, a) => Term::App(
+            Box::new(lift_literals(f, existing, next, defaults)),
+            Box::new(lift_literals(a, existing, next, defaults)),
+        ),
+        Term::Record(fields) => Term::Record(
+            fields
+                .iter()
+                .map(|(l, t)| (l.clone(), lift_literals(t, existing, next, defaults)))
+                .collect(),
+        ),
+        Term::Project(t, l) => Term::Project(
+            Box::new(lift_literals(t, existing, next, defaults)),
+            l.clone(),
+        ),
+        Term::Empty(t) => Term::Empty(Box::new(lift_literals(t, existing, next, defaults))),
+        Term::Singleton(t) => Term::Singleton(Box::new(lift_literals(t, existing, next, defaults))),
+        Term::Union(l, r) => Term::Union(
+            Box::new(lift_literals(l, existing, next, defaults)),
+            Box::new(lift_literals(r, existing, next, defaults)),
+        ),
+        Term::For(x, s, b) => Term::For(
+            x.clone(),
+            Box::new(lift_literals(s, existing, next, defaults)),
+            Box::new(lift_literals(b, existing, next, defaults)),
+        ),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -794,9 +1245,15 @@ impl SqlBackend for SqlEngineBackend {
         Ok(BackendPlan::new(stages, compiled))
     }
 
-    fn execute(&self, plan: &BackendPlan, cx: &ExecContext<'_>) -> Result<Value, ShredError> {
+    fn execute(
+        &self,
+        plan: &BackendPlan,
+        cx: &ExecContext<'_>,
+        bindings: &Bindings,
+    ) -> Result<Value, ShredError> {
         let compiled: &CompiledQuery = plan.downcast()?;
-        pipeline::execute(compiled, cx.engine()?)
+        let params = bindings.to_sql_params()?;
+        pipeline::execute_bound(compiled, cx.engine()?, &params)
     }
 }
 
@@ -843,18 +1300,35 @@ impl SqlBackend for ShreddedMemoryBackend {
         ))
     }
 
-    fn execute(&self, plan: &BackendPlan, cx: &ExecContext<'_>) -> Result<Value, ShredError> {
+    fn execute(
+        &self,
+        plan: &BackendPlan,
+        cx: &ExecContext<'_>,
+        bindings: &Bindings,
+    ) -> Result<Value, ShredError> {
         let payload: &ShreddedMemoryPlan = plan.downcast()?;
         let db = cx.db()?;
         let scheme = cx.scheme();
-        let tables = IndexTables::compute(&payload.normalised, db)?;
+        // The in-memory evaluators take values by substitution: bind the
+        // parameters into the (cheap, already-shredded) structures. No
+        // normalisation or shredding is redone.
+        let (normalised, package);
+        let (normalised_ref, package_ref) = if bindings.is_empty() {
+            (&payload.normalised, &payload.package)
+        } else {
+            let consts = bindings.to_constants();
+            normalised = payload.normalised.bind_params(&consts);
+            package = payload.package.map(&mut |q| q.bind_params(&consts));
+            (&normalised, &package)
+        };
+        let tables = IndexTables::compute(normalised_ref, db)?;
         if !tables.is_valid(scheme) {
             return Err(ShredError::InvalidIndexing(format!(
                 "the {} indexing scheme is not valid for this query and database",
                 scheme
             )));
         }
-        let results = eval_shredded_package(&payload.package, db, scheme, &tables)?;
+        let results = eval_shredded_package(package_ref, db, scheme, &tables)?;
         stitch(&results, scheme)
     }
 }
@@ -874,9 +1348,14 @@ impl SqlBackend for NestedOracleBackend {
         Ok(BackendPlan::new(Vec::new(), req.term.clone()))
     }
 
-    fn execute(&self, plan: &BackendPlan, cx: &ExecContext<'_>) -> Result<Value, ShredError> {
+    fn execute(
+        &self,
+        plan: &BackendPlan,
+        cx: &ExecContext<'_>,
+        bindings: &Bindings,
+    ) -> Result<Value, ShredError> {
         let term: &Term = plan.downcast()?;
-        nrc::eval(term, cx.db()?).map_err(ShredError::Eval)
+        nrc::eval_with_params(term, cx.db()?, &bindings.to_value_map()).map_err(ShredError::Eval)
     }
 }
 

@@ -292,8 +292,14 @@ pub enum ShredInner {
 /// Base terms of shredded queries; emptiness tests contain shredded queries.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ShBase {
-    Proj { var: String, field: String },
+    Proj {
+        var: String,
+        field: String,
+    },
     Const(Constant),
+    /// A typed bind variable `?name : O`, carried through shredding as an
+    /// opaque atom.
+    Param(String, BaseType),
     Prim(PrimOp, Vec<ShBase>),
     IsEmpty(Box<ShreddedQuery>),
 }
@@ -308,6 +314,21 @@ impl ShBase {
     pub fn is_truth(&self) -> bool {
         matches!(self, ShBase::Const(Constant::Bool(true)))
     }
+
+    /// Replace parameters with the bound constants.
+    pub fn bind_params(&self, bindings: &std::collections::HashMap<String, Constant>) -> ShBase {
+        match self {
+            ShBase::Param(name, _) => match bindings.get(name) {
+                Some(c) => ShBase::Const(c.clone()),
+                None => self.clone(),
+            },
+            ShBase::Proj { .. } | ShBase::Const(_) => self.clone(),
+            ShBase::Prim(op, args) => {
+                ShBase::Prim(*op, args.iter().map(|a| a.bind_params(bindings)).collect())
+            }
+            ShBase::IsEmpty(q) => ShBase::IsEmpty(Box::new(q.bind_params(bindings))),
+        }
+    }
 }
 
 impl ShreddedQuery {
@@ -317,6 +338,48 @@ impl ShreddedQuery {
             .iter()
             .map(|b| b.levels.iter().map(|l| l.generators.len()).sum::<usize>())
             .sum()
+    }
+
+    /// Replace parameters with the bound constants throughout the shredded
+    /// query (conditions and inner terms, at every level).
+    pub fn bind_params(
+        &self,
+        bindings: &std::collections::HashMap<String, Constant>,
+    ) -> ShreddedQuery {
+        fn bind_inner(
+            inner: &ShredInner,
+            bindings: &std::collections::HashMap<String, Constant>,
+        ) -> ShredInner {
+            match inner {
+                ShredInner::Base(b) => ShredInner::Base(b.bind_params(bindings)),
+                ShredInner::Record(fields) => ShredInner::Record(
+                    fields
+                        .iter()
+                        .map(|(l, v)| (l.clone(), bind_inner(v, bindings)))
+                        .collect(),
+                ),
+                ShredInner::InnerIndex(tag) => ShredInner::InnerIndex(*tag),
+            }
+        }
+        ShreddedQuery {
+            branches: self
+                .branches
+                .iter()
+                .map(|b| ShredComp {
+                    levels: b
+                        .levels
+                        .iter()
+                        .map(|l| CompLevel {
+                            generators: l.generators.clone(),
+                            condition: l.condition.bind_params(bindings),
+                        })
+                        .collect(),
+                    tag: b.tag,
+                    outer_tag: b.outer_tag,
+                    inner: bind_inner(&b.inner, bindings),
+                })
+                .collect(),
+        }
     }
 }
 
@@ -367,6 +430,7 @@ impl fmt::Display for DisplayShBase<'_> {
         match self.0 {
             ShBase::Proj { var, field } => write!(f, "{}.{}", var, field),
             ShBase::Const(c) => write!(f, "{}", c),
+            ShBase::Param(name, ty) => write!(f, "?{}:{}", name, ty),
             ShBase::Prim(op, args) if args.len() == 2 => write!(
                 f,
                 "({} {} {})",
@@ -525,6 +589,7 @@ fn shred_base(base: &NfBase) -> Result<ShBase, ShredError> {
             field: field.clone(),
         },
         NfBase::Const(c) => ShBase::Const(c.clone()),
+        NfBase::Param(name, ty) => ShBase::Param(name.clone(), *ty),
         NfBase::Prim(op, args) => {
             ShBase::Prim(*op, args.iter().map(shred_base).collect::<Result<_, _>>()?)
         }

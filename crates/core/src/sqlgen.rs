@@ -261,6 +261,9 @@ fn sql_of_base(
             Constant::String(s) => value_to_sql(&Value::String(s.clone()))?,
             Constant::Unit => value_to_sql(&Value::Unit)?,
         })),
+        // Bind variables become named placeholders; the engine fills them in
+        // at execution time, so one generated query serves every binding.
+        LetBase::Param(name, _) => Ok(Expr::param(name)),
         LetBase::Prim(PrimOp::Not, args) => Ok(Expr::not(sql_of_base(&args[0], binding, schema)?)),
         LetBase::Prim(op, args) => {
             if args.len() != 2 {

@@ -5,7 +5,7 @@
 //! closely. See `crates/nrc/src/stdlib.rs` and the examples for usage.
 
 use crate::term::{Constant, PrimOp, Term};
-use crate::types::Type;
+use crate::types::{BaseType, Type};
 
 /// A variable reference `x`.
 pub fn var(name: &str) -> Term {
@@ -30,6 +30,27 @@ pub fn string(s: &str) -> Term {
 /// The unit constant.
 pub fn unit() -> Term {
     Term::Const(Constant::Unit)
+}
+
+/// A typed query parameter `?name : ty` (a bind variable supplied at
+/// execution time; see `Shredder::execute_bound` in the `shredding` crate).
+pub fn param(name: &str, ty: BaseType) -> Term {
+    Term::Param(name.to_string(), ty)
+}
+
+/// An integer-typed parameter `?name : Int`.
+pub fn int_param(name: &str) -> Term {
+    param(name, BaseType::Int)
+}
+
+/// A string-typed parameter `?name : String`.
+pub fn string_param(name: &str) -> Term {
+    param(name, BaseType::String)
+}
+
+/// A boolean-typed parameter `?name : Bool`.
+pub fn bool_param(name: &str) -> Term {
+    param(name, BaseType::Bool)
 }
 
 /// A table reference `table t`.

@@ -16,6 +16,9 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum EvalError {
     UnboundVariable(String),
+    /// A `Term::Param` was evaluated without a binding for its name. Supply
+    /// one via [`eval_with_params`].
+    UnboundParameter(String),
     NoSuchTable(String),
     NotABool(String),
     NotABag(String),
@@ -41,6 +44,11 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::UnboundVariable(x) => write!(f, "unbound variable {}", x),
+            EvalError::UnboundParameter(p) => write!(
+                f,
+                "unbound parameter ?{} (bind a value for it before evaluating)",
+                p
+            ),
             EvalError::NoSuchTable(t) => write!(f, "no such table {}", t),
             EvalError::NotABool(v) => write!(f, "expected a boolean, got {}", v),
             EvalError::NotABag(v) => write!(f, "expected a bag, got {}", v),
@@ -66,23 +74,50 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
+/// A parameter binding environment: values for the term's `Term::Param`
+/// bind variables, keyed by name.
+pub type ParamBindings = std::collections::BTreeMap<String, Value>;
+
 /// Evaluate a closed term against a database: `N⟦M⟧ε`.
 pub fn eval(term: &Term, db: &Database) -> Result<Value, EvalError> {
     eval_in(term, &Env::empty(), db)
 }
 
+/// Evaluate a term containing `Term::Param` bind variables, supplying their
+/// values through a binding environment: `N⟦M⟧ε,σ`.
+pub fn eval_with_params(
+    term: &Term,
+    db: &Database,
+    params: &ParamBindings,
+) -> Result<Value, EvalError> {
+    eval_bound(term, &Env::empty(), db, params)
+}
+
 /// Evaluate a term in an environment: `N⟦M⟧ρ`.
 pub fn eval_in(term: &Term, env: &Env, db: &Database) -> Result<Value, EvalError> {
+    eval_bound(term, env, db, &ParamBindings::new())
+}
+
+fn eval_bound(
+    term: &Term,
+    env: &Env,
+    db: &Database,
+    params: &ParamBindings,
+) -> Result<Value, EvalError> {
     match term {
         Term::Var(x) => env
             .lookup(x)
             .cloned()
             .ok_or_else(|| EvalError::UnboundVariable(x.clone())),
         Term::Const(c) => Ok(Value::from_constant(c)),
+        Term::Param(name, _) => params
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EvalError::UnboundParameter(name.clone())),
         Term::PrimApp(op, args) => {
             let vals = args
                 .iter()
-                .map(|a| eval_in(a, env, db))
+                .map(|a| eval_bound(a, env, db, params))
                 .collect::<Result<Vec<_>, _>>()?;
             apply_prim(*op, &vals)
         }
@@ -91,10 +126,10 @@ pub fn eval_in(term: &Term, env: &Env, db: &Database) -> Result<Value, EvalError
             .map(Value::Bag)
             .map_err(|_| EvalError::NoSuchTable(t.clone())),
         Term::If(c, t, e) => {
-            let cond = eval_in(c, env, db)?;
+            let cond = eval_bound(c, env, db, params)?;
             match cond.as_bool() {
-                Some(true) => eval_in(t, env, db),
-                Some(false) => eval_in(e, env, db),
+                Some(true) => eval_bound(t, env, db, params),
+                Some(false) => eval_bound(e, env, db, params),
                 None => Err(EvalError::NotABool(format!("{}", cond))),
             }
         }
@@ -104,26 +139,26 @@ pub fn eval_in(term: &Term, env: &Env, db: &Database) -> Result<Value, EvalError
             env: env.clone(),
         }),
         Term::App(f, a) => {
-            let fun = eval_in(f, env, db)?;
-            let arg = eval_in(a, env, db)?;
+            let fun = eval_bound(f, env, db, params)?;
+            let arg = eval_bound(a, env, db, params)?;
             match fun {
                 Value::Closure {
                     param,
                     body,
                     env: closure_env,
-                } => eval_in(&body, &closure_env.extend(&param, arg), db),
+                } => eval_bound(&body, &closure_env.extend(&param, arg), db, params),
                 other => Err(EvalError::NotAFunction(format!("{}", other))),
             }
         }
         Term::Record(fields) => {
             let mut out = Vec::with_capacity(fields.len());
             for (l, t) in fields {
-                out.push((l.clone(), eval_in(t, env, db)?));
+                out.push((l.clone(), eval_bound(t, env, db, params)?));
             }
             Ok(Value::Record(out))
         }
         Term::Project(t, label) => {
-            let v = eval_in(t, env, db)?;
+            let v = eval_bound(t, env, db, params)?;
             match &v {
                 Value::Record(_) => v
                     .field(label)
@@ -136,17 +171,17 @@ pub fn eval_in(term: &Term, env: &Env, db: &Database) -> Result<Value, EvalError
             }
         }
         Term::Empty(t) => {
-            let v = eval_in(t, env, db)?;
+            let v = eval_bound(t, env, db, params)?;
             match v {
                 Value::Bag(items) => Ok(Value::Bool(items.is_empty())),
                 other => Err(EvalError::NotABag(format!("{}", other))),
             }
         }
-        Term::Singleton(t) => Ok(Value::Bag(vec![eval_in(t, env, db)?])),
+        Term::Singleton(t) => Ok(Value::Bag(vec![eval_bound(t, env, db, params)?])),
         Term::EmptyBag(_) => Ok(Value::Bag(Vec::new())),
         Term::Union(l, r) => {
-            let lv = eval_in(l, env, db)?;
-            let rv = eval_in(r, env, db)?;
+            let lv = eval_bound(l, env, db, params)?;
+            let rv = eval_bound(r, env, db, params)?;
             match (lv, rv) {
                 (Value::Bag(mut xs), Value::Bag(ys)) => {
                     xs.extend(ys);
@@ -156,14 +191,14 @@ pub fn eval_in(term: &Term, env: &Env, db: &Database) -> Result<Value, EvalError
             }
         }
         Term::For(x, src, body) => {
-            let source = eval_in(src, env, db)?;
+            let source = eval_bound(src, env, db, params)?;
             let items = match source {
                 Value::Bag(items) => items,
                 other => return Err(EvalError::NotABag(format!("{}", other))),
             };
             let mut out = Vec::new();
             for item in items {
-                let inner = eval_in(body, &env.extend(x, item), db)?;
+                let inner = eval_bound(body, &env.extend(x, item), db, params)?;
                 match inner {
                     Value::Bag(mut ys) => out.append(&mut ys),
                     other => return Err(EvalError::NotABag(format!("{}", other))),

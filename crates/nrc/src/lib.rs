@@ -59,7 +59,7 @@ pub mod types;
 pub mod value;
 
 pub use env::Env;
-pub use eval::{eval, eval_in, EvalError};
+pub use eval::{eval, eval_in, eval_with_params, EvalError, ParamBindings};
 pub use schema::{Database, DatabaseError, Schema, TableSchema};
 pub use term::{Constant, PrimOp, Term};
 pub use typecheck::{typecheck, typecheck_against, Context, TypeError};

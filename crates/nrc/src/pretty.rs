@@ -15,6 +15,7 @@ fn write_term(out: &mut String, term: &Term) -> fmt::Result {
     match term {
         Term::Var(x) => write!(out, "{}", x),
         Term::Const(c) => write!(out, "{}", c),
+        Term::Param(name, ty) => write!(out, "?{}:{}", name, ty),
         Term::PrimApp(PrimOp::Not, args) => {
             write!(out, "not(")?;
             write_term(out, &args[0])?;

@@ -8,7 +8,7 @@
 //!        | return M | ∅ | M ⊎ N | for (x ← M) N
 //! ```
 
-use crate::types::Type;
+use crate::types::{BaseType, Type};
 use std::fmt;
 
 /// Constants of base type.
@@ -127,6 +127,11 @@ pub enum Term {
     Var(String),
     /// A constant of base type.
     Const(Constant),
+    /// A typed query parameter `?name : O` — a bind variable whose value is
+    /// supplied at execution time (prepared-statement style). Parameters are
+    /// base-typed, like constants, so they survive normalisation, shredding
+    /// and SQL generation as opaque atoms.
+    Param(String, BaseType),
     /// Application of a primitive operation `c(M1, …, Mn)`.
     PrimApp(PrimOp, Vec<Term>),
     /// A database table reference `table t`.
@@ -164,7 +169,7 @@ impl Term {
                         acc.push(x.clone());
                     }
                 }
-                Term::Const(_) | Term::Table(_) | Term::EmptyBag(_) => {}
+                Term::Const(_) | Term::Param(_, _) | Term::Table(_) | Term::EmptyBag(_) => {}
                 Term::PrimApp(_, args) => {
                     for a in args {
                         go(a, bound, acc);
@@ -221,7 +226,7 @@ impl Term {
                         acc.push(t.clone());
                     }
                 }
-                Term::Var(_) | Term::Const(_) | Term::EmptyBag(_) => {}
+                Term::Var(_) | Term::Const(_) | Term::Param(_, _) | Term::EmptyBag(_) => {}
                 Term::PrimApp(_, args) => args.iter().for_each(|a| go(a, acc)),
                 Term::If(c, t, e) => {
                     go(c, acc);
@@ -268,7 +273,7 @@ impl Term {
                     self.clone()
                 }
             }
-            Term::Const(_) | Term::Table(_) | Term::EmptyBag(_) => self.clone(),
+            Term::Const(_) | Term::Param(_, _) | Term::Table(_) | Term::EmptyBag(_) => self.clone(),
             Term::PrimApp(op, args) => Term::PrimApp(
                 *op,
                 args.iter()
@@ -339,11 +344,56 @@ impl Term {
         }
     }
 
+    /// The parameters of the term: `(name, declared type)` pairs in
+    /// first-occurrence order, deduplicated by name. A name declared at two
+    /// different types appears once per distinct type (callers reject that
+    /// as a conflict).
+    pub fn params(&self) -> Vec<(String, BaseType)> {
+        fn go(term: &Term, acc: &mut Vec<(String, BaseType)>) {
+            match term {
+                Term::Param(name, ty) => {
+                    if !acc.iter().any(|(n, t)| n == name && t == ty) {
+                        acc.push((name.clone(), *ty));
+                    }
+                }
+                Term::Var(_) | Term::Const(_) | Term::Table(_) | Term::EmptyBag(_) => {}
+                Term::PrimApp(_, args) => args.iter().for_each(|a| go(a, acc)),
+                Term::If(c, t, e) => {
+                    go(c, acc);
+                    go(t, acc);
+                    go(e, acc);
+                }
+                Term::Lam(_, b) => go(b, acc),
+                Term::App(f, a) => {
+                    go(f, acc);
+                    go(a, acc);
+                }
+                Term::Record(fields) => fields.iter().for_each(|(_, t)| go(t, acc)),
+                Term::Project(t, _) | Term::Empty(t) | Term::Singleton(t) => go(t, acc),
+                Term::Union(l, r) => {
+                    go(l, acc);
+                    go(r, acc);
+                }
+                Term::For(_, s, b) => {
+                    go(s, acc);
+                    go(b, acc);
+                }
+            }
+        }
+        let mut acc = Vec::new();
+        go(self, &mut acc);
+        acc
+    }
+
     /// The size of the term (number of AST constructors), used to bound
     /// normalisation in tests.
     pub fn size(&self) -> usize {
         match self {
-            Term::Var(_) | Term::Const(_) | Term::Table(_) | Term::EmptyBag(_) => 1,
+            Term::Var(_)
+            | Term::Const(_)
+            | Term::Param(_, _)
+            | Term::Table(_)
+            | Term::EmptyBag(_) => 1,
             Term::PrimApp(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
             Term::If(c, t, e) => 1 + c.size() + t.size() + e.size(),
             Term::Lam(_, b) => 1 + b.size(),

@@ -126,6 +126,7 @@ pub fn infer(term: &Term, ctx: &Context, schema: &Schema) -> Result<Type, TypeEr
             .cloned()
             .ok_or_else(|| TypeError::UnboundVariable(x.clone())),
         Term::Const(c) => Ok(Type::Base(c.type_of())),
+        Term::Param(_, ty) => Ok(Type::Base(*ty)),
         Term::PrimApp(op, args) => infer_prim(*op, args, ctx, schema),
         Term::Table(t) => schema
             .table(t)

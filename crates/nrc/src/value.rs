@@ -61,6 +61,23 @@ impl Value {
         }
     }
 
+    /// The constant corresponding to a base value (`None` for records, bags
+    /// and closures). The inverse of [`Value::from_constant`].
+    pub fn as_constant(&self) -> Option<Constant> {
+        match self {
+            Value::Int(i) => Some(Constant::Int(*i)),
+            Value::Bool(b) => Some(Constant::Bool(*b)),
+            Value::String(s) => Some(Constant::String(s.clone())),
+            Value::Unit => Some(Constant::Unit),
+            _ => None,
+        }
+    }
+
+    /// The base type of a base value (`None` for records, bags and closures).
+    pub fn base_type(&self) -> Option<crate::types::BaseType> {
+        self.as_constant().map(|c| c.type_of())
+    }
+
     /// The boolean content of a value, if it is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
@@ -219,6 +236,30 @@ pub fn compare_canonical(a: &Value, b: &Value) -> Ordering {
             xs.len().cmp(&ys.len())
         }
         _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
     }
 }
 

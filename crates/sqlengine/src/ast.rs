@@ -230,6 +230,9 @@ pub enum Expr {
     },
     /// A literal value.
     Literal(SqlValue),
+    /// A named placeholder `:name` — a bind variable whose value is supplied
+    /// when the query (or its compiled plan) is executed.
+    Param(String),
     /// A binary operation.
     BinOp {
         op: BinOp,
@@ -264,6 +267,11 @@ impl Expr {
     /// A literal.
     pub fn lit<V: Into<SqlValue>>(v: V) -> Expr {
         Expr::Literal(v.into())
+    }
+
+    /// A named placeholder `:name`.
+    pub fn param(name: &str) -> Expr {
+        Expr::Param(name.to_string())
     }
 
     /// `left op right`.
@@ -321,7 +329,7 @@ impl Expr {
                         acc.push(t.clone());
                     }
                 }
-                Expr::Column { table: None, .. } | Expr::Literal(_) => {}
+                Expr::Column { table: None, .. } | Expr::Literal(_) | Expr::Param(_) => {}
                 Expr::BinOp { left, right, .. } => {
                     go(left, acc);
                     go(right, acc);
@@ -364,7 +372,7 @@ impl Expr {
     pub fn contains_unqualified_column(&self) -> bool {
         match self {
             Expr::Column { table: None, .. } => true,
-            Expr::Column { .. } | Expr::Literal(_) => false,
+            Expr::Column { .. } | Expr::Literal(_) | Expr::Param(_) => false,
             Expr::BinOp { left, right, .. } => {
                 left.contains_unqualified_column() || right.contains_unqualified_column()
             }

@@ -33,6 +33,8 @@ pub enum EngineError {
     UnknownAlias(String),
     AmbiguousColumn(String),
     UnknownCte(String),
+    /// A named placeholder `:name` was evaluated without a bound value.
+    UnboundParameter(String),
     TypeError(String),
     DivisionByZero,
     Parse(String),
@@ -78,6 +80,11 @@ impl fmt::Display for EngineError {
             EngineError::UnknownAlias(a) => write!(f, "unknown table alias {}", a),
             EngineError::AmbiguousColumn(c) => write!(f, "ambiguous column {}", c),
             EngineError::UnknownCte(q) => write!(f, "unknown WITH-bound query {}", q),
+            EngineError::UnboundParameter(p) => write!(
+                f,
+                "unbound parameter :{} (supply a value when executing the plan)",
+                p
+            ),
             EngineError::TypeError(msg) => write!(f, "type error: {}", msg),
             EngineError::DivisionByZero => write!(f, "division by zero"),
             EngineError::Parse(msg) => write!(f, "SQL parse error: {}", msg),

@@ -30,7 +30,7 @@ use crate::ast::{BinOp, Expr, FromItem, Query, Select, TableSource};
 use crate::error::EngineError;
 use crate::plan::PhysicalPlan;
 use crate::storage::{ResultSet, Storage};
-use crate::value::{compare_rows, Row, SqlValue};
+use crate::value::{compare_rows, ParamValues, Row, SqlValue};
 use std::cell::Cell;
 use std::collections::HashMap;
 
@@ -64,9 +64,22 @@ impl Engine {
         crate::plan::plan_query(query, &self.storage)
     }
 
-    /// Run a pre-compiled physical plan on the vectorized executor.
+    /// Run a pre-compiled, parameter-free physical plan on the vectorized
+    /// executor.
     pub fn execute_plan(&self, plan: &PhysicalPlan) -> Result<ResultSet, EngineError> {
         crate::vexec::execute_plan(plan, &self.storage)
+    }
+
+    /// Run a pre-compiled physical plan with bound values for its param
+    /// slots (`:name` placeholders). Binding happens at evaluation time —
+    /// re-executing the same plan with different bindings does zero parsing
+    /// or planning work.
+    pub fn execute_plan_bound(
+        &self,
+        plan: &PhysicalPlan,
+        params: &ParamValues,
+    ) -> Result<ResultSet, EngineError> {
+        crate::vexec::execute_plan_bound(plan, &self.storage, params)
     }
 
     /// Execute a query AST: plan it and run the plan on the vectorized
@@ -77,12 +90,35 @@ impl Engine {
         self.execute_plan(&plan)
     }
 
+    /// Plan and execute a query AST with bound values for its `:name`
+    /// placeholders.
+    pub fn execute_bound(
+        &self,
+        query: &Query,
+        params: &ParamValues,
+    ) -> Result<ResultSet, EngineError> {
+        let plan = self.prepare(query)?;
+        self.execute_plan_bound(&plan, params)
+    }
+
     /// Execute a query AST on the row-at-a-time interpreter. This is the
     /// original execution path, kept as the oracle the vectorized executor
     /// is differentially tested against.
     pub fn execute_interpreted(&self, query: &Query) -> Result<ResultSet, EngineError> {
+        self.execute_interpreted_bound(query, &ParamValues::new())
+    }
+
+    /// Execute a query AST on the interpreter with bound values for its
+    /// `:name` placeholders (the interpreter-side counterpart of
+    /// [`execute_plan_bound`](Engine::execute_plan_bound)).
+    pub fn execute_interpreted_bound(
+        &self,
+        query: &Query,
+        params: &ParamValues,
+    ) -> Result<ResultSet, EngineError> {
         let ctx = ExecCtx {
             storage: &self.storage,
+            params,
         };
         exec_query(query, &ctx, &CteEnv::default(), &Scope::default())
     }
@@ -105,6 +141,7 @@ impl Engine {
 /// Execution context: shared immutable state.
 struct ExecCtx<'a> {
     storage: &'a Storage,
+    params: &'a ParamValues,
 }
 
 /// Environment of `WITH`-bound result sets, innermost last.
@@ -616,6 +653,11 @@ fn eval_expr(
     match expr {
         Expr::Column { table, column } => scope.lookup(table, column),
         Expr::Literal(v) => Ok(v.clone()),
+        Expr::Param(name) => ctx
+            .params
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnboundParameter(name.clone())),
         Expr::BinOp { op, left, right } => {
             let l = eval_expr(left, scope, ctx, ctes, row_numbers)?;
             let r = eval_expr(right, scope, ctx, ctes, row_numbers)?;

@@ -56,4 +56,4 @@ pub use parser::{parse_expr, parse_query};
 pub use plan::{Catalog, PhysicalPlan, SchemaCatalog};
 pub use printer::{print_expr, print_query};
 pub use storage::{ColumnType, ResultSet, Storage, Table, TableDef};
-pub use value::{Row, SqlValue};
+pub use value::{ParamValues, Row, SqlValue};

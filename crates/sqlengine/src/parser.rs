@@ -33,6 +33,8 @@ enum Token {
     Int(i64),
     Str(String),
     Symbol(String),
+    /// A named placeholder `:name`.
+    Param(String),
 }
 
 fn tokenize(input: &str) -> Result<Vec<Token>, EngineError> {
@@ -90,6 +92,18 @@ fn tokenize(input: &str) -> Result<Vec<Token>, EngineError> {
             if two == "<>" || two == "<=" || two == ">=" || two == "||" {
                 tokens.push(Token::Symbol(two));
                 i += 2;
+            } else if c == ':' {
+                i += 1;
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                if start == i {
+                    return Err(EngineError::Parse(
+                        "expected a parameter name after ':'".to_string(),
+                    ));
+                }
+                tokens.push(Token::Param(chars[start..i].iter().collect()));
             } else if "(),.=<>+-*/%".contains(c) {
                 tokens.push(Token::Symbol(c.to_string()));
                 i += 1;
@@ -421,6 +435,7 @@ impl Parser {
         match self.next() {
             Some(Token::Int(n)) => Ok(Expr::Literal(SqlValue::Int(n))),
             Some(Token::Str(s)) => Ok(Expr::Literal(SqlValue::Str(s))),
+            Some(Token::Param(name)) => Ok(Expr::Param(name)),
             Some(Token::Symbol(s)) if s == "(" => {
                 let e = self.parse_or()?;
                 self.expect_symbol(")")?;

@@ -114,6 +114,10 @@ pub enum VExpr {
     },
     /// A literal value.
     Lit(SqlValue),
+    /// A named placeholder `:name` — a param slot filled from the
+    /// `ParamValues` supplied at execution time. Plans with param slots are
+    /// compiled once and re-executed with different bindings.
+    Param(String),
     /// A binary operation.
     BinOp {
         op: BinOp,
@@ -139,6 +143,7 @@ impl fmt::Display for VExpr {
                 None => write!(f, "outer({})", column),
             },
             VExpr::Lit(v) => write!(f, "{}", v),
+            VExpr::Param(name) => write!(f, ":{}", name),
             VExpr::BinOp { op, left, right } => {
                 write!(f, "({} {} {})", left, op.symbol(), right)
             }
@@ -310,6 +315,87 @@ impl PhysicalPlan {
                 definition, body, ..
             } => definition.node_count() + body.node_count(),
         }
+    }
+
+    /// The plan's param slots: every named placeholder referenced anywhere in
+    /// the plan tree (including subplans), in first-occurrence order.
+    /// Executing the plan requires a bound value for each.
+    pub fn params(&self) -> Vec<String> {
+        fn go_expr(e: &VExpr, acc: &mut Vec<String>) {
+            match e {
+                VExpr::Param(name) => {
+                    if !acc.contains(name) {
+                        acc.push(name.clone());
+                    }
+                }
+                VExpr::Col { .. } | VExpr::Outer { .. } | VExpr::Lit(_) => {}
+                VExpr::BinOp { left, right, .. } => {
+                    go_expr(left, acc);
+                    go_expr(right, acc);
+                }
+                VExpr::Not(inner) => go_expr(inner, acc),
+                VExpr::Exists(sub) => go_plan(sub, acc),
+            }
+        }
+        fn go_plan(p: &PhysicalPlan, acc: &mut Vec<String>) {
+            match p {
+                PhysicalPlan::UnitRow
+                | PhysicalPlan::TableScan { .. }
+                | PhysicalPlan::CteScan { .. } => {}
+                PhysicalPlan::SubqueryScan { input, .. } | PhysicalPlan::Distinct { input } => {
+                    go_plan(input, acc)
+                }
+                PhysicalPlan::NestedLoopJoin { left, right }
+                | PhysicalPlan::ExceptAll { left, right } => {
+                    go_plan(left, acc);
+                    go_plan(right, acc);
+                }
+                PhysicalPlan::HashJoin {
+                    left,
+                    right,
+                    left_keys,
+                    right_keys,
+                    ..
+                } => {
+                    go_plan(left, acc);
+                    go_plan(right, acc);
+                    left_keys.iter().for_each(|k| go_expr(k, acc));
+                    right_keys.iter().for_each(|k| go_expr(k, acc));
+                }
+                PhysicalPlan::Filter { input, predicate } => {
+                    go_plan(input, acc);
+                    go_expr(predicate, acc);
+                }
+                PhysicalPlan::ExistsSemiJoin { input, subplan, .. } => {
+                    go_plan(input, acc);
+                    go_plan(subplan, acc);
+                }
+                PhysicalPlan::RowNumber { input, specs } => {
+                    go_plan(input, acc);
+                    specs
+                        .iter()
+                        .for_each(|keys| keys.iter().for_each(|k| go_expr(k, acc)));
+                }
+                PhysicalPlan::Sort { input, keys } => {
+                    go_plan(input, acc);
+                    keys.iter().for_each(|k| go_expr(k, acc));
+                }
+                PhysicalPlan::Project { input, exprs, .. } => {
+                    go_plan(input, acc);
+                    exprs.iter().for_each(|e| go_expr(e, acc));
+                }
+                PhysicalPlan::UnionAll(branches) => branches.iter().for_each(|b| go_plan(b, acc)),
+                PhysicalPlan::With {
+                    definition, body, ..
+                } => {
+                    go_plan(definition, acc);
+                    go_plan(body, acc);
+                }
+            }
+        }
+        let mut acc = Vec::new();
+        go_plan(self, &mut acc);
+        acc
     }
 
     /// Rough output-cardinality estimate, used to choose hash-join build
@@ -826,6 +912,7 @@ impl Planner<'_> {
         match expr {
             Expr::Column { table, column } => self.resolve_column(table, column, ctx, schema),
             Expr::Literal(v) => Ok(VExpr::Lit(v.clone())),
+            Expr::Param(name) => Ok(VExpr::Param(name.clone())),
             Expr::BinOp { op, left, right } => Ok(VExpr::BinOp {
                 op: *op,
                 left: Box::new(self.resolve(left, ctx, schema, rn)?),

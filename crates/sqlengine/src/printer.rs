@@ -148,6 +148,10 @@ fn write_expr(out: &mut String, e: &Expr) {
             out.push_str(column);
         }
         Expr::Literal(v) => out.push_str(&v.to_string()),
+        Expr::Param(name) => {
+            out.push(':');
+            out.push_str(name);
+        }
         Expr::BinOp { op, left, right } => {
             out.push('(');
             write_expr(out, left);

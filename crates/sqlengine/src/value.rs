@@ -132,6 +132,10 @@ impl From<String> for SqlValue {
 /// A row is a vector of scalar values, positionally matched to a row schema.
 pub type Row = Vec<SqlValue>;
 
+/// Values for a query's named placeholders (`:name`), keyed by name. Passed
+/// to `Engine::execute_plan_bound` when executing a parameterized plan.
+pub type ParamValues = std::collections::BTreeMap<String, SqlValue>;
+
 /// Lexicographic row comparison under [`SqlValue::sql_cmp`], used by
 /// `ORDER BY` and `ROW_NUMBER` in both the interpreter and the vectorized
 /// executor.

@@ -22,13 +22,25 @@ use crate::error::EngineError;
 use crate::exec::eval_binop;
 use crate::plan::{BuildSide, PhysicalPlan, VExpr};
 use crate::storage::{ResultSet, Storage};
-use crate::value::{compare_rows, Row, SqlValue};
+use crate::value::{compare_rows, ParamValues, Row, SqlValue};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
-/// Execute a physical plan against storage, producing a flat result set.
+/// Execute a parameter-free physical plan against storage, producing a flat
+/// result set.
 pub fn execute_plan(plan: &PhysicalPlan, storage: &Storage) -> Result<ResultSet, EngineError> {
-    let ctx = VecCtx { storage };
+    execute_plan_bound(plan, storage, &ParamValues::new())
+}
+
+/// Execute a physical plan against storage with bound values for its param
+/// slots. The plan itself is immutable — the same compiled plan can be run
+/// any number of times with different bindings and no re-planning.
+pub fn execute_plan_bound(
+    plan: &PhysicalPlan,
+    storage: &Storage,
+    params: &ParamValues,
+) -> Result<ResultSet, EngineError> {
+    let ctx = VecCtx { storage, params };
     let batch = exec(plan, &ctx, &CteEnv::default(), &ScopeStack::default())?;
     Ok(batch.into_result_set())
 }
@@ -130,6 +142,7 @@ impl Batch {
 /// Execution context shared by every node.
 struct VecCtx<'a> {
     storage: &'a Storage,
+    params: &'a ParamValues,
 }
 
 /// Runtime environment of `WITH`-bound batches, innermost last. Cloning is
@@ -575,6 +588,13 @@ fn eval(
             Ok(vec![v; len])
         }
         VExpr::Lit(v) => Ok(vec![v.clone(); len]),
+        VExpr::Param(name) => {
+            let v = ctx
+                .params
+                .get(name)
+                .ok_or_else(|| EngineError::UnboundParameter(name.clone()))?;
+            Ok(vec![v.clone(); len])
+        }
         VExpr::BinOp { op, left, right } => {
             let l = eval(left, batch, ctx, ctes, scope)?;
             let r = eval(right, batch, ctx, ctes, scope)?;

@@ -94,4 +94,30 @@ fn main() {
         stats.hits,
         stats.misses
     );
+
+    // 8. Parameterized prepared queries: declare typed bind variables with
+    //    `string_param` / `int_param`, prepare once, then re-execute with
+    //    different bindings — zero parsing, shredding, SQL generation or
+    //    planning per execution.
+    let by_dept = for_where(
+        "e",
+        table("employees"),
+        eq(project(var("e"), "dept"), string_param("dpt")),
+        singleton(project(var("e"), "name")),
+    );
+    let prepared = session.prepare(&by_dept).expect("the query compiles");
+    println!(
+        "\nparameterized query declares: {:?}",
+        prepared
+            .params()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+    );
+    for dept in ["Product", "Research"] {
+        let names = session
+            .execute_bound(&prepared, &Params::new().bind("dpt", dept))
+            .expect("bound execution runs");
+        println!("employees of {}: {}", dept, names);
+    }
 }

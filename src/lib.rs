@@ -38,8 +38,11 @@ pub use nrc;
 pub use shredding;
 pub use sqlengine;
 
-/// Convenience prelude for examples and tests: the session API, the
-/// backends, and the workload generator.
+/// Convenience prelude for examples and tests: the session API (including
+/// parameterized prepared queries), the backends, and the workload
+/// generator. The deprecated pre-session free functions are *not* exported
+/// here any more — name them in full (`shredding::pipeline::run`) while they
+/// await removal.
 pub mod prelude {
     pub use baselines::{FlatDefaultBackend, LoopLiftBackend, VandenBusscheBackend};
     pub use datagen::{generate, organisation_schema, OrgConfig};
@@ -47,11 +50,7 @@ pub mod prelude {
     pub use nrc::{Database, Schema, TableSchema, Value};
     pub use shredding::semantics::IndexScheme;
     pub use shredding::session::{
-        NestedOracleBackend, PreparedQuery, ShreddedMemoryBackend, Shredder, ShredderBuilder,
-        SqlBackend, SqlEngineBackend,
+        NestedOracleBackend, ParamSpec, Params, PreparedQuery, ShreddedMemoryBackend, Shredder,
+        ShredderBuilder, SqlBackend, SqlEngineBackend,
     };
-
-    // The pre-session free functions, kept as deprecated shims.
-    #[allow(deprecated)]
-    pub use shredding::pipeline::{compile, engine_from_database, eval_nested, run, run_in_memory};
 }

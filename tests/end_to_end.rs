@@ -5,6 +5,7 @@
 //! `Shredder` session API.
 
 use query_shredding::prelude::*;
+use query_shredding::shredding;
 
 fn small_db() -> Database {
     generate(&OrgConfig {
@@ -168,16 +169,21 @@ fn results_scale_with_the_data() {
 #[test]
 #[allow(deprecated)]
 fn the_deprecated_free_function_shims_still_work() {
-    // The pre-session API remains available (deprecated) for one release.
+    // The pre-session shims survive (deprecated, slated for removal) but are
+    // no longer exported from the prelude — callers must name them in full.
     let db = small_db();
     let schema = organisation_schema();
-    let engine = engine_from_database(&db).unwrap();
+    let engine = shredding::pipeline::engine_from_database(&db).unwrap();
     let q = datagen::queries::q4();
-    let reference = eval_nested(&q, &db).unwrap();
-    assert!(run(&q, &schema, &engine).unwrap().multiset_eq(&reference));
-    assert!(run_in_memory(&q, &schema, &db, IndexScheme::Flat)
+    let reference = shredding::pipeline::eval_nested(&q, &db).unwrap();
+    assert!(shredding::pipeline::run(&q, &schema, &engine)
         .unwrap()
         .multiset_eq(&reference));
-    let compiled = compile(&q, &schema).unwrap();
+    assert!(
+        shredding::pipeline::run_in_memory(&q, &schema, &db, IndexScheme::Flat)
+            .unwrap()
+            .multiset_eq(&reference)
+    );
+    let compiled = shredding::pipeline::compile(&q, &schema).unwrap();
     assert_eq!(compiled.query_count(), 2);
 }

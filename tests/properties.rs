@@ -9,6 +9,7 @@
 
 use datagen::Rng;
 use query_shredding::prelude::*;
+use query_shredding::shredding::pipeline::compile;
 
 const CASES: u64 = 24;
 
