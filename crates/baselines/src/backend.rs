@@ -181,6 +181,19 @@ mod tests {
     use shredding::session::Shredder;
 
     #[test]
+    fn all_baseline_backends_are_send_sync() {
+        // The `SqlBackend` trait requires `Send + Sync`; assert it holds for
+        // the concrete baseline types (and their plan payloads, transitively,
+        // via `BackendPlan::new`'s bound) so sessions using a baseline can be
+        // shared across threads like the built-in backends.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LoopLiftBackend>();
+        assert_send_sync::<FlatDefaultBackend>();
+        assert_send_sync::<VandenBusscheBackend>();
+        assert_send_sync::<Box<dyn SqlBackend>>();
+    }
+
+    #[test]
     fn looplift_backend_agrees_with_the_oracle_on_nested_queries() {
         let db = generate(&OrgConfig {
             departments: 3,

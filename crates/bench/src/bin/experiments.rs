@@ -10,6 +10,7 @@
 //! experiments --check                    # verify every result against N⟦−⟧
 //! experiments --vexec-json BENCH_pr2.json  # interpreter vs. vectorized engine
 //! experiments --params-json BENCH_pr3.json # bound re-execution vs. replanning
+//! experiments --concurrency-json BENCH_pr4.json # shared-session thread scaling
 //! ```
 //!
 //! Output layout mirrors the paper: one row per query and system, one column
@@ -28,6 +29,8 @@ struct Options {
     vexec_json: Option<String>,
     params_json: Option<String>,
     param_bindings: usize,
+    concurrency_json: Option<String>,
+    concurrency_execs: usize,
 }
 
 fn parse_args() -> Options {
@@ -42,6 +45,8 @@ fn parse_args() -> Options {
         vexec_json: None,
         params_json: None,
         param_bindings: 64,
+        concurrency_json: None,
+        concurrency_execs: 64,
     };
     let mut i = 0;
     let mut any = false;
@@ -108,11 +113,29 @@ fn parse_args() -> Options {
                         std::process::exit(2);
                     });
             }
+            "--concurrency-json" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--concurrency-json expects a file path");
+                    std::process::exit(2);
+                });
+                opts.concurrency_json = Some(path);
+                any = true;
+            }
+            "--concurrency-execs" => {
+                i += 1;
+                opts.concurrency_execs =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--concurrency-execs expects a number");
+                        std::process::exit(2);
+                    });
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--figure 10|11] [--appendix-a] [--all] \
                      [--max-departments N] [--runs N] [--check] [--vexec-json PATH] \
-                     [--params-json PATH] [--param-bindings N]"
+                     [--params-json PATH] [--param-bindings N] \
+                     [--concurrency-json PATH] [--concurrency-execs N]"
                 );
                 std::process::exit(0);
             }
@@ -306,6 +329,95 @@ fn params_report(path: &str, opts: &Options) {
     }
 }
 
+/// The PR 4 shared-session scaling sweep: one `Shredder` cloned into
+/// 1/2/4/8 worker threads, each performing K bound executions of the
+/// parametric workloads through the shared plan cache. Writes the
+/// machine-readable report and fails the process if the shared state
+/// misbehaved (engine-side re-planning, cold plan cache) or — on hosts with
+/// at least 4 cores — if 4-thread throughput does not exceed the 1-thread
+/// baseline.
+fn concurrency_report(path: &str, opts: &Options) {
+    let instance = Instance::at_scale(opts.max_departments);
+    let thread_counts = [1usize, 2, 4, 8];
+    println!(
+        "\n=== Shared-session throughput ({} departments, {} execs/thread, best of {}) ===",
+        instance.departments, opts.concurrency_execs, opts.runs
+    );
+    let report = bench::measure_concurrency_best_of(
+        &instance,
+        &thread_counts,
+        opts.concurrency_execs,
+        opts.runs,
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>14} {:>9}",
+        "threads", "total execs", "elapsed ms", "execs/sec", "speedup"
+    );
+    for p in &report.points {
+        println!(
+            "{:<8} {:>12} {:>12.2} {:>14.1} {:>8.2}x",
+            p.threads,
+            p.total_execs,
+            p.elapsed_ms,
+            p.execs_per_sec,
+            report.speedup_at(p.threads).unwrap_or(f64::NAN)
+        );
+    }
+    println!(
+        "plan-cache hit rate {:.1}%, engine plans built during run: {}, host parallelism: {}",
+        report.cache_hit_rate * 100.0,
+        report.engine_plans_built_during_run,
+        report.available_parallelism
+    );
+    let json = bench::concurrency_report_json(&instance, &report);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {}: {}", path, e);
+        std::process::exit(1);
+    }
+    println!("wrote {}", path);
+
+    if report.engine_plans_built_during_run > 0 {
+        eprintln!(
+            "FAIL: {} engine plans were built during concurrent bound re-execution",
+            report.engine_plans_built_during_run
+        );
+        std::process::exit(1);
+    }
+    if report.cache_hit_rate <= 0.9 {
+        eprintln!(
+            "FAIL: plan-cache hit rate {:.1}% under concurrency (expected > 90%)",
+            report.cache_hit_rate * 100.0
+        );
+        std::process::exit(1);
+    }
+    let speedup4 = report.speedup_at(4).unwrap_or(0.0);
+    if report.available_parallelism >= 4 {
+        if speedup4 <= 1.0 {
+            eprintln!(
+                "FAIL: 4-thread throughput must exceed the 1-thread baseline on a \
+                 {}-way host, got {:.2}x",
+                report.available_parallelism, speedup4
+            );
+            std::process::exit(1);
+        }
+    } else if speedup4 <= 0.5 {
+        // On an under-provisioned host real scaling is impossible; still
+        // refuse catastrophic collapse (a serializing lock on the hot path).
+        eprintln!(
+            "FAIL: 4-thread throughput collapsed to {:.2}x of the 1-thread \
+             baseline on a {}-way host (lock contention on the read path?)",
+            speedup4, report.available_parallelism
+        );
+        std::process::exit(1);
+    } else {
+        println!(
+            "note: host has {} core(s); thread-scaling assertion relaxed to \
+             a no-collapse check ({:.2}x at 4 threads)",
+            report.available_parallelism, speedup4
+        );
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let scales = department_scales(opts.max_departments);
@@ -359,5 +471,8 @@ fn main() {
     }
     if let Some(path) = &opts.params_json {
         params_report(path, &opts);
+    }
+    if let Some(path) = &opts.concurrency_json {
+        concurrency_report(path, &opts);
     }
 }

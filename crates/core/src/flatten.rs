@@ -198,7 +198,7 @@ pub fn sql_to_value(v: &SqlValue, expected: BaseType) -> Result<Value, ShredErro
     match (v, expected) {
         (SqlValue::Int(i), BaseType::Int) => Ok(Value::Int(*i)),
         (SqlValue::Bool(b), BaseType::Bool) => Ok(Value::Bool(*b)),
-        (SqlValue::Str(s), BaseType::String) => Ok(Value::String(s.clone())),
+        (SqlValue::Str(s), BaseType::String) => Ok(Value::String(s.to_string())),
         (_, BaseType::Unit) => Ok(Value::Unit),
         (other, expected) => Err(ShredError::Decode(format!(
             "column value {} does not have base type {}",
@@ -212,7 +212,7 @@ pub fn value_to_sql(v: &Value) -> Result<SqlValue, ShredError> {
     match v {
         Value::Int(i) => Ok(SqlValue::Int(*i)),
         Value::Bool(b) => Ok(SqlValue::Bool(*b)),
-        Value::String(s) => Ok(SqlValue::Str(s.clone())),
+        Value::String(s) => Ok(SqlValue::str(s.as_str())),
         Value::Unit => Ok(SqlValue::Int(0)),
         other => Err(ShredError::Internal(format!(
             "cannot store non-base value {} in a SQL column",

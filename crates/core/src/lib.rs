@@ -25,9 +25,12 @@
 //!
 //! The documented entry point is the [`session::Shredder`] session: a
 //! builder-configured handle owning the schema, the data, a pluggable
-//! [`session::SqlBackend`] and an LRU plan cache. The free functions in
-//! [`pipeline`] remain available as low-level building blocks; see
-//! `DESIGN.md` for the full lifecycle.
+//! [`session::SqlBackend`] and an LRU plan cache. Sessions are
+//! `Send + Sync` and cheaply clonable (`Arc`-backed): clone one into N
+//! worker threads and they share a single plan cache and a single loaded
+//! engine — see the "Concurrent sessions & the shared plan cache" section
+//! of `DESIGN.md`. The free functions in [`pipeline`] remain available as
+//! low-level building blocks.
 //!
 //! ## Quick start
 //!

@@ -21,7 +21,7 @@ use crate::flatten::{value_to_sql, ResultLayout};
 use crate::letins::{let_insert, LetQuery};
 use crate::nf::NormQuery;
 use crate::normalise::normalise_with_type;
-use crate::semantics::{eval_shredded_package, IndexScheme, IndexTables, ShredResult};
+use crate::semantics::{IndexScheme, ShredResult};
 use crate::shred::{shred_query, shred_type, Package, ShreddedQuery};
 use crate::stitch::stitch;
 use nrc::schema::{Database, Schema};
@@ -151,51 +151,6 @@ pub fn execute_via_sql_text(
         stage.layout.decode(&rs)
     })?;
     stitch(&results, IndexScheme::Flat)
-}
-
-/// Run a nested query end to end: compile, execute on the given engine, and
-/// stitch. This is the single call a Links-like host language would make.
-#[deprecated(
-    since = "0.2.0",
-    note = "open a session instead: `Shredder::builder().database(db).build()?.run(term)`"
-)]
-pub fn run(term: &Term, schema: &Schema, engine: &Engine) -> Result<Value, ShredError> {
-    let compiled = compile(term, schema)?;
-    execute(&compiled, engine)
-}
-
-/// Run a nested query using the *in-memory* shredded semantics of Figure 5
-/// (no SQL involved), under the chosen indexing scheme. This is the reference
-/// implementation of shredding used to validate the SQL path.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `ShreddedMemoryBackend` through a session: \
-            `Shredder::builder().database(db).backend(Box::new(ShreddedMemoryBackend)).index_scheme(scheme).build()?.run(term)`"
-)]
-pub fn run_in_memory(
-    term: &Term,
-    schema: &Schema,
-    db: &Database,
-    scheme: IndexScheme,
-) -> Result<Value, ShredError> {
-    let (normalised, result_type) = normalise_with_type(term, schema)?;
-    let tables = IndexTables::compute(&normalised, db)?;
-    if !tables.is_valid(scheme) {
-        return Err(ShredError::InvalidIndexing(format!(
-            "the {} indexing scheme is not valid for this query and database",
-            scheme
-        )));
-    }
-    let package = crate::shred::shred_query_package(&normalised, &result_type)?;
-    let results = eval_shredded_package(&package, db, scheme, &tables)?;
-    stitch(&results, scheme)
-}
-
-/// Evaluate a nested query directly with the nested semantics N⟦−⟧ (no
-/// shredding). This is the ground truth for all correctness tests.
-#[deprecated(since = "0.2.0", note = "use `Shredder::oracle` on a session instead")]
-pub fn eval_nested(term: &Term, db: &Database) -> Result<Value, ShredError> {
-    nrc::eval(term, db).map_err(ShredError::Eval)
 }
 
 // ---------------------------------------------------------------------------

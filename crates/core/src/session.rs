@@ -39,10 +39,10 @@
 //! Van den Bussche's simulation) as further backends.
 
 use std::any::Any;
-use std::cell::{OnceCell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::error::ShredError;
 use crate::flatten::{value_to_sql, ResultLayout};
@@ -228,7 +228,8 @@ pub struct PlanRequest<'a> {
 pub struct ExecContext<'a> {
     db: Option<&'a Database>,
     scheme: IndexScheme,
-    engine: &'a OnceCell<Rc<Engine>>,
+    engine: &'a OnceLock<Arc<Engine>>,
+    engine_init: &'a Mutex<()>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -248,11 +249,22 @@ impl<'a> ExecContext<'a> {
     }
 
     /// The session's SQL engine, loading the database into engine storage on
-    /// first use.
+    /// first use. Thread-safe: the one-time load is serialised by an init
+    /// mutex (double-checked against the `OnceLock`), so a cold concurrent
+    /// first execution loads the database exactly once; a failed load
+    /// releases the lock and lets the next caller retry. Every later call
+    /// returns the cached engine without locking.
     pub fn engine(&self) -> Result<&'a Engine, ShredError> {
+        if let Some(engine) = self.engine.get() {
+            return Ok(engine);
+        }
+        let _guard = self
+            .engine_init
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         if self.engine.get().is_none() {
-            let built = pipeline::engine_from_database(self.db()?)?;
-            let _ = self.engine.set(Rc::new(built));
+            let built = Arc::new(pipeline::engine_from_database(self.db()?)?);
+            let _ = self.engine.set(built);
         }
         Ok(self
             .engine
@@ -267,7 +279,14 @@ impl<'a> ExecContext<'a> {
 /// [`ShreddedMemoryBackend`], [`NestedOracleBackend`]) and with the
 /// `baselines` crate (loop-lifting, Links' default flat evaluation, Van den
 /// Bussche's simulation).
-pub trait SqlBackend: fmt::Debug {
+///
+/// Backends are `Send + Sync`: one backend instance is shared by every clone
+/// of the session, and `prepare`/`execute` may be called from any number of
+/// threads at once. Backends therefore keep no per-call mutable state — all
+/// of the provided implementations are stateless unit structs — and their
+/// plan payloads must be `Send + Sync` too (enforced by
+/// [`BackendPlan::new`]).
+pub trait SqlBackend: fmt::Debug + Send + Sync {
     /// A short stable name, shown by `explain()` and used to guard against
     /// executing a plan on the wrong session.
     fn name(&self) -> &'static str;
@@ -307,18 +326,22 @@ pub struct StageExplain {
 
 /// A backend-specific plan: human-readable per-stage information plus an
 /// opaque payload the backend downcasts at execution time.
+///
+/// Plans are immutable after `prepare` and shared by `Arc` — between the
+/// plan cache, every [`PreparedQuery`] handle and every thread executing
+/// one — so the payload must be `Send + Sync`.
 pub struct BackendPlan {
     /// Per-stage explain entries, outermost bag constructor first.
     pub stages: Vec<StageExplain>,
-    payload: Rc<dyn Any>,
+    payload: Arc<dyn Any + Send + Sync>,
 }
 
 impl BackendPlan {
     /// Wrap a backend-specific payload together with its explain stages.
-    pub fn new<T: 'static>(stages: Vec<StageExplain>, payload: T) -> BackendPlan {
+    pub fn new<T: Any + Send + Sync>(stages: Vec<StageExplain>, payload: T) -> BackendPlan {
         BackendPlan {
             stages,
-            payload: Rc::new(payload),
+            payload: Arc::new(payload),
         }
     }
 
@@ -384,12 +407,12 @@ impl fmt::Debug for BackendPlan {
 pub struct PreparedQuery {
     backend: &'static str,
     scheme: IndexScheme,
-    schema: Rc<Schema>,
-    normalised: Rc<NormQuery>,
-    result_type: Type,
-    plan: Rc<BackendPlan>,
-    params: Rc<Vec<ParamSpec>>,
-    defaults: Rc<Params>,
+    schema: Arc<Schema>,
+    normalised: Arc<NormQuery>,
+    result_type: Arc<Type>,
+    plan: Arc<BackendPlan>,
+    params: Arc<Vec<ParamSpec>>,
+    defaults: Arc<Params>,
     from_cache: bool,
 }
 
@@ -443,7 +466,7 @@ impl PreparedQuery {
 
     /// The query's result type.
     pub fn result_type(&self) -> &Type {
-        &self.result_type
+        self.result_type.as_ref()
     }
 
     /// The normal form the plan was derived from.
@@ -524,91 +547,129 @@ pub struct CacheStats {
 
 #[derive(Debug)]
 struct CacheEntry {
-    normalised: Rc<NormQuery>,
-    result_type: Type,
-    plan: Rc<BackendPlan>,
+    normalised: Arc<NormQuery>,
+    result_type: Arc<Type>,
+    plan: Arc<BackendPlan>,
     last_used: u64,
 }
 
-/// A least-recently-used plan cache keyed on the query's normal form.
+/// The LRU map itself: the only part of the cache that needs a lock.
+#[derive(Debug, Default)]
+struct CacheMap {
+    tick: u64,
+    entries: HashMap<String, CacheEntry>,
+}
+
+/// A least-recently-used plan cache keyed on the query's normal form,
+/// shared by every clone of a session.
+///
+/// Locking strategy: the entry map (and its LRU ticks) sits behind one
+/// [`Mutex`]; the hit/miss/eviction counters are atomics updated outside any
+/// contention-sensitive path. The critical section is a hash lookup plus
+/// three `Arc` clones — the cached plans themselves are immutable and shared,
+/// so the expensive parts (backend `prepare`, plan execution) happen entirely
+/// outside the lock.
 #[derive(Debug)]
 struct PlanCache {
     capacity: usize,
-    tick: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-    entries: HashMap<String, CacheEntry>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    map: Mutex<CacheMap>,
 }
 
 impl PlanCache {
     fn new(capacity: usize) -> PlanCache {
         PlanCache {
             capacity,
-            tick: 0,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
-            entries: HashMap::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            map: Mutex::new(CacheMap::default()),
         }
     }
 
-    fn lookup(&mut self, key: &str) -> Option<(Rc<NormQuery>, Type, Rc<BackendPlan>)> {
-        self.tick += 1;
-        let tick = self.tick;
-        match self.entries.get_mut(key) {
+    fn lock_map(&self) -> std::sync::MutexGuard<'_, CacheMap> {
+        // A panic while holding the lock can only happen on allocation
+        // failure; the map is structurally intact either way, so poisoning
+        // is safe to shrug off rather than propagate to every caller.
+        self.map
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn lookup(&self, key: &str) -> Option<(Arc<NormQuery>, Arc<Type>, Arc<BackendPlan>)> {
+        let mut map = self.lock_map();
+        map.tick += 1;
+        let tick = map.tick;
+        match map.entries.get_mut(key) {
             Some(entry) => {
                 entry.last_used = tick;
-                self.hits += 1;
-                Some((
+                let found = (
                     entry.normalised.clone(),
                     entry.result_type.clone(),
                     entry.plan.clone(),
-                ))
+                );
+                drop(map);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(found)
             }
             None => {
-                self.misses += 1;
+                drop(map);
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
     fn insert(
-        &mut self,
+        &self,
         key: String,
-        normalised: Rc<NormQuery>,
-        result_type: Type,
-        plan: Rc<BackendPlan>,
+        normalised: Arc<NormQuery>,
+        result_type: Arc<Type>,
+        plan: Arc<BackendPlan>,
     ) {
-        self.tick += 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            if let Some(oldest) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                self.entries.remove(&oldest);
-                self.evictions += 1;
+        let mut evicted = 0u64;
+        {
+            let mut map = self.lock_map();
+            map.tick += 1;
+            let tick = map.tick;
+            if map.entries.len() >= self.capacity && !map.entries.contains_key(&key) {
+                if let Some(oldest) = map
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                {
+                    map.entries.remove(&oldest);
+                    evicted = 1;
+                }
             }
+            map.entries.insert(
+                key,
+                CacheEntry {
+                    normalised,
+                    result_type,
+                    plan,
+                    last_used: tick,
+                },
+            );
         }
-        self.entries.insert(
-            key,
-            CacheEntry {
-                normalised,
-                result_type,
-                plan,
-                last_used: self.tick,
-            },
-        );
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    fn clear(&self) {
+        self.lock_map().entries.clear();
     }
 
     fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            evictions: self.evictions,
-            entries: self.entries.len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.lock_map().entries.len(),
         }
     }
 }
@@ -621,7 +682,7 @@ impl PlanCache {
 pub struct ShredderBuilder {
     schema: Option<Schema>,
     database: Option<Database>,
-    engine: Option<Rc<Engine>>,
+    engine: Option<Arc<Engine>>,
     scheme: IndexScheme,
     backend: Option<Box<dyn SqlBackend>>,
     cache_capacity: Option<usize>,
@@ -671,10 +732,11 @@ impl ShredderBuilder {
     }
 
     /// Use a pre-loaded SQL engine instead of loading the database into
-    /// engine storage on first execution. Accepts an `Rc<Engine>` (e.g. from
-    /// [`Shredder::shared_engine`]) so several sessions over the same data
-    /// can share one loaded engine without copying its storage.
-    pub fn engine(mut self, engine: impl Into<Rc<Engine>>) -> Self {
+    /// engine storage on first execution. Accepts an `Arc<Engine>` (e.g.
+    /// from [`Shredder::shared_engine`]) so several sessions over the same
+    /// data can share one loaded engine without copying its storage — across
+    /// threads, if desired.
+    pub fn engine(mut self, engine: impl Into<Arc<Engine>>) -> Self {
         self.engine = Some(engine.into());
         self
     }
@@ -754,20 +816,23 @@ impl ShredderBuilder {
                         .into(),
                 ));
             }
-            Some(RefCell::new(PlanCache::new(capacity)))
+            Some(PlanCache::new(capacity))
         };
-        let engine = OnceCell::new();
+        let engine = OnceLock::new();
         if let Some(e) = self.engine {
             let _ = engine.set(e);
         }
         Ok(Shredder {
-            schema: Rc::new(schema),
-            db: self.database,
-            engine,
-            scheme: self.scheme,
-            backend: self.backend.unwrap_or_else(|| Box::new(SqlEngineBackend)),
-            cache,
-            auto_param: self.auto_param,
+            core: Arc::new(ShredderCore {
+                schema: Arc::new(schema),
+                db: self.database,
+                engine,
+                engine_init: Mutex::new(()),
+                scheme: self.scheme,
+                backend: self.backend.unwrap_or_else(|| Box::new(SqlEngineBackend)),
+                cache,
+                auto_param: self.auto_param,
+            }),
         })
     }
 }
@@ -795,14 +860,66 @@ impl ShredderBuilder {
 /// let value = session.execute(&prepared).unwrap();
 /// assert_eq!(value, Value::bag(vec![Value::Int(1)]));
 /// ```
-#[derive(Debug)]
+///
+/// # Concurrency
+///
+/// A `Shredder` is `Send + Sync` **and cheaply clonable**: the session state
+/// (schema, database, engine, backend, plan cache) lives behind one `Arc`,
+/// so `clone()` is a reference-count bump and every clone shares the same
+/// plan cache and the same lazily loaded engine. To serve a parametric
+/// workload from N worker threads, prepare once and hand each thread a
+/// clone:
+///
+/// ```
+/// use nrc::builder::*;
+/// use shredding::session::{Params, Shredder};
+/// # use nrc::schema::{Database, Schema, TableSchema};
+/// # use nrc::types::BaseType;
+/// # use nrc::value::Value;
+/// # let schema = Schema::new().with_table(
+/// #     TableSchema::new("items", vec![("id", BaseType::Int)]).with_key(vec!["id"]));
+/// # let mut db = Database::new(schema);
+/// # for id in 1..=4 { db.insert_row("items", vec![("id", Value::Int(id))]).unwrap(); }
+/// let session = Shredder::builder().database(db).build().unwrap();
+/// let query = for_where(
+///     "x",
+///     table("items"),
+///     eq(project(var("x"), "id"), int_param("wanted")),
+///     singleton(project(var("x"), "id")),
+/// );
+/// let prepared = session.prepare(&query).unwrap();
+/// let handles: Vec<_> = (1..=4i64)
+///     .map(|wanted| {
+///         let session = session.clone();   // shares cache + engine
+///         let prepared = prepared.clone(); // plans are immutable + shared
+///         std::thread::spawn(move || {
+///             session
+///                 .execute_bound(&prepared, &Params::new().bind("wanted", wanted))
+///                 .unwrap()
+///         })
+///     })
+///     .collect();
+/// for (i, h) in handles.into_iter().enumerate() {
+///     assert_eq!(h.join().unwrap(), Value::bag(vec![Value::Int(i as i64 + 1)]));
+/// }
+/// ```
+#[derive(Debug, Clone)]
 pub struct Shredder {
-    schema: Rc<Schema>,
+    core: Arc<ShredderCore>,
+}
+
+/// The shared state behind every clone of a [`Shredder`].
+#[derive(Debug)]
+struct ShredderCore {
+    schema: Arc<Schema>,
     db: Option<Database>,
-    engine: OnceCell<Rc<Engine>>,
+    engine: OnceLock<Arc<Engine>>,
+    /// Serialises the one-time database → engine load (see
+    /// [`ExecContext::engine`]); never held while executing.
+    engine_init: Mutex<()>,
     scheme: IndexScheme,
     backend: Box<dyn SqlBackend>,
-    cache: Option<RefCell<PlanCache>>,
+    cache: Option<PlanCache>,
     auto_param: bool,
 }
 
@@ -820,22 +937,22 @@ impl Shredder {
 
     /// The session's schema.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        &self.core.schema
     }
 
     /// The session's database, if one is attached.
     pub fn database(&self) -> Option<&Database> {
-        self.db.as_ref()
+        self.core.db.as_ref()
     }
 
     /// The session's indexing scheme.
     pub fn index_scheme(&self) -> IndexScheme {
-        self.scheme
+        self.core.scheme
     }
 
     /// The name of the session's backend.
     pub fn backend_name(&self) -> &'static str {
-        self.backend.name()
+        self.core.backend.name()
     }
 
     /// The session's SQL engine, loading the database into engine storage on
@@ -847,9 +964,10 @@ impl Shredder {
     /// A shareable handle to the session's engine, for building further
     /// sessions over the same loaded storage without copying it (pass it to
     /// [`ShredderBuilder::engine`]).
-    pub fn shared_engine(&self) -> Result<Rc<Engine>, ShredError> {
+    pub fn shared_engine(&self) -> Result<Arc<Engine>, ShredError> {
         self.exec_context().engine()?;
         Ok(self
+            .core
             .engine
             .get()
             .expect("engine cell just populated")
@@ -876,7 +994,7 @@ impl Shredder {
     }
 
     fn parameterize(&self, term: &Term) -> (Term, Params) {
-        if self.auto_param {
+        if self.core.auto_param {
             auto_parameterize(term)
         } else {
             (term.clone(), Params::new())
@@ -889,28 +1007,32 @@ impl Shredder {
         defaults: Params,
         use_cache: bool,
     ) -> Result<PreparedQuery, ShredError> {
-        let (normalised, result_type) = normalise_with_type(term, &self.schema)?;
+        let (normalised, result_type) = normalise_with_type(term, &self.core.schema)?;
         let params = param_specs(term)?;
-        let cache = if use_cache { self.cache.as_ref() } else { None };
+        let cache = if use_cache {
+            self.core.cache.as_ref()
+        } else {
+            None
+        };
         let Some(cache) = cache else {
             return self.plan(term, normalised, result_type, params, defaults);
         };
         let key = plan_key(&normalised);
-        if let Some((normalised, result_type, plan)) = cache.borrow_mut().lookup(&key) {
+        if let Some((normalised, result_type, plan)) = cache.lookup(&key) {
             return Ok(PreparedQuery {
-                backend: self.backend.name(),
-                scheme: self.scheme,
-                schema: self.schema.clone(),
+                backend: self.core.backend.name(),
+                scheme: self.core.scheme,
+                schema: self.core.schema.clone(),
                 normalised,
                 result_type,
                 plan,
-                params: Rc::new(params),
-                defaults: Rc::new(defaults),
+                params: Arc::new(params),
+                defaults: Arc::new(defaults),
                 from_cache: true,
             });
         }
         let prepared = self.plan(term, normalised, result_type, params, defaults)?;
-        cache.borrow_mut().insert(
+        cache.insert(
             key,
             prepared.normalised.clone(),
             prepared.result_type.clone(),
@@ -931,20 +1053,20 @@ impl Shredder {
             term,
             normalised: &normalised,
             result_type: &result_type,
-            schema: &self.schema,
+            schema: &self.core.schema,
             params: &params,
             defaults: &defaults,
         };
-        let plan = self.backend.prepare(&req)?;
+        let plan = self.core.backend.prepare(&req)?;
         Ok(PreparedQuery {
-            backend: self.backend.name(),
-            scheme: self.scheme,
-            schema: self.schema.clone(),
-            normalised: Rc::new(normalised),
-            result_type,
-            plan: Rc::new(plan),
-            params: Rc::new(params),
-            defaults: Rc::new(defaults),
+            backend: self.core.backend.name(),
+            scheme: self.core.scheme,
+            schema: self.core.schema.clone(),
+            normalised: Arc::new(normalised),
+            result_type: Arc::new(result_type),
+            plan: Arc::new(plan),
+            params: Arc::new(params),
+            defaults: Arc::new(defaults),
             from_cache: false,
         })
     }
@@ -967,26 +1089,29 @@ impl Shredder {
         prepared: &PreparedQuery,
         params: &Params,
     ) -> Result<Value, ShredError> {
-        if prepared.backend != self.backend.name() {
+        if prepared.backend != self.core.backend.name() {
             return Err(ShredError::Config(format!(
                 "prepared query belongs to the {} backend but this session uses {}",
                 prepared.backend,
-                self.backend.name()
+                self.core.backend.name()
             )));
         }
-        if prepared.scheme != self.scheme {
+        if prepared.scheme != self.core.scheme {
             return Err(ShredError::Config(format!(
                 "prepared query was planned under {} indexes but this session uses {}",
-                prepared.scheme, self.scheme
+                prepared.scheme, self.core.scheme
             )));
         }
-        if !Rc::ptr_eq(&prepared.schema, &self.schema) && *prepared.schema != *self.schema {
+        if !Arc::ptr_eq(&prepared.schema, &self.core.schema)
+            && *prepared.schema != *self.core.schema
+        {
             return Err(ShredError::Config(
                 "prepared query was planned against a different schema".into(),
             ));
         }
         let bindings = resolve_bindings(&prepared.params, &prepared.defaults, params)?;
-        self.backend
+        self.core
+            .backend
             .execute(&prepared.plan, &self.exec_context(), &bindings)
     }
 
@@ -1025,25 +1150,26 @@ impl Shredder {
     /// Counters describing the plan cache (all zero when caching is
     /// disabled).
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache
+        self.core
+            .cache
             .as_ref()
-            .map(|c| c.borrow().stats())
+            .map(PlanCache::stats)
             .unwrap_or_default()
     }
 
     /// Drop every cached plan, keeping the hit/miss counters.
     pub fn clear_plan_cache(&self) {
-        if let Some(cache) = &self.cache {
-            let mut cache = cache.borrow_mut();
-            cache.entries.clear();
+        if let Some(cache) = &self.core.cache {
+            cache.clear();
         }
     }
 
     fn exec_context(&self) -> ExecContext<'_> {
         ExecContext {
-            db: self.db.as_ref(),
-            scheme: self.scheme,
-            engine: &self.engine,
+            db: self.core.db.as_ref(),
+            scheme: self.core.scheme,
+            engine: &self.core.engine,
+            engine_init: &self.core.engine_init,
         }
     }
 }

@@ -31,14 +31,28 @@ use crate::error::EngineError;
 use crate::plan::PhysicalPlan;
 use crate::storage::{ResultSet, Storage};
 use crate::value::{compare_rows, ParamValues, Row, SqlValue};
-use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A SQL engine: storage plus an execution entry point.
-#[derive(Debug, Clone, Default)]
+///
+/// An `Engine` is `Send + Sync`: execution reads `&Storage` without interior
+/// mutation (the lazily built columnar views sit behind `OnceLock`s and the
+/// plan counter is atomic), so one engine instance — typically behind an
+/// `Arc` — serves any number of threads concurrently.
+#[derive(Debug, Default)]
 pub struct Engine {
     pub storage: Storage,
-    plans_built: Cell<u64>,
+    plans_built: AtomicU64,
+}
+
+impl Clone for Engine {
+    fn clone(&self) -> Engine {
+        Engine {
+            storage: self.storage.clone(),
+            plans_built: AtomicU64::new(self.plans_built.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Engine {
@@ -51,7 +65,7 @@ impl Engine {
     pub fn with_storage(storage: Storage) -> Engine {
         Engine {
             storage,
-            plans_built: Cell::new(0),
+            plans_built: AtomicU64::new(0),
         }
     }
 
@@ -60,7 +74,7 @@ impl Engine {
     /// The returned plan can be executed any number of times with
     /// [`execute_plan`](Engine::execute_plan) without re-planning.
     pub fn prepare(&self, query: &Query) -> Result<PhysicalPlan, EngineError> {
-        self.plans_built.set(self.plans_built.get() + 1);
+        self.plans_built.fetch_add(1, Ordering::Relaxed);
         crate::plan::plan_query(query, &self.storage)
     }
 
@@ -132,9 +146,9 @@ impl Engine {
     /// How many physical plans this engine has built (via
     /// [`prepare`](Engine::prepare) or ad-hoc [`execute`](Engine::execute)).
     /// Sessions that cache prepared plans assert this stays flat across
-    /// repeat executions.
+    /// repeat executions (including concurrent ones: the counter is atomic).
     pub fn plans_built(&self) -> u64 {
-        self.plans_built.get()
+        self.plans_built.load(Ordering::Relaxed)
     }
 }
 

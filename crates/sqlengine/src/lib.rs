@@ -25,6 +25,13 @@
 //! row-at-a-time interpreter survives as [`Engine::execute_interpreted`],
 //! the oracle the vectorized executor is differentially tested against.
 //!
+//! The whole engine is `Send + Sync`: values share string storage by
+//! `Arc<str>`, batches share columns by `Arc`, the lazily transposed
+//! columnar views live in `OnceLock`s and the plan counter is atomic, so
+//! plans execute against `&Storage` with no interior mutation and one
+//! engine instance (typically an `Arc<Engine>`) serves any number of
+//! threads concurrently.
+//!
 //! ```
 //! use sqlengine::exec::Engine;
 //! use sqlengine::storage::{ColumnType, Storage, TableDef};

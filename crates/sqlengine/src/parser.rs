@@ -434,7 +434,7 @@ impl Parser {
     fn parse_primary(&mut self) -> Result<Expr, EngineError> {
         match self.next() {
             Some(Token::Int(n)) => Ok(Expr::Literal(SqlValue::Int(n))),
-            Some(Token::Str(s)) => Ok(Expr::Literal(SqlValue::Str(s))),
+            Some(Token::Str(s)) => Ok(Expr::Literal(SqlValue::str(s))),
             Some(Token::Param(name)) => Ok(Expr::Param(name)),
             Some(Token::Symbol(s)) if s == "(" => {
                 let e = self.parse_or()?;

@@ -45,7 +45,11 @@ const FILTER_SELECTIVITY: f64 = 0.5;
 
 /// What the planner may ask about stored tables: their column layout and,
 /// when available, their cardinality.
-pub trait Catalog {
+///
+/// Catalogs are `Send + Sync` so planning can happen from any thread against
+/// a shared engine or schema (both provided implementations — [`Storage`]
+/// and [`SchemaCatalog`] — are plain shared-readable data).
+pub trait Catalog: Send + Sync {
     /// The column names of a stored table, in declaration order.
     fn table_columns(&self, name: &str) -> Option<Vec<String>>;
 

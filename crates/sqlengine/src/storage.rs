@@ -6,10 +6,9 @@
 
 use crate::error::EngineError;
 use crate::value::{Row, SqlValue};
-use std::cell::OnceCell;
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
 
 /// The declared type of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,8 +98,9 @@ pub struct Table {
     /// Key values seen so far, for O(1) duplicate-key detection.
     key_seen: HashSet<Row>,
     /// Lazily transposed column-major view served to the vectorized
-    /// executor; invalidated by `insert`.
-    columnar: OnceCell<Vec<Rc<Vec<SqlValue>>>>,
+    /// executor; invalidated by `insert`. A `OnceLock` so concurrent readers
+    /// of a shared table can race to initialise it without `&mut` access.
+    columnar: OnceLock<Vec<Arc<Vec<SqlValue>>>>,
 }
 
 impl PartialEq for Table {
@@ -116,7 +116,7 @@ impl Table {
             def,
             rows: Vec::new(),
             key_seen: HashSet::new(),
-            columnar: OnceCell::new(),
+            columnar: OnceLock::new(),
         }
     }
 
@@ -169,9 +169,12 @@ impl Table {
     }
 
     /// The column-major view of the table: one shared vector per column, in
-    /// declaration order. Built lazily on first use and cached until the
-    /// next insert; the vectorized executor scans these vectors zero-copy.
-    pub fn columnar(&self) -> &[Rc<Vec<SqlValue>>] {
+    /// declaration order. Built lazily on first use (thread-safely: any
+    /// number of concurrent readers may trigger the build) and cached until
+    /// the next insert; the vectorized executor scans these vectors
+    /// zero-copy, and the `Arc`s let batches outlive the borrow and cross
+    /// threads.
+    pub fn columnar(&self) -> &[Arc<Vec<SqlValue>>] {
         self.columnar.get_or_init(|| {
             let mut columns: Vec<Vec<SqlValue>> = (0..self.def.arity())
                 .map(|_| Vec::with_capacity(self.rows.len()))
@@ -181,7 +184,7 @@ impl Table {
                     columns[c].push(v.clone());
                 }
             }
-            columns.into_iter().map(Rc::new).collect()
+            columns.into_iter().map(Arc::new).collect()
         })
     }
 

@@ -3,9 +3,15 @@
 //! The engine only needs the base types that λNRC tables may contain
 //! (integers, booleans, strings) plus `NULL`, which the natural-index scheme
 //! uses to pad key columns of heterogeneous unions.
+//!
+//! Strings are stored as `Arc<str>`: cloning a value — which the columnar
+//! transposes, hash-join build keys and result gathering all do per row — is
+//! a reference-count bump instead of a heap copy, and values stay `Send +
+//! Sync` so batches can be shared across threads.
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// A single SQL scalar value.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -14,12 +20,12 @@ pub enum SqlValue {
     Null,
     Bool(bool),
     Int(i64),
-    Str(String),
+    Str(Arc<str>),
 }
 
 impl SqlValue {
     /// Build a string value.
-    pub fn str<S: Into<String>>(s: S) -> SqlValue {
+    pub fn str<S: Into<Arc<str>>>(s: S) -> SqlValue {
         SqlValue::Str(s.into())
     }
 
@@ -47,7 +53,7 @@ impl SqlValue {
     /// The string content, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            SqlValue::Str(s) => Some(s),
+            SqlValue::Str(s) => Some(&s[..]),
             _ => None,
         }
     }
@@ -119,12 +125,18 @@ impl From<bool> for SqlValue {
 
 impl From<&str> for SqlValue {
     fn from(s: &str) -> Self {
-        SqlValue::Str(s.to_string())
+        SqlValue::Str(Arc::from(s))
     }
 }
 
 impl From<String> for SqlValue {
     fn from(s: String) -> Self {
+        SqlValue::Str(Arc::from(s))
+    }
+}
+
+impl From<Arc<str>> for SqlValue {
+    fn from(s: Arc<str>) -> Self {
         SqlValue::Str(s)
     }
 }

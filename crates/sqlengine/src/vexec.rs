@@ -4,8 +4,10 @@
 //! cloning a scope frame per joined row combination — this executor runs a
 //! pre-compiled plan over a columnar representation:
 //!
-//! * a [`Batch`] holds one `Vec<SqlValue>` per column, shared by `Rc` so
-//!   table scans and CTE references are zero-copy,
+//! * a [`Batch`] holds one `Vec<SqlValue>` per column, shared by `Arc` so
+//!   table scans and CTE references are zero-copy and batches are
+//!   `Send + Sync` (plans execute against `&Storage` with no interior
+//!   mutation, so any number of threads can run plans over one engine),
 //! * filters and sorts produce **selection vectors** instead of moving data,
 //! * expressions are evaluated column-at-a-time ([`VExpr::Col`] is a resolved
 //!   position, so there is no name lookup per row),
@@ -24,7 +26,7 @@ use crate::plan::{BuildSide, PhysicalPlan, VExpr};
 use crate::storage::{ResultSet, Storage};
 use crate::value::{compare_rows, ParamValues, Row, SqlValue};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Execute a parameter-free physical plan against storage, producing a flat
 /// result set.
@@ -53,9 +55,9 @@ type SchemaCol = (Option<String>, String);
 /// selection vector picking the live rows.
 #[derive(Debug, Clone)]
 pub struct Batch {
-    schema: Rc<Vec<SchemaCol>>,
-    columns: Vec<Rc<Vec<SqlValue>>>,
-    sel: Option<Rc<Vec<usize>>>,
+    schema: Arc<Vec<SchemaCol>>,
+    columns: Vec<Arc<Vec<SqlValue>>>,
+    sel: Option<Arc<Vec<usize>>>,
     /// Number of physical rows in `columns` (needed explicitly because a
     /// batch may have zero columns but a positive row count).
     base_rows: usize,
@@ -105,7 +107,7 @@ impl Batch {
             Some(_) => Batch {
                 schema: self.schema.clone(),
                 columns: (0..self.columns.len())
-                    .map(|c| Rc::new(self.gather(c)))
+                    .map(|c| Arc::new(self.gather(c)))
                     .collect(),
                 sel: None,
                 base_rows: self.len(),
@@ -114,7 +116,7 @@ impl Batch {
     }
 
     /// Rebuild a batch from explicit rows (used by the set operations).
-    fn from_rows(schema: Rc<Vec<SchemaCol>>, rows: Vec<Row>) -> Batch {
+    fn from_rows(schema: Arc<Vec<SchemaCol>>, rows: Vec<Row>) -> Batch {
         let width = schema.len();
         let base_rows = rows.len();
         let mut columns: Vec<Vec<SqlValue>> =
@@ -126,7 +128,7 @@ impl Batch {
         }
         Batch {
             schema,
-            columns: columns.into_iter().map(Rc::new).collect(),
+            columns: columns.into_iter().map(Arc::new).collect(),
             sel: None,
             base_rows,
         }
@@ -146,7 +148,7 @@ struct VecCtx<'a> {
 }
 
 /// Runtime environment of `WITH`-bound batches, innermost last. Cloning is
-/// cheap: batches share their columns by `Rc`.
+/// cheap: batches share their columns by `Arc`.
 #[derive(Default, Clone)]
 struct CteEnv {
     bindings: Vec<(String, Batch)>,
@@ -177,7 +179,7 @@ struct ScopeStack {
 
 #[derive(Clone)]
 struct ScopeFrame {
-    schema: Rc<Vec<SchemaCol>>,
+    schema: Arc<Vec<SchemaCol>>,
     values: Row,
 }
 
@@ -239,7 +241,7 @@ fn exec(
 ) -> Result<Batch, EngineError> {
     match plan {
         PhysicalPlan::UnitRow => Ok(Batch {
-            schema: Rc::new(Vec::new()),
+            schema: Arc::new(Vec::new()),
             columns: Vec::new(),
             sel: None,
             base_rows: 1,
@@ -270,7 +272,7 @@ fn exec(
                 .map(|c| (Some(alias.clone()), c))
                 .collect();
             Ok(Batch {
-                schema: Rc::new(schema),
+                schema: Arc::new(schema),
                 columns: table.columnar().to_vec(),
                 sel: None,
                 base_rows: table.len(),
@@ -347,7 +349,7 @@ fn exec(
                 .map(|(i, _)| batch.phys(i))
                 .collect();
             Ok(Batch {
-                sel: Some(Rc::new(sel)),
+                sel: Some(Arc::new(sel)),
                 ..batch
             })
         }
@@ -369,7 +371,7 @@ fn exec(
                 }
             }
             Ok(Batch {
-                sel: Some(Rc::new(sel)),
+                sel: Some(Arc::new(sel)),
                 ..batch
             })
         }
@@ -393,10 +395,10 @@ fn exec(
                     rn[row_idx] = SqlValue::Int((number + 1) as i64);
                 }
                 schema.push((None, format!("#rn{}", spec_idx)));
-                columns.push(Rc::new(rn));
+                columns.push(Arc::new(rn));
             }
             Ok(Batch {
-                schema: Rc::new(schema),
+                schema: Arc::new(schema),
                 columns,
                 sel: None,
                 base_rows: len,
@@ -409,7 +411,7 @@ fn exec(
             order.sort_by(|&a, &b| compare_rows(&key_values[a], &key_values[b]));
             let sel: Vec<usize> = order.into_iter().map(|i| batch.phys(i)).collect();
             Ok(Batch {
-                sel: Some(Rc::new(sel)),
+                sel: Some(Arc::new(sel)),
                 ..batch
             })
         }
@@ -423,10 +425,10 @@ fn exec(
             let schema: Vec<SchemaCol> = columns.iter().map(|c| (None, c.clone())).collect();
             let out = exprs
                 .iter()
-                .map(|e| eval(e, &batch, ctx, ctes, scope).map(Rc::new))
+                .map(|e| eval(e, &batch, ctx, ctes, scope).map(Arc::new))
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(Batch {
-                schema: Rc::new(schema),
+                schema: Arc::new(schema),
                 columns: out,
                 sel: None,
                 base_rows: len,
@@ -440,7 +442,7 @@ fn exec(
                 .map(|i| batch.phys(i))
                 .collect();
             Ok(Batch {
-                sel: Some(Rc::new(sel)),
+                sel: Some(Arc::new(sel)),
                 ..batch
             })
         }
@@ -471,7 +473,7 @@ fn exec(
             }
             Ok(Batch {
                 schema: acc.schema,
-                columns: columns.into_iter().map(Rc::new).collect(),
+                columns: columns.into_iter().map(Arc::new).collect(),
                 sel: None,
                 base_rows: total,
             })
@@ -514,7 +516,7 @@ fn realias(batch: &Batch, alias: &str) -> Batch {
         .collect();
     let compact = batch.materialised();
     Batch {
-        schema: Rc::new(schema),
+        schema: Arc::new(schema),
         ..compact
     }
 }
@@ -523,11 +525,11 @@ fn realias(batch: &Batch, alias: &str) -> Batch {
 fn join_gather(left: &Batch, right: &Batch, pairs: &[(usize, usize)]) -> Batch {
     let mut schema = left.schema.as_ref().clone();
     schema.extend(right.schema.iter().cloned());
-    let mut columns: Vec<Rc<Vec<SqlValue>>> =
+    let mut columns: Vec<Arc<Vec<SqlValue>>> =
         Vec::with_capacity(left.columns.len() + right.columns.len());
     for c in 0..left.columns.len() {
         let data = &left.columns[c];
-        columns.push(Rc::new(
+        columns.push(Arc::new(
             pairs
                 .iter()
                 .map(|&(i, _)| data[left.phys(i)].clone())
@@ -536,7 +538,7 @@ fn join_gather(left: &Batch, right: &Batch, pairs: &[(usize, usize)]) -> Batch {
     }
     for c in 0..right.columns.len() {
         let data = &right.columns[c];
-        columns.push(Rc::new(
+        columns.push(Arc::new(
             pairs
                 .iter()
                 .map(|&(_, j)| data[right.phys(j)].clone())
@@ -544,7 +546,7 @@ fn join_gather(left: &Batch, right: &Batch, pairs: &[(usize, usize)]) -> Batch {
         ));
     }
     Batch {
-        schema: Rc::new(schema),
+        schema: Arc::new(schema),
         columns,
         sel: None,
         base_rows: pairs.len(),

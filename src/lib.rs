@@ -40,9 +40,9 @@ pub use sqlengine;
 
 /// Convenience prelude for examples and tests: the session API (including
 /// parameterized prepared queries), the backends, and the workload
-/// generator. The deprecated pre-session free functions are *not* exported
-/// here any more — name them in full (`shredding::pipeline::run`) while they
-/// await removal.
+/// generator. The deprecated pre-session free functions (`run`,
+/// `run_in_memory`, `eval_nested`) have been removed; the session API is
+/// the only entry point.
 pub mod prelude {
     pub use baselines::{FlatDefaultBackend, LoopLiftBackend, VandenBusscheBackend};
     pub use datagen::{generate, organisation_schema, OrgConfig};

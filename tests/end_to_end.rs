@@ -167,23 +167,18 @@ fn results_scale_with_the_data() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn the_deprecated_free_function_shims_still_work() {
-    // The pre-session shims survive (deprecated, slated for removal) but are
-    // no longer exported from the prelude — callers must name them in full.
+fn the_low_level_pipeline_building_blocks_remain_usable() {
+    // The deprecated pre-session shims (`run`, `run_in_memory`,
+    // `eval_nested`) are gone; the composable building blocks they wrapped
+    // stay available for callers that want to drive the stages by hand.
     let db = small_db();
     let schema = organisation_schema();
     let engine = shredding::pipeline::engine_from_database(&db).unwrap();
     let q = datagen::queries::q4();
-    let reference = shredding::pipeline::eval_nested(&q, &db).unwrap();
-    assert!(shredding::pipeline::run(&q, &schema, &engine)
-        .unwrap()
-        .multiset_eq(&reference));
-    assert!(
-        shredding::pipeline::run_in_memory(&q, &schema, &db, IndexScheme::Flat)
-            .unwrap()
-            .multiset_eq(&reference)
-    );
+    let reference = Shredder::over(db).unwrap().oracle(&q).unwrap();
     let compiled = shredding::pipeline::compile(&q, &schema).unwrap();
     assert_eq!(compiled.query_count(), 2);
+    assert!(shredding::pipeline::execute(&compiled, &engine)
+        .unwrap()
+        .multiset_eq(&reference));
 }
