@@ -43,7 +43,7 @@ impl SqlBackend for LoopLiftBackend {
                 path: path.to_string(),
                 sql: Some(sqlengine::print_query(&stage.sql)),
                 physical: None,
-                columns: stage.layout.columns(),
+                columns: stage.layout.columns().to_vec(),
             })
             .collect();
         Ok(BackendPlan::new(stages, compiled))

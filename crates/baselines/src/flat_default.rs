@@ -121,7 +121,11 @@ pub fn execute_flat_bound(
     engine: &Engine,
     params: &sqlengine::ParamValues,
 ) -> Result<Value, ShredError> {
-    let rs = engine.execute_bound(&compiled.sql, params)?;
+    // The flat baseline decodes rows; transpose the engine's columnar
+    // result back (the column→row converter).
+    let rs = engine
+        .execute_bound(&compiled.sql, params)?
+        .into_result_set();
     decode_flat(compiled, &rs)
 }
 

@@ -31,7 +31,7 @@ use shredding::nf::Generator;
 use shredding::pipeline::{compile, CompiledQuery};
 use shredding::semantics::{IndexScheme, ShredResult};
 use shredding::shred::Package;
-use shredding::stitch::stitch;
+use shredding::stitch::stitch_rows;
 use sqlengine::ast::{BinOp, Expr, Query, Select, TableSource};
 use sqlengine::Engine;
 
@@ -50,11 +50,12 @@ pub struct LoopLiftedQuery {
     pub stages: Package<LoopLiftedStage>,
 }
 
-/// One loop-lifted SQL query and its decoding layout.
+/// One loop-lifted SQL query and its decoding layout (shared by `Arc` with
+/// the shredding pipeline's compiled stage it was derived from).
 #[derive(Debug, Clone)]
 pub struct LoopLiftedStage {
     pub sql: Query,
-    pub layout: ResultLayout,
+    pub layout: std::sync::Arc<ResultLayout>,
 }
 
 impl LoopLiftedQuery {
@@ -90,7 +91,10 @@ pub fn execute_looplift(compiled: &LoopLiftedQuery, engine: &Engine) -> Result<V
 }
 
 /// Execute a loop-lifted query with bound values for its `:name`
-/// placeholders.
+/// placeholders. The baseline stays on the row path — the engine's columnar
+/// result is transposed back into rows (the column→row converter), decoded
+/// row by row and stitched with the row-at-a-time stitcher — exactly the
+/// result-assembly cost profile the paper's loop-lifting systems pay.
 pub fn execute_looplift_bound(
     compiled: &LoopLiftedQuery,
     engine: &Engine,
@@ -98,10 +102,10 @@ pub fn execute_looplift_bound(
 ) -> Result<Value, ShredError> {
     let results: Package<ShredResult> =
         compiled.stages.try_map(&mut |stage: &LoopLiftedStage| {
-            let rs = engine.execute_bound(&stage.sql, params)?;
+            let rs = engine.execute_bound(&stage.sql, params)?.into_result_set();
             stage.layout.decode(&rs)
         })?;
-    stitch(&results, IndexScheme::Flat)
+    stitch_rows(results, IndexScheme::Flat)
 }
 
 /// Run a nested query end to end with the loop-lifting baseline.
@@ -356,7 +360,7 @@ fn lifted_expr(
         LetBase::Const(c) => Expr::Literal(match c {
             Constant::Int(i) => value_to_sql(&Value::Int(*i))?,
             Constant::Bool(b) => value_to_sql(&Value::Bool(*b))?,
-            Constant::String(s) => value_to_sql(&Value::String(s.clone()))?,
+            Constant::String(s) => value_to_sql(&Value::string(s.as_str()))?,
             Constant::Unit => value_to_sql(&Value::Unit)?,
         }),
         LetBase::Param(name, _) => Expr::param(name),

@@ -9,6 +9,7 @@
 //! experiments --max-departments 64      # extend the scaling sweep
 //! experiments --check                    # verify every result against N⟦−⟧
 //! experiments --vexec-json BENCH_pr2.json  # interpreter vs. vectorized engine
+//! experiments --stitch-json BENCH_pr5.json # row-path vs. columnar result assembly
 //! experiments --params-json BENCH_pr3.json # bound re-execution vs. replanning
 //! experiments --concurrency-json BENCH_pr4.json # shared-session thread scaling
 //! ```
@@ -31,6 +32,7 @@ struct Options {
     param_bindings: usize,
     concurrency_json: Option<String>,
     concurrency_execs: usize,
+    stitch_json: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -47,6 +49,7 @@ fn parse_args() -> Options {
         param_bindings: 64,
         concurrency_json: None,
         concurrency_execs: 64,
+        stitch_json: None,
     };
     let mut i = 0;
     let mut any = false;
@@ -122,6 +125,15 @@ fn parse_args() -> Options {
                 opts.concurrency_json = Some(path);
                 any = true;
             }
+            "--stitch-json" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--stitch-json expects a file path");
+                    std::process::exit(2);
+                });
+                opts.stitch_json = Some(path);
+                any = true;
+            }
             "--concurrency-execs" => {
                 i += 1;
                 opts.concurrency_execs =
@@ -135,7 +147,8 @@ fn parse_args() -> Options {
                     "usage: experiments [--figure 10|11] [--appendix-a] [--all] \
                      [--max-departments N] [--runs N] [--check] [--vexec-json PATH] \
                      [--params-json PATH] [--param-bindings N] \
-                     [--concurrency-json PATH] [--concurrency-execs N]"
+                     [--concurrency-json PATH] [--concurrency-execs N] \
+                     [--stitch-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -418,6 +431,56 @@ fn concurrency_report(path: &str, opts: &Options) {
     }
 }
 
+/// The PR 5 result-assembly comparison: the same per-stage engine output
+/// decoded and stitched over the row path (transpose -> per-row `FlatValue`
+/// trees -> row-at-a-time stitch) and the columnar path (index-keyed grouping
+/// over `Arc`-shared columns -> one-pass materialisation). Writes the
+/// machine-readable report and fails the process if the columnar path does
+/// not beat the row path on every nested benchmark query.
+fn stitch_report(path: &str, opts: &Options) {
+    let instance = Instance::at_scale(opts.max_departments);
+    println!(
+        "\n=== Row-path vs. columnar result assembly ({} departments, median of {}) ===",
+        instance.departments, opts.runs
+    );
+    println!(
+        "{:<6} {:<7} {:>7} {:>8} {:>13} {:>13} {:>9}",
+        "query", "kind", "stages", "rows", "row ms", "columnar ms", "speedup"
+    );
+    let rows = bench::compare_stitch(&instance, opts.runs);
+    for row in &rows {
+        println!(
+            "{:<6} {:<7} {:>7} {:>8} {:>13.4} {:>13.4} {:>8.1}x",
+            row.query,
+            row.kind,
+            row.stages,
+            row.rows,
+            row.row_path_ms,
+            row.columnar_ms,
+            row.speedup()
+        );
+    }
+    let json = bench::stitch_report_json(&instance, opts.runs, &rows);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {}: {}", path, e);
+        std::process::exit(1);
+    }
+    println!("wrote {}", path);
+    for row in &rows {
+        // Gate only queries that decode at least one row: with zero rows
+        // both paths are sub-microsecond no-ops and the comparison is pure
+        // timer noise.
+        if row.kind == "nested" && row.rows > 0 && row.columnar_ms >= row.row_path_ms {
+            eprintln!(
+                "FAIL: nested query {} assembles results slower on the columnar path \
+                 ({:.4} ms) than on the row path ({:.4} ms)",
+                row.query, row.columnar_ms, row.row_path_ms
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let scales = department_scales(opts.max_departments);
@@ -474,5 +537,8 @@ fn main() {
     }
     if let Some(path) = &opts.concurrency_json {
         concurrency_report(path, &opts);
+    }
+    if let Some(path) = &opts.stitch_json {
+        stitch_report(path, &opts);
     }
 }

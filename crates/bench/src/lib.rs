@@ -362,6 +362,166 @@ pub fn vexec_report_json(instance: &Instance, runs: usize, rows: &[VexecComparis
 }
 
 // ---------------------------------------------------------------------------
+// Row-path vs. columnar result assembly (the PR 5 decode + stitch comparison)
+// ---------------------------------------------------------------------------
+
+/// One result-assembly comparison: the same per-stage engine output decoded
+/// and stitched back into a nested value over the two result paths —
+///
+/// * **row path** — transpose each stage's columnar engine result into rows
+///   (the column→row converter), decode one `FlatValue` tree per row, group
+///   by cloning-free moves, stitch with the row-at-a-time oracle;
+/// * **columnar path** — group each stage by its `(oidx_tag, oidx_ord)`
+///   columns over a sorted row permutation and materialise the nested value
+///   straight out of the `Arc`-shared columns.
+///
+/// Engine execution is excluded: each stage's plan runs once up front and
+/// both paths decode clones of the same `Arc`-shared [`sqlengine::ColumnarResult`]s
+/// (cloning is a refcount bump, identical on both sides).
+#[derive(Debug, Clone)]
+pub struct StitchComparison {
+    pub query: String,
+    /// `"flat"` (QF1–QF6) or `"nested"` (Q1–Q6).
+    pub kind: &'static str,
+    /// Number of flat SQL stages the query shreds into.
+    pub stages: usize,
+    /// Total rows decoded across all stages.
+    pub rows: usize,
+    /// Median time for transpose + row decode + row-at-a-time stitch.
+    pub row_path_ms: f64,
+    /// Median time for columnar decode (index grouping) + columnar stitch.
+    pub columnar_ms: f64,
+}
+
+impl StitchComparison {
+    /// Row-path time over columnar time (>1 means the columnar path wins).
+    pub fn speedup(&self) -> f64 {
+        if self.columnar_ms > 0.0 {
+            self.row_path_ms / self.columnar_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Compare the row and columnar result-assembly paths on every benchmark
+/// query, over the instance's loaded engine. Both paths are verified against
+/// the nested reference semantics before being timed.
+pub fn compare_stitch(instance: &Instance, runs: usize) -> Vec<StitchComparison> {
+    use shredding::flatten::ColumnarStage;
+    use shredding::semantics::IndexScheme;
+    use shredding::shred::Package;
+    use shredding::stitch::{stitch, stitch_rows};
+
+    let engine = instance.engine();
+    let reference_session = instance.session(System::Shredding);
+    let suites: [(&'static str, Vec<(&'static str, Term)>); 2] = [
+        ("flat", datagen::queries::flat_queries()),
+        ("nested", datagen::queries::nested_queries()),
+    ];
+    let mut out = Vec::new();
+    for (kind, queries) in suites {
+        for (name, q) in queries {
+            let compiled = shredding::pipeline::compile(&q, &instance.schema)
+                .expect("benchmark queries always compile");
+            // Run every stage once; both paths decode the same shared
+            // columnar results.
+            let results = compiled
+                .stages
+                .try_map(&mut |stage: &shredding::pipeline::QueryStage| {
+                    engine
+                        .execute_plan(&stage.plan)
+                        .map(|r| (stage.layout.clone(), r))
+                })
+                .expect("benchmark stages always execute");
+            let rows = results.annotations().iter().map(|(_, r)| r.len()).sum();
+
+            let row_path = || {
+                let decoded = results
+                    .try_map(&mut |(layout, result)| {
+                        let rs = result.clone().into_result_set();
+                        layout.decode(&rs)
+                    })
+                    .expect("row decode succeeds");
+                stitch_rows(decoded, IndexScheme::Flat).expect("row stitch succeeds")
+            };
+            let columnar = || {
+                let decoded: Package<ColumnarStage> = results
+                    .try_map(&mut |(layout, result)| {
+                        ColumnarStage::decode(layout.clone(), result.clone())
+                    })
+                    .expect("columnar decode succeeds");
+                stitch(decoded).expect("columnar stitch succeeds")
+            };
+
+            // Correctness before speed: both paths must agree with N⟦−⟧.
+            let oracle = reference_session
+                .oracle(&q)
+                .expect("benchmark queries evaluate");
+            assert!(
+                row_path().multiset_eq(&oracle),
+                "{}: row-path result assembly disagrees with the oracle",
+                name
+            );
+            assert!(
+                columnar().multiset_eq(&oracle),
+                "{}: columnar result assembly disagrees with the oracle",
+                name
+            );
+
+            let row_path_ms = median_ms(runs, row_path);
+            let columnar_ms = median_ms(runs, columnar);
+            out.push(StitchComparison {
+                query: name.to_string(),
+                kind,
+                stages: compiled.query_count(),
+                rows,
+                row_path_ms,
+                columnar_ms,
+            });
+        }
+    }
+    out
+}
+
+/// Render the result-assembly comparison as the machine-readable
+/// `BENCH_pr5.json` document (hand-rolled: the workspace has no serde).
+pub fn stitch_report_json(instance: &Instance, runs: usize, rows: &[StitchComparison]) -> String {
+    fn f(ms: f64) -> String {
+        if ms.is_finite() {
+            format!("{:.4}", ms)
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"columnar-result-assembly\",\n");
+    out.push_str(&format!(
+        "  \"departments\": {},\n  \"total_rows\": {},\n  \"runs\": {},\n",
+        instance.departments,
+        instance.engine().storage.total_rows(),
+        runs
+    ));
+    out.push_str("  \"queries\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{}\", \"kind\": \"{}\", \"stages\": {}, \"rows\": {}, \
+             \"row_path_ms\": {}, \"columnar_ms\": {}, \"speedup\": {}}}{}\n",
+            row.query,
+            row.kind,
+            row.stages,
+            row.rows,
+            f(row.row_path_ms),
+            f(row.columnar_ms),
+            f(row.speedup()),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Parameterized prepared queries (the PR 3 bind-variable comparison)
 // ---------------------------------------------------------------------------
 
@@ -915,6 +1075,18 @@ mod tests {
         let json = concurrency_report_json(&instance, &report);
         assert!(json.contains("\"concurrent-throughput\""));
         assert_eq!(json.matches("\"speedup_vs_1_thread\"").count(), 2);
+    }
+
+    #[test]
+    fn the_stitch_comparison_covers_the_full_suite() {
+        let instance = Instance::with_config(OrgConfig::small());
+        let rows = compare_stitch(&instance, 1);
+        assert_eq!(rows.len(), 12, "QF1–QF6 and Q1–Q6");
+        assert!(rows.iter().any(|r| r.kind == "nested" && r.stages > 1));
+        let json = stitch_report_json(&instance, 1, &rows);
+        assert!(json.contains("\"columnar-result-assembly\""));
+        assert!(json.contains("\"row_path_ms\""));
+        assert_eq!(json.matches("\"query\"").count(), 12);
     }
 
     #[test]

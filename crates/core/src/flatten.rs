@@ -13,7 +13,10 @@ use crate::semantics::{FlatValue, IndexValue, ShredResult};
 use crate::shred::FlatType;
 use nrc::types::BaseType;
 use nrc::value::Value;
-use sqlengine::{ResultSet, SqlValue};
+use sqlengine::{ColumnarResult, ResultSet, SqlValue};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// Name of the column holding the static component of the outer index.
 pub const OUTER_TAG_COLUMN: &str = "oidx_tag";
@@ -38,19 +41,32 @@ pub struct Leaf {
     /// Flattened column name (for `Index` leaves this is the prefix; the
     /// actual columns are `{name}_tag` and `{name}_ord`).
     pub name: String,
+    /// Position of this leaf's first SQL column in the stage's full column
+    /// list (positions 0 and 1 hold the outer index pair; an `Index` leaf
+    /// occupies `col` and `col + 1`). Resolved once in
+    /// [`ResultLayout::new`], so decoding never searches by name.
+    pub col: usize,
 }
 
 /// The column layout of one shredded query's SQL rendering.
+///
+/// Built once per prepared query (at compile time): the leaf→column
+/// positions and the full expected column list are resolved here, so
+/// per-execution decoding — row-major or columnar — does no name lookups
+/// and allocates no column-name vectors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultLayout {
     /// The shredded inner type this layout flattens.
     pub shape: FlatType,
     /// The flattened leaves, in column order.
     pub leaves: Vec<Leaf>,
+    /// All SQL column names, in order — computed once at construction.
+    columns: Vec<String>,
 }
 
 impl ResultLayout {
-    /// Build the layout for a shredded inner type.
+    /// Build the layout for a shredded inner type, resolving each leaf's
+    /// column position and the full expected column list once.
     pub fn new(shape: &FlatType) -> ResultLayout {
         let mut leaves = Vec::new();
         collect_leaves(shape, &mut Vec::new(), &mut leaves);
@@ -63,36 +79,39 @@ impl ResultLayout {
                 seen.insert(leaf.name.clone());
             }
         }
+        let mut columns = vec![OUTER_TAG_COLUMN.to_string(), OUTER_ORD_COLUMN.to_string()];
+        for leaf in leaves.iter_mut() {
+            leaf.col = columns.len();
+            match leaf.kind {
+                LeafKind::Base(_) => columns.push(leaf.name.clone()),
+                LeafKind::Index => {
+                    columns.push(format!("{}_tag", leaf.name));
+                    columns.push(format!("{}_ord", leaf.name));
+                }
+            }
+        }
         ResultLayout {
             shape: shape.clone(),
             leaves,
+            columns,
         }
     }
 
     /// All SQL column names, in order: the outer index pair followed by the
-    /// flattened inner columns.
-    pub fn columns(&self) -> Vec<String> {
-        let mut cols = vec![OUTER_TAG_COLUMN.to_string(), OUTER_ORD_COLUMN.to_string()];
-        for leaf in &self.leaves {
-            match leaf.kind {
-                LeafKind::Base(_) => cols.push(leaf.name.clone()),
-                LeafKind::Index => {
-                    cols.push(format!("{}_tag", leaf.name));
-                    cols.push(format!("{}_ord", leaf.name));
-                }
-            }
-        }
-        cols
+    /// flattened inner columns. Computed once in [`ResultLayout::new`].
+    pub fn columns(&self) -> &[String] {
+        &self.columns
     }
 
-    /// Decode (unflatten) an engine result set into an indexed shredded
-    /// result, ready for stitching.
+    /// Decode (unflatten) a row-major engine result set into an indexed
+    /// shredded result, ready for [`crate::stitch::stitch_rows`]. This is
+    /// the row path, kept as the differential oracle for the columnar
+    /// decode; per-row it allocates a [`FlatValue`] tree.
     pub fn decode(&self, rs: &ResultSet) -> Result<ShredResult, ShredError> {
-        let expected = self.columns();
-        if rs.columns != expected {
+        if rs.columns != self.columns {
             return Err(ShredError::Decode(format!(
                 "result columns {:?} do not match layout {:?}",
-                rs.columns, expected
+                rs.columns, self.columns
             )));
         }
         let mut out = Vec::with_capacity(rs.rows.len());
@@ -113,17 +132,140 @@ impl ResultLayout {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Columnar decode
+// ---------------------------------------------------------------------------
+
+/// The decoded, index-grouped columnar result of one shredded query stage:
+/// the stage's `Arc`-shared data columns taken by value from the engine,
+/// plus a sorted row permutation grouped by the stage's outer index
+/// `(oidx_tag, oidx_ord)` columns.
+///
+/// This is the columnar replacement for [`ShredResult`]: no per-row
+/// [`FlatValue`] tree is built and no cell or label is cloned at decode
+/// time — the only per-row work is reading the two integer index columns
+/// and one sort over row indices. The stitcher
+/// ([`crate::stitch::stitch`]) materialises nested values straight out of
+/// the columns, using the layout's pre-resolved leaf positions.
+#[derive(Debug, Clone)]
+pub struct ColumnarStage {
+    layout: Arc<ResultLayout>,
+    /// Every stage column (index pair first), shared with the engine batch.
+    columns: Vec<Arc<Vec<SqlValue>>>,
+    /// Row indices sorted by outer index.
+    perm: Vec<u32>,
+    /// Outer index → sub-range of `perm` holding that group's rows.
+    groups: HashMap<IndexValue, Range<u32>>,
+}
+
+impl ColumnarStage {
+    /// Decode a columnar engine result against a stage layout: verify the
+    /// column list, group the rows by their outer `(oidx_tag, oidx_ord)`
+    /// pair and take ownership of the shared columns. O(n log n) in the row
+    /// count, with no per-row allocation.
+    pub fn decode(
+        layout: Arc<ResultLayout>,
+        result: ColumnarResult,
+    ) -> Result<ColumnarStage, ShredError> {
+        if result.columns != layout.columns {
+            return Err(ShredError::Decode(format!(
+                "result columns {:?} do not match layout {:?}",
+                result.columns, layout.columns
+            )));
+        }
+        let rows = result.len();
+        let columns = result.into_columns();
+        let tags = int_column(&columns[0], OUTER_TAG_COLUMN)?;
+        let ords = int_column(&columns[1], OUTER_ORD_COLUMN)?;
+        // Stable sort: rows with equal outer indexes keep the engine's
+        // output order, so the columnar path yields values *identical* to
+        // the row path's (which groups in output order), not merely
+        // multiset-equal — the differential suite asserts exactly that.
+        let mut perm: Vec<u32> = (0..rows as u32).collect();
+        perm.sort_by_key(|&r| (tags[r as usize], ords[r as usize]));
+        let mut groups: HashMap<IndexValue, Range<u32>> = HashMap::new();
+        let mut start = 0usize;
+        while start < rows {
+            let (tag, ord) = (tags[perm[start] as usize], ords[perm[start] as usize]);
+            let mut end = start + 1;
+            while end < rows && tags[perm[end] as usize] == tag && ords[perm[end] as usize] == ord {
+                end += 1;
+            }
+            let tag = u32::try_from(tag).map_err(|_| {
+                ShredError::Decode(format!("static index column out of range: {}", tag))
+            })?;
+            groups.insert(
+                IndexValue::Flat {
+                    tag: StaticIndex(tag),
+                    ordinal: ord,
+                },
+                start as u32..end as u32,
+            );
+            start = end;
+        }
+        Ok(ColumnarStage {
+            layout,
+            columns,
+            perm,
+            groups,
+        })
+    }
+
+    /// The stage's layout.
+    pub fn layout(&self) -> &ResultLayout {
+        &self.layout
+    }
+
+    /// Number of decoded rows.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Is the stage empty?
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// The physical row indices grouped under an outer index (empty when the
+    /// index never occurs — stitching turns that into an empty bag).
+    pub fn group(&self, index: &IndexValue) -> &[u32] {
+        match self.groups.get(index) {
+            Some(range) => &self.perm[range.start as usize..range.end as usize],
+            None => &[],
+        }
+    }
+
+    /// The cell at (column position, physical row).
+    pub fn cell(&self, col: usize, row: usize) -> &SqlValue {
+        &self.columns[col][row]
+    }
+}
+
+/// Read an integer index column up front (columnar counterpart of
+/// [`decode_index`]'s per-row `take_int`).
+fn int_column(col: &[SqlValue], name: &str) -> Result<Vec<i64>, ShredError> {
+    col.iter()
+        .map(|v| {
+            v.as_int().ok_or_else(|| {
+                ShredError::Decode(format!("expected an integer {} column, got {}", name, v))
+            })
+        })
+        .collect()
+}
+
 fn collect_leaves(shape: &FlatType, path: &mut Vec<String>, out: &mut Vec<Leaf>) {
     match shape {
         FlatType::Base(b) => out.push(Leaf {
             path: path.clone(),
             kind: LeafKind::Base(*b),
             name: flat_name(path, "item"),
+            col: 0, // resolved by ResultLayout::new once names are final
         }),
         FlatType::Index => out.push(Leaf {
             path: path.clone(),
             kind: LeafKind::Index,
             name: flat_name(path, "idx"),
+            col: 0, // resolved by ResultLayout::new once names are final
         }),
         FlatType::Record(fields) => {
             for (label, field) in fields {
@@ -194,11 +336,13 @@ fn take_int(row: &[SqlValue], cursor: &mut usize) -> Result<i64, ShredError> {
 }
 
 /// Convert a SQL scalar back into a λNRC base value of the expected type.
+/// Strings hand their `Arc<str>` payload over — a refcount bump, not a copy
+/// per cell.
 pub fn sql_to_value(v: &SqlValue, expected: BaseType) -> Result<Value, ShredError> {
     match (v, expected) {
         (SqlValue::Int(i), BaseType::Int) => Ok(Value::Int(*i)),
         (SqlValue::Bool(b), BaseType::Bool) => Ok(Value::Bool(*b)),
-        (SqlValue::Str(s), BaseType::String) => Ok(Value::String(s.to_string())),
+        (SqlValue::Str(s), BaseType::String) => Ok(Value::String(s.clone())),
         (_, BaseType::Unit) => Ok(Value::Unit),
         (other, expected) => Err(ShredError::Decode(format!(
             "column value {} does not have base type {}",
@@ -207,12 +351,13 @@ pub fn sql_to_value(v: &SqlValue, expected: BaseType) -> Result<Value, ShredErro
     }
 }
 
-/// Convert a λNRC base value into a SQL scalar.
+/// Convert a λNRC base value into a SQL scalar. Strings share their
+/// `Arc<str>` payload with the value.
 pub fn value_to_sql(v: &Value) -> Result<SqlValue, ShredError> {
     match v {
         Value::Int(i) => Ok(SqlValue::Int(*i)),
         Value::Bool(b) => Ok(SqlValue::Bool(*b)),
-        Value::String(s) => Ok(SqlValue::str(s.as_str())),
+        Value::String(s) => Ok(SqlValue::Str(s.clone())),
         Value::Unit => Ok(SqlValue::Int(0)),
         other => Err(ShredError::Internal(format!(
             "cannot store non-base value {} in a SQL column",
@@ -237,7 +382,7 @@ mod tests {
         let layout = ResultLayout::new(&people_shape());
         assert_eq!(
             layout.columns(),
-            vec![
+            [
                 "oidx_tag".to_string(),
                 "oidx_ord".to_string(),
                 "name".to_string(),
@@ -245,6 +390,9 @@ mod tests {
                 "tasks_ord".to_string(),
             ]
         );
+        // Leaf positions are resolved once at construction.
+        assert_eq!(layout.leaves[0].col, 2);
+        assert_eq!(layout.leaves[1].col, 3);
     }
 
     #[test]
@@ -252,7 +400,7 @@ mod tests {
         let layout = ResultLayout::new(&FlatType::Base(BaseType::String));
         assert_eq!(
             layout.columns(),
-            vec!["oidx_tag", "oidx_ord", "item"]
+            ["oidx_tag", "oidx_ord", "item"]
                 .into_iter()
                 .map(String::from)
                 .collect::<Vec<_>>()
@@ -263,7 +411,7 @@ mod tests {
     fn decode_round_trips_rows() {
         let layout = ResultLayout::new(&people_shape());
         let rs = ResultSet {
-            columns: layout.columns(),
+            columns: layout.columns().to_vec(),
             rows: vec![vec![
                 SqlValue::Int(1),
                 SqlValue::Int(4),

@@ -17,13 +17,13 @@
 //! ```
 
 use crate::error::ShredError;
-use crate::flatten::{value_to_sql, ResultLayout};
+use crate::flatten::{value_to_sql, ColumnarStage, ResultLayout};
 use crate::letins::{let_insert, LetQuery};
 use crate::nf::NormQuery;
 use crate::normalise::normalise_with_type;
 use crate::semantics::{IndexScheme, ShredResult};
 use crate::shred::{shred_query, shred_type, Package, ShreddedQuery};
-use crate::stitch::stitch;
+use crate::stitch::{stitch, stitch_rows};
 use nrc::schema::{Database, Schema};
 use nrc::term::Term;
 use nrc::types::{Path, Type};
@@ -31,6 +31,7 @@ use nrc::value::Value;
 use sqlengine::plan::{plan_query, PhysicalPlan, SchemaCatalog};
 use sqlengine::storage::{ColumnType, Storage, TableDef};
 use sqlengine::{Engine, Query};
+use std::sync::Arc;
 
 /// Everything produced for one bag constructor of the result type: the
 /// shredded query, its let-inserted form, the SQL rendering, the compiled
@@ -45,7 +46,9 @@ pub struct QueryStage {
     /// Executing a compiled query runs this plan directly — no parsing or
     /// planning happens per execution, so cached plans amortise completely.
     pub plan: PhysicalPlan,
-    pub layout: ResultLayout,
+    /// The stage's column layout, resolved once at compile time and shared
+    /// by `Arc` with every per-execution [`ColumnarStage`] decoded from it.
+    pub layout: Arc<ResultLayout>,
 }
 
 /// A fully compiled nested query: the normal form plus one [`QueryStage`] per
@@ -93,7 +96,7 @@ pub fn compile_normalised(
     let stages = crate::shred::package_by(&result_type, &mut |path: &Path| {
         let shredded = shred_query(&normalised, path)?;
         let shredded_type = shred_type(&result_type, path)?;
-        let layout = ResultLayout::new(&shredded_type.inner);
+        let layout = Arc::new(ResultLayout::new(&shredded_type.inner));
         let let_inserted = let_insert(&shredded)?;
         let sql = crate::sqlgen::sql_of_let_query(&let_inserted, &layout, schema)?;
         let plan = plan_query(&sql, &catalog).map_err(ShredError::Engine)?;
@@ -126,21 +129,41 @@ pub fn execute(compiled: &CompiledQuery, engine: &Engine) -> Result<Value, Shred
 /// vectorized executor, so re-executing the same compiled query with
 /// different bindings does zero parsing, shredding, SQL generation or
 /// physical planning.
+///
+/// The result path is **columnar end to end**: each stage's vectorized
+/// batch is handed over as `Arc`-shared columns, grouped by its outer index
+/// columns ([`ColumnarStage::decode`]) and stitched straight into the
+/// nested value ([`stitch`]) — no row-major transpose, no per-row
+/// `FlatValue` tree, no per-cell string copies.
 pub fn execute_bound(
     compiled: &CompiledQuery,
     engine: &Engine,
     params: &sqlengine::ParamValues,
 ) -> Result<Value, ShredError> {
+    let stages: Package<ColumnarStage> = compiled.stages.try_map(&mut |stage: &QueryStage| {
+        let result = engine.execute_plan_bound(&stage.plan, params)?;
+        ColumnarStage::decode(stage.layout.clone(), result)
+    })?;
+    stitch(stages)
+}
+
+/// Execute a compiled query over the row-major result path: transpose each
+/// stage's columnar result into rows, decode per-row [`FlatValue`] trees
+/// and stitch with [`stitch_rows`]. This is the differential oracle for
+/// [`execute`]'s columnar path (the benchmark harness times the two against
+/// each other).
+pub fn execute_rows(compiled: &CompiledQuery, engine: &Engine) -> Result<Value, ShredError> {
     let results: Package<ShredResult> = compiled.stages.try_map(&mut |stage: &QueryStage| {
-        let rs = engine.execute_plan_bound(&stage.plan, params)?;
+        let rs = engine.execute_plan(&stage.plan)?.into_result_set();
         stage.layout.decode(&rs)
     })?;
-    stitch(&results, IndexScheme::Flat)
+    stitch_rows(results, IndexScheme::Flat)
 }
 
 /// Execute a compiled query by shipping SQL *text* to the engine (parsing it
 /// back), exactly as Links ships SQL strings to PostgreSQL. Slower than
-/// [`execute`], but exercises the printer/parser round trip.
+/// [`execute`], but exercises the printer/parser round trip — and, since
+/// text consumers receive row-major results, the row-path decode + stitch.
 pub fn execute_via_sql_text(
     compiled: &CompiledQuery,
     engine: &Engine,
@@ -150,7 +173,7 @@ pub fn execute_via_sql_text(
         let rs = engine.execute_sql(&text)?;
         stage.layout.decode(&rs)
     })?;
-    stitch(&results, IndexScheme::Flat)
+    stitch_rows(results, IndexScheme::Flat)
 }
 
 // ---------------------------------------------------------------------------

@@ -338,7 +338,7 @@ fn value_to_constant(v: &Value) -> Result<Constant, ShredError> {
     match v {
         Value::Int(i) => Ok(Constant::Int(*i)),
         Value::Bool(b) => Ok(Constant::Bool(*b)),
-        Value::String(s) => Ok(Constant::String(s.clone())),
+        Value::String(s) => Ok(Constant::String(s.to_string())),
         Value::Unit => Ok(Constant::Unit),
         other => Err(ShredError::Internal(format!(
             "non-base value {} used as an index key",

@@ -51,7 +51,7 @@ use crate::normalise::normalise_with_type;
 use crate::pipeline::{self, CompiledQuery};
 use crate::semantics::{eval_shredded_package, IndexScheme, IndexTables};
 use crate::shred::{package_by, shred_query, shred_type, Package, ShreddedQuery};
-use crate::stitch::stitch;
+use crate::stitch::stitch_rows;
 use nrc::schema::{Database, Schema};
 use nrc::term::{Constant, Term};
 use nrc::types::{BaseType, Type};
@@ -1365,7 +1365,7 @@ impl SqlBackend for SqlEngineBackend {
                 path: s.path.to_string(),
                 sql: Some(sqlengine::print_query(&s.sql)),
                 physical: Some(s.plan.to_string()),
-                columns: s.layout.columns(),
+                columns: s.layout.columns().to_vec(),
             })
             .collect();
         Ok(BackendPlan::new(stages, compiled))
@@ -1413,7 +1413,7 @@ impl SqlBackend for ShreddedMemoryBackend {
                 path: path.to_string(),
                 sql: None,
                 physical: None,
-                columns: ResultLayout::new(&shredded_type.inner).columns(),
+                columns: ResultLayout::new(&shredded_type.inner).columns().to_vec(),
             });
             Ok::<ShreddedQuery, ShredError>(shredded)
         })?;
@@ -1455,7 +1455,7 @@ impl SqlBackend for ShreddedMemoryBackend {
             )));
         }
         let results = eval_shredded_package(package_ref, db, scheme, &tables)?;
-        stitch(&results, scheme)
+        stitch_rows(results, scheme)
     }
 }
 

@@ -154,6 +154,23 @@ impl<T> Package<T> {
         }
     }
 
+    /// Map a function over the annotations, consuming the package. Used
+    /// where the annotations are bulky results that should move into their
+    /// successor rather than be cloned (e.g. grouping decoded rows for
+    /// stitching).
+    pub fn into_map<U>(self, f: &mut impl FnMut(T) -> U) -> Package<U> {
+        match self {
+            Package::Base(b) => Package::Base(b),
+            Package::Record(fields) => Package::Record(
+                fields
+                    .into_iter()
+                    .map(|(l, p)| (l, p.into_map(f)))
+                    .collect(),
+            ),
+            Package::Bag(t, inner) => Package::Bag(f(t), Box::new(inner.into_map(f))),
+        }
+    }
+
     /// Map a fallible function over the annotations.
     pub fn try_map<U, E>(&self, f: &mut impl FnMut(&T) -> Result<U, E>) -> Result<Package<U>, E> {
         Ok(match self {

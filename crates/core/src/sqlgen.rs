@@ -258,7 +258,7 @@ fn sql_of_base(
         LetBase::Const(c) => Ok(Expr::Literal(match c {
             Constant::Int(i) => value_to_sql(&Value::Int(*i))?,
             Constant::Bool(b) => value_to_sql(&Value::Bool(*b))?,
-            Constant::String(s) => value_to_sql(&Value::String(s.clone()))?,
+            Constant::String(s) => value_to_sql(&Value::string(s.as_str()))?,
             Constant::Unit => value_to_sql(&Value::Unit)?,
         })),
         // Bind variables become named placeholders; the engine fills them in

@@ -273,7 +273,7 @@ pub fn apply_prim(op: PrimOp, args: &[Value]) -> Result<Value, EvalError> {
             }
         }
         PrimOp::Concat => match (&args[0], &args[1]) {
-            (Value::String(a), Value::String(b)) => Ok(Value::String(format!("{}{}", a, b))),
+            (Value::String(a), Value::String(b)) => Ok(Value::string(format!("{}{}", a, b))),
             _ => Err(type_err("string operands required".to_string())),
         },
     }
@@ -340,7 +340,7 @@ mod tests {
         );
         assert_eq!(
             eval_pure(&concat(string("ab"), string("cd"))),
-            Ok(Value::String("abcd".to_string()))
+            Ok(Value::string("abcd"))
         );
         assert_eq!(eval_pure(&eq(int(1), int(1))), Ok(Value::Bool(true)));
         assert_eq!(

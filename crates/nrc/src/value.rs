@@ -10,13 +10,17 @@ use crate::term::{Constant, Term};
 use crate::types::{BaseType, Type};
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// A nested value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     Int(i64),
     Bool(bool),
-    String(String),
+    /// A string value. The payload is `Arc`-shared so strings decoded from
+    /// SQL results (whose cells are already `Arc<str>`) reach the final
+    /// nested value as refcount bumps, never copies.
+    String(Arc<str>),
     Unit,
     /// A record value. Field order is preserved from the constructing term.
     Record(Vec<(String, Value)>),
@@ -47,7 +51,7 @@ impl Value {
     }
 
     /// Construct a string value.
-    pub fn string<S: Into<String>>(s: S) -> Value {
+    pub fn string<S: Into<Arc<str>>>(s: S) -> Value {
         Value::String(s.into())
     }
 
@@ -56,7 +60,7 @@ impl Value {
         match c {
             Constant::Int(i) => Value::Int(*i),
             Constant::Bool(b) => Value::Bool(*b),
-            Constant::String(s) => Value::String(s.clone()),
+            Constant::String(s) => Value::String(Arc::from(s.as_str())),
             Constant::Unit => Value::Unit,
         }
     }
@@ -67,7 +71,7 @@ impl Value {
         match self {
             Value::Int(i) => Some(Constant::Int(*i)),
             Value::Bool(b) => Some(Constant::Bool(*b)),
-            Value::String(s) => Some(Constant::String(s.clone())),
+            Value::String(s) => Some(Constant::String(s.to_string())),
             Value::Unit => Some(Constant::Unit),
             _ => None,
         }
@@ -97,7 +101,7 @@ impl Value {
     /// The string content of a value, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::String(s) => Some(s),
+            Value::String(s) => Some(s.as_ref()),
             _ => None,
         }
     }
@@ -253,12 +257,18 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Value {
-        Value::String(s.to_string())
+        Value::String(Arc::from(s))
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Value {
+        Value::String(Arc::from(s))
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(s: Arc<str>) -> Value {
         Value::String(s)
     }
 }

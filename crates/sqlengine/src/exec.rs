@@ -29,7 +29,7 @@
 use crate::ast::{BinOp, Expr, FromItem, Query, Select, TableSource};
 use crate::error::EngineError;
 use crate::plan::PhysicalPlan;
-use crate::storage::{ResultSet, Storage};
+use crate::storage::{ColumnarResult, ResultSet, Storage};
 use crate::value::{compare_rows, ParamValues, Row, SqlValue};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -79,8 +79,8 @@ impl Engine {
     }
 
     /// Run a pre-compiled, parameter-free physical plan on the vectorized
-    /// executor.
-    pub fn execute_plan(&self, plan: &PhysicalPlan) -> Result<ResultSet, EngineError> {
+    /// executor, producing a columnar result.
+    pub fn execute_plan(&self, plan: &PhysicalPlan) -> Result<ColumnarResult, EngineError> {
         crate::vexec::execute_plan(plan, &self.storage)
     }
 
@@ -92,14 +92,14 @@ impl Engine {
         &self,
         plan: &PhysicalPlan,
         params: &ParamValues,
-    ) -> Result<ResultSet, EngineError> {
+    ) -> Result<ColumnarResult, EngineError> {
         crate::vexec::execute_plan_bound(plan, &self.storage, params)
     }
 
     /// Execute a query AST: plan it and run the plan on the vectorized
     /// executor (the default path). Callers that execute the same query
     /// repeatedly should [`prepare`](Engine::prepare) once instead.
-    pub fn execute(&self, query: &Query) -> Result<ResultSet, EngineError> {
+    pub fn execute(&self, query: &Query) -> Result<ColumnarResult, EngineError> {
         let plan = self.prepare(query)?;
         self.execute_plan(&plan)
     }
@@ -110,7 +110,7 @@ impl Engine {
         &self,
         query: &Query,
         params: &ParamValues,
-    ) -> Result<ResultSet, EngineError> {
+    ) -> Result<ColumnarResult, EngineError> {
         let plan = self.prepare(query)?;
         self.execute_plan_bound(&plan, params)
     }
@@ -137,10 +137,11 @@ impl Engine {
         exec_query(query, &ctx, &CteEnv::default(), &Scope::default())
     }
 
-    /// Parse and execute a SQL string (the dialect produced by the printer).
+    /// Parse and execute a SQL string (the dialect produced by the printer),
+    /// transposed into a row-major result set — text consumers want rows.
     pub fn execute_sql(&self, sql: &str) -> Result<ResultSet, EngineError> {
         let query = crate::parser::parse_query(sql)?;
-        self.execute(&query)
+        self.execute(&query).map(ColumnarResult::into_result_set)
     }
 
     /// How many physical plans this engine has built (via
@@ -955,7 +956,7 @@ mod tests {
                 .item(Expr::row_number(vec![Expr::col("e", "name")]), "rn")
                 .from_named("employees", "e"),
         );
-        let rs = engine().execute(&q).unwrap();
+        let rs = engine().execute(&q).unwrap().into_result_set();
         // Alex < Bert < Cora < Erik alphabetically.
         let mut pairs: Vec<(String, i64)> = rs
             .rows

@@ -21,9 +21,13 @@
 //! explicit [`PhysicalPlan`] (scans, hash joins with a chosen build side,
 //! filters, exists-semijoins, row-numbering, sort, projection) and [`vexec`]
 //! runs the plan over a columnar representation with selection vectors.
-//! [`Engine::execute`] uses this vectorized path by default; the original
-//! row-at-a-time interpreter survives as [`Engine::execute_interpreted`],
-//! the oracle the vectorized executor is differentially tested against.
+//! [`Engine::execute`] uses this vectorized path by default and returns a
+//! [`ColumnarResult`] — the batch's `Arc`-shared columns handed over without
+//! a row-major transpose, so columnar consumers (the shredding stitcher)
+//! never see rows at all. The row-major [`ResultSet`] remains for the
+//! interpreter and the text-SQL path; the original row-at-a-time interpreter
+//! survives as [`Engine::execute_interpreted`], the oracle the vectorized
+//! executor is differentially tested against.
 //!
 //! The whole engine is `Send + Sync`: values share string storage by
 //! `Arc<str>`, batches share columns by `Arc`, the lazily transposed
@@ -62,5 +66,5 @@ pub use exec::Engine;
 pub use parser::{parse_expr, parse_query};
 pub use plan::{Catalog, PhysicalPlan, SchemaCatalog};
 pub use printer::{print_expr, print_query};
-pub use storage::{ColumnType, ResultSet, Storage, Table, TableDef};
+pub use storage::{ColumnType, ColumnarResult, ResultSet, Storage, Table, TableDef};
 pub use value::{ParamValues, Row, SqlValue};

@@ -263,6 +263,122 @@ impl Storage {
     }
 }
 
+/// A columnar query result: the native output of the vectorized executor.
+///
+/// One shared (`Arc`) value vector per named column, plus an explicit row
+/// count (a result may have zero columns but a positive row count, e.g.
+/// `SELECT` over an empty projection). Columns are shared, not owned:
+/// cloning a `ColumnarResult` is a handful of refcount bumps, and consumers
+/// that decode columns (the shredding stitcher) take them by value without
+/// copying cell data. The row-major [`ResultSet`] is derived from this via
+/// [`ColumnarResult::into_result_set`] — the transpose only happens for
+/// consumers that genuinely want rows (the interpreter oracle, text tables,
+/// the baselines' row decoders).
+#[derive(Debug, Clone)]
+pub struct ColumnarResult {
+    /// Column names, in `SELECT` order.
+    pub columns: Vec<String>,
+    cols: Vec<Arc<Vec<SqlValue>>>,
+    rows: usize,
+}
+
+impl ColumnarResult {
+    /// Assemble a columnar result. Every column vector must hold exactly
+    /// `rows` values.
+    pub fn new(columns: Vec<String>, cols: Vec<Arc<Vec<SqlValue>>>, rows: usize) -> ColumnarResult {
+        debug_assert_eq!(columns.len(), cols.len());
+        debug_assert!(cols.iter().all(|c| c.len() == rows));
+        ColumnarResult {
+            columns,
+            cols,
+            rows,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Is the result empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// The shared data of the `idx`-th column.
+    pub fn column(&self, idx: usize) -> &Arc<Vec<SqlValue>> {
+        &self.cols[idx]
+    }
+
+    /// The shared data of a column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Arc<Vec<SqlValue>>> {
+        self.column_index(name).map(|i| &self.cols[i])
+    }
+
+    /// The value at (row, column name), if both exist.
+    pub fn value(&self, row: usize, column: &str) -> Option<&SqlValue> {
+        self.column_by_name(column).and_then(|c| c.get(row))
+    }
+
+    /// Take ownership of the shared column vectors, dropping the names.
+    /// This is the zero-copy hand-off into the columnar decode + stitch
+    /// path: the `Arc`s move, no cell is cloned.
+    pub fn into_columns(self) -> Vec<Arc<Vec<SqlValue>>> {
+        self.cols
+    }
+
+    /// The row→column converter: transpose a row-major result. The inverse
+    /// of [`into_result_set`](ColumnarResult::into_result_set), for callers
+    /// holding rows (a parsed fixture, an interpreter result) that want to
+    /// feed a columnar consumer. Nothing on the engine's hot paths needs
+    /// it — plans are columnar natively.
+    pub fn from_result_set(rs: ResultSet) -> ColumnarResult {
+        let width = rs.columns.len();
+        let rows = rs.rows.len();
+        let mut cols: Vec<Vec<SqlValue>> = (0..width).map(|_| Vec::with_capacity(rows)).collect();
+        for row in rs.rows {
+            for (c, v) in row.into_iter().enumerate() {
+                cols[c].push(v);
+            }
+        }
+        ColumnarResult {
+            columns: rs.columns,
+            cols: cols.into_iter().map(Arc::new).collect(),
+            rows,
+        }
+    }
+
+    /// The column→row converter: transpose into a row-major [`ResultSet`].
+    /// This is the compatibility shim for row-oriented consumers (baseline
+    /// decoders, differential tests against the interpreter); the columnar
+    /// stitch path never calls it.
+    pub fn into_result_set(self) -> ResultSet {
+        let rows = (0..self.rows)
+            .map(|r| self.cols.iter().map(|c| c[r].clone()).collect())
+            .collect();
+        ResultSet {
+            columns: self.columns,
+            rows,
+        }
+    }
+}
+
+impl PartialEq for ColumnarResult {
+    fn eq(&self, other: &ColumnarResult) -> bool {
+        self.columns == other.columns && self.rows == other.rows && self.cols == other.cols
+    }
+}
+
 /// A result set: named columns plus rows, as returned by the executor.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResultSet {
@@ -450,6 +566,32 @@ mod tests {
     fn missing_table_lookup_fails() {
         let s = Storage::new();
         assert!(matches!(s.table("nope"), Err(EngineError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn columnar_result_round_trips_through_rows() {
+        let rs = ResultSet {
+            columns: vec!["a".to_string(), "b".to_string()],
+            rows: vec![
+                vec![SqlValue::Int(1), SqlValue::str("x")],
+                vec![SqlValue::Int(2), SqlValue::str("y")],
+            ],
+        };
+        let cr = ColumnarResult::from_result_set(rs.clone());
+        assert_eq!(cr.len(), 2);
+        assert_eq!(cr.width(), 2);
+        assert_eq!(cr.value(1, "b"), Some(&SqlValue::str("y")));
+        assert_eq!(
+            **cr.column_by_name("a").unwrap(),
+            vec![SqlValue::Int(1), SqlValue::Int(2)]
+        );
+        // Cloning shares columns (refcount bump), and both transposes are
+        // mutually inverse.
+        assert_eq!(cr.clone().into_result_set(), rs);
+        assert_eq!(
+            ColumnarResult::from_result_set(cr.clone().into_result_set()),
+            cr
+        );
     }
 
     #[test]

@@ -23,28 +23,30 @@
 use crate::error::EngineError;
 use crate::exec::eval_binop;
 use crate::plan::{BuildSide, PhysicalPlan, VExpr};
-use crate::storage::{ResultSet, Storage};
+use crate::storage::{ColumnarResult, Storage};
 use crate::value::{compare_rows, ParamValues, Row, SqlValue};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-/// Execute a parameter-free physical plan against storage, producing a flat
-/// result set.
-pub fn execute_plan(plan: &PhysicalPlan, storage: &Storage) -> Result<ResultSet, EngineError> {
+/// Execute a parameter-free physical plan against storage, producing a
+/// columnar result.
+pub fn execute_plan(plan: &PhysicalPlan, storage: &Storage) -> Result<ColumnarResult, EngineError> {
     execute_plan_bound(plan, storage, &ParamValues::new())
 }
 
 /// Execute a physical plan against storage with bound values for its param
 /// slots. The plan itself is immutable — the same compiled plan can be run
-/// any number of times with different bindings and no re-planning.
+/// any number of times with different bindings and no re-planning. The
+/// result stays columnar: the batch's `Arc`-shared columns are handed over
+/// without a row-major transpose (see [`ColumnarResult`]).
 pub fn execute_plan_bound(
     plan: &PhysicalPlan,
     storage: &Storage,
     params: &ParamValues,
-) -> Result<ResultSet, EngineError> {
+) -> Result<ColumnarResult, EngineError> {
     let ctx = VecCtx { storage, params };
     let batch = exec(plan, &ctx, &CteEnv::default(), &ScopeStack::default())?;
-    Ok(batch.into_result_set())
+    Ok(batch.into_columnar())
 }
 
 /// One column of a batch schema: binding alias (absent after projection) and
@@ -134,10 +136,16 @@ impl Batch {
         }
     }
 
-    fn into_result_set(self) -> ResultSet {
-        let columns = self.schema.iter().map(|(_, c)| c.clone()).collect();
-        let rows = (0..self.len()).map(|i| self.row(i)).collect();
-        ResultSet { columns, rows }
+    /// Hand the batch over as a [`ColumnarResult`]: compact the selection
+    /// if there is one, then move the `Arc`-shared columns out. When the
+    /// batch is already dense (no selection vector) this is zero-copy.
+    fn into_columnar(self) -> ColumnarResult {
+        let compact = match self.sel {
+            None => self,
+            Some(_) => self.materialised(),
+        };
+        let columns = compact.schema.iter().map(|(_, c)| c.clone()).collect();
+        ColumnarResult::new(columns, compact.columns, compact.base_rows)
     }
 }
 
@@ -639,7 +647,7 @@ mod tests {
     use super::*;
     use crate::ast::{BinOp, Expr, Query, Select};
     use crate::exec::Engine;
-    use crate::storage::{ColumnType, TableDef};
+    use crate::storage::{ColumnType, ResultSet, TableDef};
 
     fn engine() -> Engine {
         let mut storage = Storage::new();
@@ -660,7 +668,7 @@ mod tests {
     fn run_both(engine: &Engine, q: &Query) -> (ResultSet, ResultSet) {
         let interpreted = engine.execute_interpreted(q).unwrap();
         let plan = engine.prepare(q).unwrap();
-        let vectorized = engine.execute_plan(&plan).unwrap();
+        let vectorized = engine.execute_plan(&plan).unwrap().into_result_set();
         (interpreted, vectorized)
     }
 

@@ -410,7 +410,10 @@ fn null_bindings_at_the_engine_level_compare_as_unknown() {
     let interpreted = engine.execute_interpreted_bound(&q, &params).unwrap();
     assert_eq!(
         interpreted,
-        engine.execute_plan_bound(&plan, &params).unwrap()
+        engine
+            .execute_plan_bound(&plan, &params)
+            .unwrap()
+            .into_result_set()
     );
 }
 

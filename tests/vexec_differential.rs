@@ -62,11 +62,11 @@ fn vectorized_executor_matches_the_interpreter_on_every_benchmark_stage() {
         let compiled = pipeline::compile(&q, &schema).unwrap();
         for (i, stage) in compiled.stages.annotations().into_iter().enumerate() {
             let interpreted = engine.execute_interpreted(&stage.sql).unwrap();
-            let via_stage_plan = engine.execute_plan(&stage.plan).unwrap();
+            let via_stage_plan = engine.execute_plan(&stage.plan).unwrap().into_result_set();
             assert_same_bag(name, i, &interpreted, &via_stage_plan);
             // Re-planning against live storage (known cardinalities) must
             // agree as well, even where the build-side choice differs.
-            let via_engine_plan = engine.execute(&stage.sql).unwrap();
+            let via_engine_plan = engine.execute(&stage.sql).unwrap().into_result_set();
             assert_same_bag(name, i, &interpreted, &via_engine_plan);
         }
     }
