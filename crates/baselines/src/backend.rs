@@ -165,7 +165,11 @@ impl SqlBackend for VandenBusscheBackend {
         let term: &nrc::Term = plan.downcast()?;
         let value = nrc::eval_with_params(term, cx.db()?, &bindings.to_value_map())
             .map_err(ShredError::Eval)?;
-        let relation = NestedRelation::from_value(&value).map_err(ShredError::Decode)?;
+        let relation =
+            NestedRelation::from_value(&value).map_err(|message| ShredError::Decode {
+                code: shredding::analysis::codes::DECODE_SHAPE_MISMATCH,
+                message,
+            })?;
         // Round-trip through the simulation's flat representation.
         let decoded = encode(&relation).decode();
         Ok(decoded.to_value())

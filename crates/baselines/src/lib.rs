@@ -20,6 +20,8 @@
 //! strategy ([`backend`]), so it can be selected through
 //! `Shredder::builder().backend(..)` alongside the built-in backends.
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod flat_default;
 pub mod looplift;

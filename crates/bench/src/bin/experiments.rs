@@ -33,6 +33,7 @@ struct Options {
     concurrency_json: Option<String>,
     concurrency_execs: usize,
     stitch_json: Option<String>,
+    analyze_json: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -50,6 +51,7 @@ fn parse_args() -> Options {
         concurrency_json: None,
         concurrency_execs: 64,
         stitch_json: None,
+        analyze_json: None,
     };
     let mut i = 0;
     let mut any = false;
@@ -134,6 +136,15 @@ fn parse_args() -> Options {
                 opts.stitch_json = Some(path);
                 any = true;
             }
+            "--analyze-json" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--analyze-json expects a file path");
+                    std::process::exit(2);
+                });
+                opts.analyze_json = Some(path);
+                any = true;
+            }
             "--concurrency-execs" => {
                 i += 1;
                 opts.concurrency_execs =
@@ -148,7 +159,7 @@ fn parse_args() -> Options {
                      [--max-departments N] [--runs N] [--check] [--vexec-json PATH] \
                      [--params-json PATH] [--param-bindings N] \
                      [--concurrency-json PATH] [--concurrency-execs N] \
-                     [--stitch-json PATH]"
+                     [--stitch-json PATH] [--analyze-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -481,6 +492,67 @@ fn stitch_report(path: &str, opts: &Options) {
     }
 }
 
+/// The PR 6 static-verification sweep: run the whole analysis pass (λNRC
+/// lints, shredded-package checks, physical-plan validation) over every
+/// benchmark query × all six backends × all three indexing schemes, write
+/// the machine-readable report, and fail the process on any error-severity
+/// diagnostic.
+fn analyze_report(path: &str) {
+    println!("\n=== Static verification sweep (12 queries × 6 backends × 3 schemes) ===");
+    let entries = bench::analyze_all();
+    println!(
+        "{:<16} {:<10} {:>7} {:>8} {:>7} {:>9}",
+        "backend", "scheme", "cells", "skipped", "errors", "warnings"
+    );
+    let mut backends: Vec<&'static str> = entries.iter().map(|e| e.backend).collect();
+    backends.dedup();
+    for backend in backends {
+        for scheme in shredding::IndexScheme::ALL {
+            let cells: Vec<_> = entries
+                .iter()
+                .filter(|e| e.backend == backend && e.scheme == scheme)
+                .collect();
+            let skipped = cells.iter().filter(|e| e.skip_reason.is_some()).count();
+            let errors: usize = cells.iter().map(|e| e.error_count()).sum();
+            let warnings: usize = cells
+                .iter()
+                .map(|e| e.diagnostics.len() - e.error_count())
+                .sum();
+            println!(
+                "{:<16} {:<10} {:>7} {:>8} {:>7} {:>9}",
+                backend,
+                scheme.to_string(),
+                cells.len(),
+                skipped,
+                errors,
+                warnings
+            );
+        }
+    }
+    let total_errors: usize = entries.iter().map(|e| e.error_count()).sum();
+    for e in &entries {
+        for d in &e.diagnostics {
+            if d.severity == shredding::Severity::Error {
+                eprintln!("  {} on {} ({}): {}", d.code, e.query, e.backend, d);
+            }
+        }
+    }
+    let json = bench::analyze_report_json(&entries);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {}: {}", path, e);
+        std::process::exit(1);
+    }
+    println!("wrote {}", path);
+    if total_errors > 0 {
+        eprintln!(
+            "static verification FAILED: {} error-severity diagnostics",
+            total_errors
+        );
+        std::process::exit(1);
+    }
+    println!("static verification passed: 0 error-severity diagnostics");
+}
+
 fn main() {
     let opts = parse_args();
     let scales = department_scales(opts.max_departments);
@@ -540,5 +612,8 @@ fn main() {
     }
     if let Some(path) = &opts.stitch_json {
         stitch_report(path, &opts);
+    }
+    if let Some(path) = &opts.analyze_json {
+        analyze_report(path);
     }
 }

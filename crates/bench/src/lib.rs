@@ -17,6 +17,8 @@
 //! workloads at a fixed scale; the `experiments` binary prints the full
 //! scaling tables in the same layout as the paper's figures.
 
+#![forbid(unsafe_code)]
+
 use baselines::{FlatDefaultBackend, LoopLiftBackend};
 use datagen::{generate, organisation_schema, OrgConfig};
 use nrc::schema::{Database, Schema};
@@ -1010,6 +1012,150 @@ pub fn concurrency_report_json(instance: &Instance, report: &ConcurrencyReport) 
     out
 }
 
+// ---------------------------------------------------------------------------
+// The static-analysis sweep (PR 6)
+// ---------------------------------------------------------------------------
+
+/// One cell of the static-analysis sweep: a benchmark query prepared on one
+/// backend under one indexing scheme, with every diagnostic the verifier
+/// reported (see `shredding::verify` and the `analysis` crate).
+#[derive(Debug, Clone)]
+pub struct AnalyzeEntry {
+    pub query: &'static str,
+    pub backend: &'static str,
+    pub scheme: shredding::IndexScheme,
+    /// `None` when the backend cannot plan the query at all (e.g. Links'
+    /// default flat evaluation on a nested query) — recorded as skipped,
+    /// not as a verification failure.
+    pub skip_reason: Option<String>,
+    pub diagnostics: Vec<shredding::Diagnostic>,
+}
+
+impl AnalyzeEntry {
+    /// Number of error-severity diagnostics in this cell.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == shredding::Severity::Error)
+            .count()
+    }
+}
+
+/// Run the full static-verification pass over every benchmark query
+/// (QF1–QF6 and Q1–Q6) × all six backends × all three indexing schemes.
+/// Sessions are built schema-only (`prepare` needs no data) with
+/// verification *collection* but not *gating* enabled, so error-severity
+/// findings are reported rather than thrown.
+pub fn analyze_all() -> Vec<AnalyzeEntry> {
+    use baselines::VandenBusscheBackend;
+    use shredding::session::{
+        NestedOracleBackend, ShreddedMemoryBackend, SqlBackend, SqlEngineBackend,
+    };
+    use shredding::IndexScheme;
+
+    type BackendFactory = Box<dyn Fn() -> Box<dyn SqlBackend>>;
+    let schema = organisation_schema();
+    let backends: Vec<(&'static str, BackendFactory)> = vec![
+        ("sqlengine", Box::new(|| Box::new(SqlEngineBackend))),
+        (
+            "shredded-memory",
+            Box::new(|| Box::new(ShreddedMemoryBackend)),
+        ),
+        ("oracle", Box::new(|| Box::new(NestedOracleBackend))),
+        ("flat-default", Box::new(|| Box::new(FlatDefaultBackend))),
+        ("loop-lifting", Box::new(|| Box::new(LoopLiftBackend))),
+        ("vandenbussche", Box::new(|| Box::new(VandenBusscheBackend))),
+    ];
+    let mut queries = datagen::queries::flat_queries();
+    queries.extend(datagen::queries::nested_queries());
+    let mut out = Vec::new();
+    for (backend_name, make_backend) in &backends {
+        for scheme in IndexScheme::ALL {
+            let session = Shredder::builder()
+                .schema(schema.clone())
+                .backend(make_backend())
+                .index_scheme(scheme)
+                .verify(false)
+                .build()
+                .expect("the organisation schema always configures a session");
+            for (name, query) in &queries {
+                let entry = match session.prepare(query) {
+                    Ok(prepared) => AnalyzeEntry {
+                        query: name,
+                        backend: backend_name,
+                        scheme,
+                        skip_reason: None,
+                        diagnostics: prepared.check().iter().cloned().collect(),
+                    },
+                    Err(e) => AnalyzeEntry {
+                        query: name,
+                        backend: backend_name,
+                        scheme,
+                        skip_reason: Some(e.to_string()),
+                        diagnostics: Vec::new(),
+                    },
+                };
+                out.push(entry);
+            }
+        }
+    }
+    out
+}
+
+/// Render the analysis sweep as a machine-readable JSON report
+/// (`BENCH_pr6.json` in CI).
+pub fn analyze_report_json(entries: &[AnalyzeEntry]) -> String {
+    let errors: usize = entries.iter().map(AnalyzeEntry::error_count).sum();
+    let warnings: usize = entries
+        .iter()
+        .map(|e| e.diagnostics.len() - e.error_count())
+        .sum();
+    let skipped = entries.iter().filter(|e| e.skip_reason.is_some()).count();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"experiment\": \"static-analysis\",\n");
+    out.push_str(&format!("  \"cells\": {},\n", entries.len()));
+    out.push_str(&format!("  \"errors\": {},\n", errors));
+    out.push_str(&format!("  \"warnings\": {},\n", warnings));
+    out.push_str(&format!("  \"skipped\": {},\n", skipped));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"query\": \"{}\", \"backend\": \"{}\", \"scheme\": \"{}\", ",
+            e.query, e.backend, e.scheme
+        ));
+        if let Some(reason) = &e.skip_reason {
+            out.push_str(&format!(
+                "\"skipped\": \"{}\", ",
+                reason.replace('\\', "\\\\").replace('"', "\\\"")
+            ));
+        }
+        out.push_str(&format!(
+            "\"errors\": {}, \"diagnostics\": [",
+            e.error_count()
+        ));
+        for (j, d) in e.diagnostics.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"severity\": \"{}\", \"code\": \"{}\", \"path\": \"{}\"}}",
+                d.severity, d.code, d.path
+            ));
+            if j + 1 < e.diagnostics.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push(']');
+        out.push('}');
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
 /// A minimal timing harness for the `benches/` targets (the workspace builds
 /// without external crates, so Criterion is not available): warm up once,
 /// time `iters` runs, report the median.
@@ -1041,6 +1187,25 @@ pub mod micro {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn the_analysis_sweep_covers_every_cell_and_finds_no_errors() {
+        let entries = analyze_all();
+        // 12 queries × 6 backends × 3 indexing schemes.
+        assert_eq!(entries.len(), 12 * 6 * 3);
+        let errors: usize = entries.iter().map(AnalyzeEntry::error_count).sum();
+        assert_eq!(errors, 0, "the benchmark corpus must verify clean");
+        // The flat-default backend skips nested queries; shredding never skips.
+        assert!(entries
+            .iter()
+            .any(|e| e.backend == "flat-default" && e.skip_reason.is_some()));
+        assert!(entries
+            .iter()
+            .all(|e| e.backend != "sqlengine" || e.skip_reason.is_none()));
+        let json = analyze_report_json(&entries);
+        assert!(json.contains("\"static-analysis\""));
+        assert_eq!(json.matches("\"query\"").count(), entries.len());
+    }
 
     #[test]
     fn the_vectorized_comparison_covers_the_full_suite() {

@@ -30,7 +30,14 @@ pub enum ShredError {
     /// this query, in the sense of Section 6).
     InvalidIndexing(String),
     /// A shredded result row could not be decoded back into a nested value.
-    Decode(String),
+    /// `code` is a `D…` entry of the diagnostic registry
+    /// ([`analysis::codes`]), naming which decode invariant broke.
+    Decode { code: &'static str, message: String },
+    /// The prepare-time static verifier found an error-severity diagnostic.
+    /// `code` is the diagnostic registry entry; `message` is the rendered
+    /// first error (see [`crate::session::PreparedQuery::check`] for the
+    /// full list).
+    Verification { code: &'static str, message: String },
     /// A parameter required by the prepared query was not bound at execution
     /// time.
     MissingParam {
@@ -77,7 +84,12 @@ impl fmt::Display for ShredError {
                 write!(f, "natural indexing requires a key on table {}", t)
             }
             ShredError::InvalidIndexing(msg) => write!(f, "invalid indexing scheme: {}", msg),
-            ShredError::Decode(msg) => write!(f, "cannot decode shredded result: {}", msg),
+            ShredError::Decode { code, message } => {
+                write!(f, "cannot decode shredded result [{}]: {}", code, message)
+            }
+            ShredError::Verification { code, message } => {
+                write!(f, "static verification failed [{}]: {}", code, message)
+            }
             ShredError::MissingParam { name, expected } => write!(
                 f,
                 "missing binding for parameter ?{} : {}; bind a value with \

@@ -11,6 +11,7 @@ use crate::error::ShredError;
 use crate::nf::StaticIndex;
 use crate::semantics::{FlatValue, IndexValue, ShredResult};
 use crate::shred::FlatType;
+use analysis::codes;
 use nrc::types::BaseType;
 use nrc::value::Value;
 use sqlengine::{ColumnarResult, ResultSet, SqlValue};
@@ -109,10 +110,13 @@ impl ResultLayout {
     /// decode; per-row it allocates a [`FlatValue`] tree.
     pub fn decode(&self, rs: &ResultSet) -> Result<ShredResult, ShredError> {
         if rs.columns != self.columns {
-            return Err(ShredError::Decode(format!(
-                "result columns {:?} do not match layout {:?}",
-                rs.columns, self.columns
-            )));
+            return Err(decode_err(
+                codes::DECODE_COLUMN_COUNT,
+                format!(
+                    "result columns {:?} do not match layout {:?}",
+                    rs.columns, self.columns
+                ),
+            ));
         }
         let mut out = Vec::with_capacity(rs.rows.len());
         for row in &rs.rows {
@@ -120,11 +124,10 @@ impl ResultLayout {
             let outer = decode_index(row, &mut cursor)?;
             let value = decode_value(&self.shape, row, &mut cursor)?;
             if cursor != row.len() {
-                return Err(ShredError::Decode(format!(
-                    "row has {} columns but {} were consumed",
-                    row.len(),
-                    cursor
-                )));
+                return Err(decode_err(
+                    codes::DECODE_COLUMN_COUNT,
+                    format!("row has {} columns but {} were consumed", row.len(), cursor),
+                ));
             }
             out.push((outer, value));
         }
@@ -168,10 +171,13 @@ impl ColumnarStage {
         result: ColumnarResult,
     ) -> Result<ColumnarStage, ShredError> {
         if result.columns != layout.columns {
-            return Err(ShredError::Decode(format!(
-                "result columns {:?} do not match layout {:?}",
-                result.columns, layout.columns
-            )));
+            return Err(decode_err(
+                codes::DECODE_COLUMN_COUNT,
+                format!(
+                    "result columns {:?} do not match layout {:?}",
+                    result.columns, layout.columns
+                ),
+            ));
         }
         let rows = result.len();
         let columns = result.into_columns();
@@ -192,7 +198,10 @@ impl ColumnarStage {
                 end += 1;
             }
             let tag = u32::try_from(tag).map_err(|_| {
-                ShredError::Decode(format!("static index column out of range: {}", tag))
+                decode_err(
+                    codes::DECODE_INDEX_RANGE,
+                    format!("static index column out of range: {}", tag),
+                )
             })?;
             groups.insert(
                 IndexValue::Flat {
@@ -247,10 +256,18 @@ fn int_column(col: &[SqlValue], name: &str) -> Result<Vec<i64>, ShredError> {
     col.iter()
         .map(|v| {
             v.as_int().ok_or_else(|| {
-                ShredError::Decode(format!("expected an integer {} column, got {}", name, v))
+                decode_err(
+                    codes::DECODE_TYPE_MISMATCH,
+                    format!("expected an integer {} column, got {}", name, v),
+                )
             })
         })
         .collect()
+}
+
+/// Build a typed decode error carrying its diagnostic registry code.
+fn decode_err(code: &'static str, message: String) -> ShredError {
+    ShredError::Decode { code, message }
 }
 
 fn collect_leaves(shape: &FlatType, path: &mut Vec<String>, out: &mut Vec<Leaf>) {
@@ -294,7 +311,10 @@ fn decode_index(row: &[SqlValue], cursor: &mut usize) -> Result<IndexValue, Shre
     let ordinal = take_int(row, cursor)?;
     Ok(IndexValue::Flat {
         tag: StaticIndex(u32::try_from(tag).map_err(|_| {
-            ShredError::Decode(format!("static index column out of range: {}", tag))
+            decode_err(
+                codes::DECODE_INDEX_RANGE,
+                format!("static index column out of range: {}", tag),
+            )
         })?),
         ordinal,
     })
@@ -322,17 +342,24 @@ fn decode_value(
 }
 
 fn take<'a>(row: &'a [SqlValue], cursor: &mut usize) -> Result<&'a SqlValue, ShredError> {
-    let v = row
-        .get(*cursor)
-        .ok_or_else(|| ShredError::Decode("row is shorter than the layout".to_string()))?;
+    let v = row.get(*cursor).ok_or_else(|| {
+        decode_err(
+            codes::DECODE_ROW_SHORT,
+            "row is shorter than the layout".to_string(),
+        )
+    })?;
     *cursor += 1;
     Ok(v)
 }
 
 fn take_int(row: &[SqlValue], cursor: &mut usize) -> Result<i64, ShredError> {
     let v = take(row, cursor)?;
-    v.as_int()
-        .ok_or_else(|| ShredError::Decode(format!("expected an integer index column, got {}", v)))
+    v.as_int().ok_or_else(|| {
+        decode_err(
+            codes::DECODE_TYPE_MISMATCH,
+            format!("expected an integer index column, got {}", v),
+        )
+    })
 }
 
 /// Convert a SQL scalar back into a λNRC base value of the expected type.
@@ -344,10 +371,13 @@ pub fn sql_to_value(v: &SqlValue, expected: BaseType) -> Result<Value, ShredErro
         (SqlValue::Bool(b), BaseType::Bool) => Ok(Value::Bool(*b)),
         (SqlValue::Str(s), BaseType::String) => Ok(Value::String(s.clone())),
         (_, BaseType::Unit) => Ok(Value::Unit),
-        (other, expected) => Err(ShredError::Decode(format!(
-            "column value {} does not have base type {}",
-            other, expected
-        ))),
+        (other, expected) => Err(decode_err(
+            codes::DECODE_TYPE_MISMATCH,
+            format!(
+                "column value {} does not have base type {}",
+                other, expected
+            ),
+        )),
     }
 }
 
@@ -450,7 +480,7 @@ mod tests {
             columns: vec!["x".to_string()],
             rows: vec![],
         };
-        assert!(matches!(layout.decode(&rs), Err(ShredError::Decode(_))));
+        assert!(matches!(layout.decode(&rs), Err(ShredError::Decode { .. })));
     }
 
     #[test]

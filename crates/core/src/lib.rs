@@ -75,6 +75,8 @@
 //! assert!(session.prepare(&query).unwrap().from_cache());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod flatten;
 pub mod letins;
@@ -86,7 +88,13 @@ pub mod session;
 pub mod shred;
 pub mod sqlgen;
 pub mod stitch;
+pub mod verify;
 
+/// The static-analysis layer (diagnostics model, λNRC lints, physical-plan
+/// validator), re-exported so downstream users need only this crate.
+pub use analysis;
+
+pub use analysis::{Diagnostic, Diagnostics, Severity};
 pub use error::ShredError;
 pub use flatten::ResultLayout;
 pub use nf::{NormQuery, StaticIndex};

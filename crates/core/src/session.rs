@@ -52,6 +52,8 @@ use crate::pipeline::{self, CompiledQuery};
 use crate::semantics::{eval_shredded_package, IndexScheme, IndexTables};
 use crate::shred::{package_by, shred_query, shred_type, Package, ShreddedQuery};
 use crate::stitch::stitch_rows;
+use crate::verify;
+use analysis::{lint, Diagnostics};
 use nrc::schema::{Database, Schema};
 use nrc::term::{Constant, Term};
 use nrc::types::{BaseType, Type};
@@ -413,6 +415,7 @@ pub struct PreparedQuery {
     plan: Arc<BackendPlan>,
     params: Arc<Vec<ParamSpec>>,
     defaults: Arc<Params>,
+    diagnostics: Arc<Diagnostics>,
     from_cache: bool,
 }
 
@@ -440,7 +443,43 @@ impl PreparedQuery {
             result_type: self.result_type.to_string(),
             static_indexes: self.normalised.tags().iter().map(|t| t.as_int()).collect(),
             stages: self.plan.stages.clone(),
+            diagnostics: self.diagnostics.iter().map(|d| d.to_string()).collect(),
         }
+    }
+
+    /// The static diagnostics computed at prepare time: the λNRC lint pass
+    /// over the source term plus the cross-stage package and physical-plan
+    /// verification (see the `analysis` crate for the code registry).
+    ///
+    /// When the session verifies (debug builds by default, or
+    /// [`ShredderBuilder::verify`]`(true)`), error-severity diagnostics have
+    /// already failed `prepare`, so this list holds warnings at most;
+    /// with verification off it may also hold the errors that would have
+    /// been fatal.
+    ///
+    /// ```
+    /// use nrc::builder::*;
+    /// use shredding::session::Shredder;
+    /// # use nrc::schema::{Database, Schema, TableSchema};
+    /// # use nrc::types::BaseType;
+    /// # let schema = Schema::new().with_table(
+    /// #     TableSchema::new("items", vec![("id", BaseType::Int)]).with_key(vec!["id"]));
+    /// let session = Shredder::builder().schema(schema).build().unwrap();
+    ///
+    /// // A clean query prepares with no findings.
+    /// let clean = for_in("x", table("items"), singleton(project(var("x"), "id")));
+    /// assert!(session.prepare(&clean).unwrap().check().is_empty());
+    ///
+    /// // A dead generator (`y` never used) is reported as a warning,
+    /// // carrying its registry code.
+    /// let dead = for_in("x", table("items"),
+    ///     for_in("y", table("items"), singleton(project(var("x"), "id"))));
+    /// let diagnostics = session.prepare(&dead).unwrap();
+    /// assert!(diagnostics.check().has_code(analysis::codes::DEAD_GENERATOR));
+    /// assert_eq!(diagnostics.check().error_count(), 0);
+    /// ```
+    pub fn check(&self) -> &Diagnostics {
+        &self.diagnostics
     }
 
     /// The name of the backend that prepared this query.
@@ -496,6 +535,8 @@ pub struct Explain {
     pub static_indexes: Vec<i64>,
     /// One entry per flat stage, outermost first.
     pub stages: Vec<StageExplain>,
+    /// Rendered prepare-time diagnostics (see [`PreparedQuery::check`]).
+    pub diagnostics: Vec<String>,
 }
 
 impl fmt::Display for Explain {
@@ -522,6 +563,12 @@ impl fmt::Display for Explain {
                 for line in physical.lines() {
                     writeln!(f, "  > {}", line)?;
                 }
+            }
+        }
+        if !self.diagnostics.is_empty() {
+            writeln!(f, "diagnostics:")?;
+            for d in &self.diagnostics {
+                writeln!(f, "  ! {}", d)?;
             }
         }
         Ok(())
@@ -688,6 +735,7 @@ pub struct ShredderBuilder {
     cache_capacity: Option<usize>,
     cache_disabled: bool,
     auto_param: bool,
+    verify: Option<bool>,
 }
 
 impl fmt::Debug for ShredderBuilder {
@@ -712,6 +760,7 @@ impl Default for ShredderBuilder {
             cache_capacity: None,
             cache_disabled: false,
             auto_param: true,
+            verify: None,
         }
     }
 }
@@ -777,6 +826,17 @@ impl ShredderBuilder {
         self
     }
 
+    /// Enable or disable the prepare-time static verifier. When enabled, an
+    /// error-severity diagnostic (see [`PreparedQuery::check`] and the
+    /// `analysis` crate's code registry) fails `prepare` with
+    /// [`ShredError::Verification`] instead of surfacing later as a wrong
+    /// answer or an execution panic. Defaults to **on in debug builds, off
+    /// in release builds**; warnings are collected either way.
+    pub fn verify(mut self, enabled: bool) -> Self {
+        self.verify = Some(enabled);
+        self
+    }
+
     /// Validate the configuration and build the session.
     pub fn build(self) -> Result<Shredder, ShredError> {
         let schema = match (self.schema, &self.database) {
@@ -832,6 +892,7 @@ impl ShredderBuilder {
                 backend: self.backend.unwrap_or_else(|| Box::new(SqlEngineBackend)),
                 cache,
                 auto_param: self.auto_param,
+                verify: self.verify.unwrap_or(cfg!(debug_assertions)),
             }),
         })
     }
@@ -921,6 +982,9 @@ struct ShredderCore {
     backend: Box<dyn SqlBackend>,
     cache: Option<PlanCache>,
     auto_param: bool,
+    /// Fail `prepare` on error-severity diagnostics (see
+    /// [`ShredderBuilder::verify`]).
+    verify: bool,
 }
 
 impl Shredder {
@@ -1019,7 +1083,7 @@ impl Shredder {
         };
         let key = plan_key(&normalised);
         if let Some((normalised, result_type, plan)) = cache.lookup(&key) {
-            return Ok(PreparedQuery {
+            let prepared = PreparedQuery {
                 backend: self.core.backend.name(),
                 scheme: self.core.scheme,
                 schema: self.core.schema.clone(),
@@ -1028,8 +1092,10 @@ impl Shredder {
                 plan,
                 params: Arc::new(params),
                 defaults: Arc::new(defaults),
+                diagnostics: Arc::new(Diagnostics::new()),
                 from_cache: true,
-            });
+            };
+            return self.verified(term, prepared);
         }
         let prepared = self.plan(term, normalised, result_type, params, defaults)?;
         cache.insert(
@@ -1058,7 +1124,7 @@ impl Shredder {
             defaults: &defaults,
         };
         let plan = self.core.backend.prepare(&req)?;
-        Ok(PreparedQuery {
+        let prepared = PreparedQuery {
             backend: self.core.backend.name(),
             scheme: self.core.scheme,
             schema: self.core.schema.clone(),
@@ -1067,8 +1133,44 @@ impl Shredder {
             plan: Arc::new(plan),
             params: Arc::new(params),
             defaults: Arc::new(defaults),
+            diagnostics: Arc::new(Diagnostics::new()),
             from_cache: false,
-        })
+        };
+        self.verified(term, prepared)
+    }
+
+    /// Run the static verifier over a freshly built (or cache-served)
+    /// prepared query: the λNRC lint pass on the source term, then the
+    /// payload-specific structural checks — the full cross-stage
+    /// [`verify::check_compiled`] pass for SQL-pipeline plans, the index
+    /// tree check for shredded-memory plans, term lint only for opaque
+    /// payloads (oracle, baselines). With verification enabled
+    /// (see [`ShredderBuilder::verify`]) an error-severity finding fails
+    /// the prepare; diagnostics are attached to the handle either way.
+    fn verified(
+        &self,
+        term: &Term,
+        mut prepared: PreparedQuery,
+    ) -> Result<PreparedQuery, ShredError> {
+        let names: Vec<String> = prepared.params.iter().map(|p| p.name.clone()).collect();
+        let mut diagnostics = Diagnostics::new();
+        diagnostics.extend(lint::lint_term(term, &names));
+        if let Ok(compiled) = prepared.plan.downcast::<CompiledQuery>() {
+            let catalog = pipeline::table_defs_of_schema(&self.core.schema);
+            diagnostics.extend(verify::check_compiled(compiled, &catalog, &names));
+        } else if let Ok(shredded) = prepared.plan.downcast::<ShreddedMemoryPlan>() {
+            diagnostics.extend(verify::check_package(&shredded.package));
+        }
+        if self.core.verify {
+            if let Some(first) = diagnostics.first_error() {
+                return Err(ShredError::Verification {
+                    code: first.code,
+                    message: first.to_string(),
+                });
+            }
+        }
+        prepared.diagnostics = Arc::new(diagnostics);
+        Ok(prepared)
     }
 
     /// Execute a prepared query on this session's data, using the prepared

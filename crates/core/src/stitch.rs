@@ -24,6 +24,7 @@ use crate::flatten::{sql_to_value, ColumnarStage, LeafKind};
 use crate::nf::StaticIndex;
 use crate::semantics::{FlatValue, IndexScheme, IndexValue, ShredResult};
 use crate::shred::Package;
+use analysis::codes;
 use nrc::value::Value;
 use std::collections::HashMap;
 
@@ -90,20 +91,26 @@ fn stitch_value(
         Package::Base(b) => {
             let l = next_leaf(stage, leaf)?;
             if !matches!(l.kind, LeafKind::Base(_)) {
-                return Err(ShredError::Decode(format!(
-                    "layout leaf {} is an index but the package expects a base value",
-                    l.name
-                )));
+                return Err(ShredError::Decode {
+                    code: codes::DECODE_SHAPE_MISMATCH,
+                    message: format!(
+                        "layout leaf {} is an index but the package expects a base value",
+                        l.name
+                    ),
+                });
             }
             sql_to_value(stage.cell(l.col, row), *b)
         }
         Package::Bag(_, _) => {
             let l = next_leaf(stage, leaf)?;
             if l.kind != LeafKind::Index {
-                return Err(ShredError::Decode(format!(
-                    "layout leaf {} is a base column but the package expects a nested bag",
-                    l.name
-                )));
+                return Err(ShredError::Decode {
+                    code: codes::DECODE_SHAPE_MISMATCH,
+                    message: format!(
+                        "layout leaf {} is a base column but the package expects a nested bag",
+                        l.name
+                    ),
+                });
             }
             let index = read_index(stage, l.col, row)?;
             stitch_bag(package, &index)
@@ -115,24 +122,38 @@ fn next_leaf<'a>(
     stage: &'a ColumnarStage,
     leaf: &mut usize,
 ) -> Result<&'a crate::flatten::Leaf, ShredError> {
-    let l = stage.layout().leaves.get(*leaf).ok_or_else(|| {
-        ShredError::Decode("stage has fewer leaves than the package shape".to_string())
-    })?;
+    let l = stage
+        .layout()
+        .leaves
+        .get(*leaf)
+        .ok_or_else(|| ShredError::Decode {
+            code: codes::DECODE_SHAPE_MISMATCH,
+            message: "stage has fewer leaves than the package shape".to_string(),
+        })?;
     *leaf += 1;
     Ok(l)
 }
 
 /// Read the flat `(tag, ord)` index pair stored at columns `col`/`col + 1`.
 fn read_index(stage: &ColumnarStage, col: usize, row: usize) -> Result<IndexValue, ShredError> {
-    let tag = stage.cell(col, row).as_int().ok_or_else(|| {
-        ShredError::Decode("expected an integer inner index tag column".to_string())
-    })?;
-    let ordinal = stage.cell(col + 1, row).as_int().ok_or_else(|| {
-        ShredError::Decode("expected an integer inner index ordinal column".to_string())
-    })?;
+    let tag = stage
+        .cell(col, row)
+        .as_int()
+        .ok_or_else(|| ShredError::Decode {
+            code: codes::DECODE_TYPE_MISMATCH,
+            message: "expected an integer inner index tag column".to_string(),
+        })?;
+    let ordinal = stage
+        .cell(col + 1, row)
+        .as_int()
+        .ok_or_else(|| ShredError::Decode {
+            code: codes::DECODE_TYPE_MISMATCH,
+            message: "expected an integer inner index ordinal column".to_string(),
+        })?;
     Ok(IndexValue::Flat {
-        tag: StaticIndex(u32::try_from(tag).map_err(|_| {
-            ShredError::Decode(format!("static index column out of range: {}", tag))
+        tag: StaticIndex(u32::try_from(tag).map_err(|_| ShredError::Decode {
+            code: codes::DECODE_INDEX_RANGE,
+            message: format!("static index column out of range: {}", tag),
         })?),
         ordinal,
     })
@@ -205,8 +226,9 @@ fn stitch_rows_value(package: &Package<Grouped>, value: &FlatValue) -> Result<Va
                         .iter()
                         .find(|(l, _)| l == label)
                         .map(|(_, v)| v)
-                        .ok_or_else(|| {
-                            ShredError::Decode(format!("shredded row is missing field {}", label))
+                        .ok_or_else(|| ShredError::Decode {
+                            code: codes::DECODE_MISSING_FIELD,
+                            message: format!("shredded row is missing field {}", label),
                         })?,
                 };
                 out.push((label.clone(), stitch_rows_value(field_pkg, field_value)?));
@@ -214,11 +236,14 @@ fn stitch_rows_value(package: &Package<Grouped>, value: &FlatValue) -> Result<Va
             Ok(Value::Record(out))
         }
         (Package::Bag(_, _), FlatValue::Index(idx)) => stitch_rows_bag(package, idx),
-        (pkg, v) => Err(ShredError::Decode(format!(
-            "value {} does not match the package shape {:?}",
-            v,
-            std::mem::discriminant(pkg)
-        ))),
+        (pkg, v) => Err(ShredError::Decode {
+            code: codes::DECODE_SHAPE_MISMATCH,
+            message: format!(
+                "value {} does not match the package shape {:?}",
+                v,
+                std::mem::discriminant(pkg)
+            ),
+        }),
     }
 }
 
@@ -388,7 +413,7 @@ mod tests {
             vec![vec![int(0), int(1), s("not-an-int")]],
         );
         let package = Package::Bag(r1, Box::new(Package::Base(BaseType::Int)));
-        assert!(matches!(stitch(package), Err(ShredError::Decode(_))));
+        assert!(matches!(stitch(package), Err(ShredError::Decode { .. })));
     }
 
     /// Hand-build the shredded results of the paper's running example (the
@@ -531,7 +556,7 @@ mod tests {
         );
         assert!(matches!(
             stitch_rows(package, IndexScheme::Flat),
-            Err(ShredError::Decode(_))
+            Err(ShredError::Decode { .. })
         ));
     }
 }

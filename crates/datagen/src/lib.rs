@@ -16,6 +16,8 @@
 //! (seeded, so runs are reproducible) and defines the twelve benchmark
 //! queries of Figures 8 and 9 as λNRC terms.
 
+#![forbid(unsafe_code)]
+
 pub mod generator;
 pub mod queries;
 pub mod rng;

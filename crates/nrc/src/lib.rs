@@ -47,6 +47,8 @@
 //! assert_eq!(result, Value::bag(vec![Value::string("widget")]));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod env;
 pub mod eval;

@@ -50,6 +50,8 @@
 //! assert_eq!(rs.rows, vec![vec![SqlValue::Int(42)]]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ast;
 pub mod error;
 pub mod exec;

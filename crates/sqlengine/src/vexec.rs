@@ -241,7 +241,43 @@ impl ScopeStack {
 // Plan execution
 // ---------------------------------------------------------------------------
 
+/// Execute one plan node and, in debug builds, check the dynamic twin of the
+/// static plan validator (`analysis::plan_check`): the produced batch's
+/// column count matches the node's declared `output_columns()` arity, the
+/// schema is as wide as the data, and every selection-vector entry is in
+/// bounds of the physical rows.
 fn exec(
+    plan: &PhysicalPlan,
+    ctx: &VecCtx<'_>,
+    ctes: &CteEnv,
+    scope: &ScopeStack,
+) -> Result<Batch, EngineError> {
+    let batch = exec_node(plan, ctx, ctes, scope)?;
+    debug_assert_eq!(
+        batch.columns.len(),
+        plan.output_columns().len(),
+        "plan node produced a batch of {} columns but declares {} output columns",
+        batch.columns.len(),
+        plan.output_columns().len(),
+    );
+    debug_assert_eq!(
+        batch.schema.len(),
+        batch.columns.len(),
+        "batch schema names {} columns but the batch holds {}",
+        batch.schema.len(),
+        batch.columns.len(),
+    );
+    if let Some(sel) = &batch.sel {
+        debug_assert!(
+            sel.iter().all(|&p| p < batch.base_rows),
+            "selection vector references a physical row >= {}",
+            batch.base_rows,
+        );
+    }
+    Ok(batch)
+}
+
+fn exec_node(
     plan: &PhysicalPlan,
     ctx: &VecCtx<'_>,
     ctes: &CteEnv,

@@ -32,6 +32,8 @@
 //! assert!(session.prepare(&q).unwrap().from_cache()); // plan cache hit
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use baselines;
 pub use datagen;
 pub use nrc;
