@@ -56,7 +56,13 @@ impl SqlBackend for LoopLiftBackend {
         bindings: &Bindings,
     ) -> Result<Value, ShredError> {
         let compiled: &LoopLiftedQuery = plan.downcast()?;
-        execute_looplift_bound(compiled, cx.engine()?, &bindings.to_sql_params()?)
+        let engine = cx.engine()?;
+        let params = bindings.to_sql_params()?;
+        // Sink-level timing: the baseline helper bundles execute + decode +
+        // stitch, so the whole evaluation lands in one Execute span.
+        shredding::obs::time_maybe(cx.obs(), shredding::obs::Stage::Execute, || {
+            execute_looplift_bound(compiled, engine, &params)
+        })
     }
 }
 
@@ -89,7 +95,11 @@ impl SqlBackend for FlatDefaultBackend {
         bindings: &Bindings,
     ) -> Result<Value, ShredError> {
         let compiled: &FlatCompiled = plan.downcast()?;
-        execute_flat_bound(compiled, cx.engine()?, &bindings.to_sql_params()?)
+        let engine = cx.engine()?;
+        let params = bindings.to_sql_params()?;
+        shredding::obs::time_maybe(cx.obs(), shredding::obs::Stage::Execute, || {
+            execute_flat_bound(compiled, engine, &params)
+        })
     }
 }
 
@@ -163,16 +173,20 @@ impl SqlBackend for VandenBusscheBackend {
         bindings: &Bindings,
     ) -> Result<Value, ShredError> {
         let term: &nrc::Term = plan.downcast()?;
-        let value = nrc::eval_with_params(term, cx.db()?, &bindings.to_value_map())
-            .map_err(ShredError::Eval)?;
-        let relation =
-            NestedRelation::from_value(&value).map_err(|message| ShredError::Decode {
-                code: shredding::analysis::codes::DECODE_SHAPE_MISMATCH,
-                message,
-            })?;
-        // Round-trip through the simulation's flat representation.
-        let decoded = encode(&relation).decode();
-        Ok(decoded.to_value())
+        let value = shredding::obs::time_maybe(cx.obs(), shredding::obs::Stage::Execute, || {
+            nrc::eval_with_params(term, cx.db()?, &bindings.to_value_map())
+                .map_err(ShredError::Eval)
+        })?;
+        shredding::obs::time_maybe(cx.obs(), shredding::obs::Stage::Decode, || {
+            let relation =
+                NestedRelation::from_value(&value).map_err(|message| ShredError::Decode {
+                    code: shredding::analysis::codes::DECODE_SHAPE_MISMATCH,
+                    message,
+                })?;
+            // Round-trip through the simulation's flat representation.
+            let decoded = encode(&relation).decode();
+            Ok(decoded.to_value())
+        })
     }
 }
 

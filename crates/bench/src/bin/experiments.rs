@@ -12,6 +12,7 @@
 //! experiments --stitch-json BENCH_pr5.json # row-path vs. columnar result assembly
 //! experiments --params-json BENCH_pr3.json # bound re-execution vs. replanning
 //! experiments --concurrency-json BENCH_pr4.json # shared-session thread scaling
+//! experiments --profile-json BENCH_pr7.json # stage tracing + operator profiling overhead
 //! ```
 //!
 //! Output layout mirrors the paper: one row per query and system, one column
@@ -34,6 +35,7 @@ struct Options {
     concurrency_execs: usize,
     stitch_json: Option<String>,
     analyze_json: Option<String>,
+    profile_json: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -52,6 +54,7 @@ fn parse_args() -> Options {
         concurrency_execs: 64,
         stitch_json: None,
         analyze_json: None,
+        profile_json: None,
     };
     let mut i = 0;
     let mut any = false;
@@ -145,6 +148,15 @@ fn parse_args() -> Options {
                 opts.analyze_json = Some(path);
                 any = true;
             }
+            "--profile-json" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--profile-json expects a file path");
+                    std::process::exit(2);
+                });
+                opts.profile_json = Some(path);
+                any = true;
+            }
             "--concurrency-execs" => {
                 i += 1;
                 opts.concurrency_execs =
@@ -159,7 +171,7 @@ fn parse_args() -> Options {
                      [--max-departments N] [--runs N] [--check] [--vexec-json PATH] \
                      [--params-json PATH] [--param-bindings N] \
                      [--concurrency-json PATH] [--concurrency-execs N] \
-                     [--stitch-json PATH] [--analyze-json PATH]"
+                     [--stitch-json PATH] [--analyze-json PATH] [--profile-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -553,6 +565,82 @@ fn analyze_report(path: &str) {
     println!("static verification passed: 0 error-severity diagnostics");
 }
 
+/// The PR 7 observability sweep: every benchmark query executed with
+/// per-operator profiling off and on (stage tracing runs in both modes),
+/// results cross-checked against the nested reference semantics, plus the
+/// per-stage and per-operator breakdowns read back from the session's
+/// metrics registry. Writes the machine-readable report and fails the
+/// process on any divergence or if profiling costs more than 10% over the
+/// whole suite.
+fn profile_report(path: &str, opts: &Options) {
+    let instance = Instance::at_scale(opts.max_departments);
+    println!(
+        "\n=== Stage tracing + operator profiling overhead ({} departments, median of {}) ===",
+        instance.departments, opts.runs
+    );
+    let report = bench::measure_profiling(&instance, opts.runs);
+    println!(
+        "{:<6} {:<7} {:>7} {:>10} {:>15} {:>13} {:>10}",
+        "query", "kind", "stages", "operators", "unprofiled ms", "profiled ms", "overhead"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<6} {:<7} {:>7} {:>10} {:>15.4} {:>13.4} {:>9.1}%",
+            row.query,
+            row.kind,
+            row.stages,
+            row.operators,
+            row.unprofiled_ms,
+            row.profiled_ms,
+            row.overhead_pct()
+        );
+    }
+    println!("\nPer-stage spans (session registry):");
+    println!(
+        "{:<12} {:>8} {:>11} {:>11}",
+        "stage", "spans", "mean ms", "p95 ms"
+    );
+    for (stage, count, mean_ms, p95_ms) in &report.stages {
+        println!(
+            "{:<12} {:>8} {:>11.4} {:>11.4}",
+            stage, count, mean_ms, p95_ms
+        );
+    }
+    println!("\nPer-operator actuals (profiled runs):");
+    println!("{:<16} {:>10} {:>11}", "operator", "execs", "total ms");
+    for (op, count, total_ms) in &report.operators {
+        println!("{:<16} {:>10} {:>11.4}", op, count, total_ms);
+    }
+    println!(
+        "\nsuite totals: unprofiled {:.4} ms, profiled {:.4} ms, overhead {:.1}%",
+        report.unprofiled_total_ms,
+        report.profiled_total_ms,
+        report.overhead_pct()
+    );
+    let json = bench::profile_report_json(&instance, opts.runs, &report);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {}: {}", path, e);
+        std::process::exit(1);
+    }
+    println!("wrote {}", path);
+    if report.any_divergence() {
+        for row in report.rows.iter().filter(|r| r.diverged) {
+            eprintln!(
+                "FAIL: query {} returns a different result when profiled",
+                row.query
+            );
+        }
+        std::process::exit(1);
+    }
+    if report.overhead_pct() > 10.0 {
+        eprintln!(
+            "FAIL: per-operator profiling costs {:.1}% over the whole suite (limit 10%)",
+            report.overhead_pct()
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = parse_args();
     let scales = department_scales(opts.max_departments);
@@ -615,5 +703,8 @@ fn main() {
     }
     if let Some(path) = &opts.analyze_json {
         analyze_report(path);
+    }
+    if let Some(path) = &opts.profile_json {
+        profile_report(path, &opts);
     }
 }

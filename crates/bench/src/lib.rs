@@ -259,15 +259,11 @@ fn median_ms<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
     // Warm up once (as micro::run does) so one-time lazy costs — e.g. the
     // first columnar transposition of a table — don't land in the median.
     std::hint::black_box(f());
-    let mut times: Vec<f64> = (0..runs.max(1))
-        .map(|_| {
-            let start = Instant::now();
-            std::hint::black_box(f());
-            start.elapsed().as_secs_f64() * 1000.0
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-    times[times.len() / 2]
+    let hist = obs::Histogram::new();
+    for _ in 0..runs.max(1) {
+        hist.time(|| std::hint::black_box(f()));
+    }
+    hist.quantile(0.5) as f64 / 1e6
 }
 
 /// Compare the interpreter and the vectorized executor on every benchmark
@@ -1156,29 +1152,241 @@ pub fn analyze_report_json(entries: &[AnalyzeEntry]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Pipeline observability (the PR 7 profiling-overhead comparison)
+// ---------------------------------------------------------------------------
+
+/// One profiled-vs-unprofiled comparison of a benchmark query on the
+/// shredding session: the same prepared plan executed with per-operator
+/// profiling off and on (stage tracing runs in both modes).
+#[derive(Debug, Clone)]
+pub struct ProfileComparison {
+    pub query: String,
+    /// `"flat"` (QF1–QF6) or `"nested"` (Q1–Q6).
+    pub kind: &'static str,
+    /// Number of flat SQL stages the query shreds into.
+    pub stages: usize,
+    /// Median execute time with per-operator profiling off.
+    pub unprofiled_ms: f64,
+    /// Median execute time with per-operator profiling on.
+    pub profiled_ms: f64,
+    /// Physical-plan nodes that reported actuals across all stages.
+    pub operators: usize,
+    /// Whether the profiled result diverged from the unprofiled result or
+    /// from the nested reference semantics.
+    pub diverged: bool,
+}
+
+impl ProfileComparison {
+    /// Per-query profiling overhead in percent. Noisy at small scales — the
+    /// harness gates on the suite-level aggregate, not on this.
+    pub fn overhead_pct(&self) -> f64 {
+        if self.unprofiled_ms > 0.0 {
+            (self.profiled_ms - self.unprofiled_ms) / self.unprofiled_ms * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full profiling sweep: per-query comparisons plus the per-stage and
+/// per-operator aggregates read back from the session's metrics registry.
+#[derive(Debug, Clone)]
+pub struct ProfileReport {
+    pub rows: Vec<ProfileComparison>,
+    /// `(stage histogram name, span count, mean ms, p95 ms)` per pipeline
+    /// stage, from the session registry.
+    pub stages: Vec<(String, u64, f64, f64)>,
+    /// `(operator kind, execution count, total ms)` from profiled runs.
+    pub operators: Vec<(String, u64, f64)>,
+    /// Sum of the per-query unprofiled medians.
+    pub unprofiled_total_ms: f64,
+    /// Sum of the per-query profiled medians.
+    pub profiled_total_ms: f64,
+}
+
+impl ProfileReport {
+    /// Suite-level profiling overhead in percent (the <10% gate input).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.unprofiled_total_ms > 0.0 {
+            (self.profiled_total_ms - self.unprofiled_total_ms) / self.unprofiled_total_ms * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether any query's profiled result diverged.
+    pub fn any_divergence(&self) -> bool {
+        self.rows.iter().any(|r| r.diverged)
+    }
+}
+
+/// Run every benchmark query on the shredding session with per-operator
+/// profiling off and on, checking both answers against the nested reference
+/// semantics, and read the per-stage / per-operator aggregates back from the
+/// session's metrics registry.
+pub fn measure_profiling(instance: &Instance, runs: usize) -> ProfileReport {
+    use shredding::session::Params;
+    let session = instance.session(System::Shredding);
+    let no_params = Params::new();
+    let suites: [(&'static str, Vec<(&'static str, Term)>); 2] = [
+        ("flat", datagen::queries::flat_queries()),
+        ("nested", datagen::queries::nested_queries()),
+    ];
+    let mut rows = Vec::new();
+    for (kind, queries) in suites {
+        for (name, q) in queries {
+            let prepared = session.prepare(&q).expect("benchmark queries prepare");
+            let oracle = session.oracle(&q).expect("benchmark queries evaluate");
+            let unprofiled = session
+                .execute_profiled(&prepared, &no_params, false)
+                .expect("unprofiled execution succeeds");
+            let profiled = session
+                .execute_profiled(&prepared, &no_params, true)
+                .expect("profiled execution succeeds");
+            let diverged = !profiled.multiset_eq(&unprofiled) || !profiled.multiset_eq(&oracle);
+            let unprofiled_ms = median_ms(runs, || {
+                session
+                    .execute_profiled(&prepared, &no_params, false)
+                    .expect("unprofiled execution succeeds")
+            });
+            let profiled_ms = median_ms(runs, || {
+                session
+                    .execute_profiled(&prepared, &no_params, true)
+                    .expect("profiled execution succeeds")
+            });
+            let operators = session
+                .recent_profiles()
+                .last()
+                .map(|p| p.operators.len())
+                .unwrap_or(0);
+            rows.push(ProfileComparison {
+                query: name.to_string(),
+                kind,
+                stages: prepared.query_count(),
+                unprofiled_ms,
+                profiled_ms,
+                operators,
+                diverged,
+            });
+        }
+    }
+    let snapshot = session.metrics_snapshot();
+    let mut stages = Vec::new();
+    let mut operators = Vec::new();
+    for (hist_name, h) in &snapshot.histograms {
+        if let Some(stage) = hist_name.strip_prefix("stage.") {
+            stages.push((stage.to_string(), h.count, h.mean_ms(), h.p95 as f64 / 1e6));
+        } else if let Some(op) = hist_name.strip_prefix("operator.") {
+            operators.push((op.to_string(), h.count, h.sum as f64 / 1e6));
+        }
+    }
+    let unprofiled_total_ms = rows.iter().map(|r| r.unprofiled_ms).sum();
+    let profiled_total_ms = rows.iter().map(|r| r.profiled_ms).sum();
+    ProfileReport {
+        rows,
+        stages,
+        operators,
+        unprofiled_total_ms,
+        profiled_total_ms,
+    }
+}
+
+/// Render the profiling sweep as the machine-readable `BENCH_pr7.json`
+/// document (hand-rolled: the workspace has no serde).
+pub fn profile_report_json(instance: &Instance, runs: usize, report: &ProfileReport) -> String {
+    fn f(ms: f64) -> String {
+        if ms.is_finite() {
+            format!("{:.4}", ms)
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"pipeline-observability\",\n");
+    out.push_str(&format!(
+        "  \"departments\": {},\n  \"runs\": {},\n",
+        instance.departments, runs
+    ));
+    out.push_str(&format!(
+        "  \"unprofiled_total_ms\": {},\n  \"profiled_total_ms\": {},\n  \
+         \"overhead_pct\": {},\n  \"divergence\": {},\n",
+        f(report.unprofiled_total_ms),
+        f(report.profiled_total_ms),
+        f(report.overhead_pct()),
+        report.any_divergence()
+    ));
+    out.push_str("  \"queries\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{}\", \"kind\": \"{}\", \"stages\": {}, \"operators\": {}, \
+             \"unprofiled_ms\": {}, \"profiled_ms\": {}, \"overhead_pct\": {}, \
+             \"diverged\": {}}}{}\n",
+            row.query,
+            row.kind,
+            row.stages,
+            row.operators,
+            f(row.unprofiled_ms),
+            f(row.profiled_ms),
+            f(row.overhead_pct()),
+            row.diverged,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"stage_breakdown\": [\n");
+    for (i, (stage, count, mean_ms, p95_ms)) in report.stages.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"stage\": \"{}\", \"count\": {}, \"mean_ms\": {}, \"p95_ms\": {}}}{}\n",
+            stage,
+            count,
+            f(*mean_ms),
+            f(*p95_ms),
+            if i + 1 == report.stages.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"operator_breakdown\": [\n");
+    for (i, (op, count, total_ms)) in report.operators.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"operator\": \"{}\", \"count\": {}, \"total_ms\": {}}}{}\n",
+            op,
+            count,
+            f(*total_ms),
+            if i + 1 == report.operators.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// A minimal timing harness for the `benches/` targets (the workspace builds
 /// without external crates, so Criterion is not available): warm up once,
 /// time `iters` runs, report the median.
 pub mod micro {
-    use std::time::Instant;
-
-    /// Time `f` over `iters` runs after one warm-up, printing the median.
+    /// Time `f` over `iters` runs after one warm-up, printing the median
+    /// (from an [`obs::Histogram`] — the same log-linear quantile readout the
+    /// session registry uses, so benches and metrics agree on the math).
     /// The result of every run is passed through [`std::hint::black_box`] so
     /// the optimiser cannot eliminate a side-effect-free benchmark body.
     pub fn run<R>(label: &str, iters: usize, mut f: impl FnMut() -> R) {
         std::hint::black_box(f()); // warm-up
-        let mut times: Vec<f64> = (0..iters.max(1))
-            .map(|_| {
-                let start = Instant::now();
-                std::hint::black_box(f());
-                start.elapsed().as_secs_f64() * 1000.0
-            })
-            .collect();
-        times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let hist = obs::Histogram::new();
+        for _ in 0..iters.max(1) {
+            hist.time(|| std::hint::black_box(f()));
+        }
         println!(
             "{:<55} {:>10.3} ms (median of {})",
             label,
-            times[times.len() / 2],
+            hist.quantile(0.5) as f64 / 1e6,
             iters.max(1)
         );
     }

@@ -170,6 +170,25 @@ impl ColumnarStage {
         layout: Arc<ResultLayout>,
         result: ColumnarResult,
     ) -> Result<ColumnarStage, ShredError> {
+        Self::decode_obs(layout, result, None)
+    }
+
+    /// [`decode`](Self::decode) with the elapsed time recorded as a
+    /// `Stage::Decode` span when a collector is present.
+    pub fn decode_obs(
+        layout: Arc<ResultLayout>,
+        result: ColumnarResult,
+        obs: Option<&obs::QueryObs>,
+    ) -> Result<ColumnarStage, ShredError> {
+        obs::time_maybe(obs, obs::Stage::Decode, || {
+            Self::decode_inner(layout, result)
+        })
+    }
+
+    fn decode_inner(
+        layout: Arc<ResultLayout>,
+        result: ColumnarResult,
+    ) -> Result<ColumnarStage, ShredError> {
         if result.columns != layout.columns {
             return Err(decode_err(
                 codes::DECODE_COLUMN_COUNT,

@@ -94,11 +94,18 @@ pub mod verify;
 /// validator), re-exported so downstream users need only this crate.
 pub use analysis;
 
+/// The observability layer (metrics registry, stage spans, profile sinks),
+/// re-exported so downstream users need only this crate.
+pub use obs;
+
 pub use analysis::{Diagnostic, Diagnostics, Severity};
 pub use error::ShredError;
 pub use flatten::ResultLayout;
 pub use nf::{NormQuery, StaticIndex};
 pub use normalise::{normalise, normalise_with_type};
+pub use obs::{
+    MetricsRegistry, MetricsSnapshot, ObsSink, OperatorProfile, QueryProfile, RingSink, Span, Stage,
+};
 pub use pipeline::{compile, engine_from_database, execute, execute_bound, CompiledQuery};
 pub use semantics::{IndexScheme, IndexTables, IndexValue};
 pub use session::{

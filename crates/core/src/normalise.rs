@@ -41,9 +41,24 @@ pub fn normalise(term: &Term, schema: &Schema) -> Result<NormQuery, ShredError> 
 /// higher-order features have been eliminated, so queries built with
 /// λ-abstractions in argument position are accepted.
 pub fn normalise_with_type(term: &Term, schema: &Schema) -> Result<(NormQuery, Type), ShredError> {
-    let rewritten = rewrite_to_normal_form(term)?;
-    let ty = nrc::typecheck::typecheck(&rewritten, schema).map_err(ShredError::Type)?;
-    let query = normalise_rewritten(&rewritten, &ty, schema)?;
+    normalise_with_type_obs(term, schema, None)
+}
+
+/// [`normalise_with_type`] with stage tracing: the rewrite passes record a
+/// `Stage::Normalise` span (two spans — readers sum them) and type inference
+/// a `Stage::Typecheck` span into the per-call collector when one is present.
+pub fn normalise_with_type_obs(
+    term: &Term,
+    schema: &Schema,
+    obs: Option<&obs::QueryObs>,
+) -> Result<(NormQuery, Type), ShredError> {
+    let rewritten = obs::time_maybe(obs, obs::Stage::Normalise, || rewrite_to_normal_form(term))?;
+    let ty = obs::time_maybe(obs, obs::Stage::Typecheck, || {
+        nrc::typecheck::typecheck(&rewritten, schema).map_err(ShredError::Type)
+    })?;
+    let query = obs::time_maybe(obs, obs::Stage::Normalise, || {
+        normalise_rewritten(&rewritten, &ty, schema)
+    })?;
     Ok((query, ty))
 }
 

@@ -23,7 +23,7 @@ use crate::nf::NormQuery;
 use crate::normalise::normalise_with_type;
 use crate::semantics::{IndexScheme, ShredResult};
 use crate::shred::{shred_query, shred_type, Package, ShreddedQuery};
-use crate::stitch::{stitch, stitch_rows};
+use crate::stitch::stitch_rows;
 use nrc::schema::{Database, Schema};
 use nrc::term::Term;
 use nrc::types::{Path, Type};
@@ -89,17 +89,38 @@ pub fn compile_normalised(
     result_type: Type,
     schema: &Schema,
 ) -> Result<CompiledQuery, ShredError> {
+    compile_normalised_obs(normalised, result_type, schema, None)
+}
+
+/// [`compile_normalised`] with stage tracing: each shredded stage records
+/// `Stage::Shred` (shredding, layout construction and let-insertion),
+/// `Stage::Sqlgen` and `Stage::Plan` spans into the per-call collector when
+/// one is present.
+pub fn compile_normalised_obs(
+    normalised: NormQuery,
+    result_type: Type,
+    schema: &Schema,
+    obs: Option<&obs::QueryObs>,
+) -> Result<CompiledQuery, ShredError> {
     if !matches!(result_type, Type::Bag(_)) {
         return Err(ShredError::NotAQuery(result_type.to_string()));
     }
     let catalog = SchemaCatalog::new(table_defs_of_schema(schema));
     let stages = crate::shred::package_by(&result_type, &mut |path: &Path| {
-        let shredded = shred_query(&normalised, path)?;
-        let shredded_type = shred_type(&result_type, path)?;
-        let layout = Arc::new(ResultLayout::new(&shredded_type.inner));
-        let let_inserted = let_insert(&shredded)?;
-        let sql = crate::sqlgen::sql_of_let_query(&let_inserted, &layout, schema)?;
-        let plan = plan_query(&sql, &catalog).map_err(ShredError::Engine)?;
+        let (shredded, layout, let_inserted) =
+            obs::time_maybe(obs, obs::Stage::Shred, || -> Result<_, ShredError> {
+                let shredded = shred_query(&normalised, path)?;
+                let shredded_type = shred_type(&result_type, path)?;
+                let layout = Arc::new(ResultLayout::new(&shredded_type.inner));
+                let let_inserted = let_insert(&shredded)?;
+                Ok((shredded, layout, let_inserted))
+            })?;
+        let sql = obs::time_maybe(obs, obs::Stage::Sqlgen, || {
+            crate::sqlgen::sql_of_let_query(&let_inserted, &layout, schema)
+        })?;
+        let plan = obs::time_maybe(obs, obs::Stage::Plan, || {
+            plan_query(&sql, &catalog).map_err(ShredError::Engine)
+        })?;
         Ok::<QueryStage, ShredError>(QueryStage {
             path: path.clone(),
             shredded,
@@ -140,11 +161,56 @@ pub fn execute_bound(
     engine: &Engine,
     params: &sqlengine::ParamValues,
 ) -> Result<Value, ShredError> {
+    execute_bound_obs(compiled, engine, params, None)
+}
+
+/// [`execute_bound`] with stage tracing and optional per-operator profiling.
+/// Each stage records an `Stage::Execute` and a `Stage::Decode` span, the
+/// final stitch a `Stage::Stitch` span. When the collector additionally
+/// requests operator profiling ([`obs::QueryObs::profile_operators`]), each
+/// stage runs through the instrumented executor and pushes one
+/// [`obs::OperatorProfile`] per physical-plan node (pre-order indexed); the
+/// unprofiled path is byte-identical to [`execute_bound`] apart from one
+/// `Option` check per stage.
+pub fn execute_bound_obs(
+    compiled: &CompiledQuery,
+    engine: &Engine,
+    params: &sqlengine::ParamValues,
+    obs: Option<&obs::QueryObs>,
+) -> Result<Value, ShredError> {
+    let profile_ops = obs.is_some_and(|o| o.profile_operators());
+    let mut stage_idx = 0usize;
     let stages: Package<ColumnarStage> = compiled.stages.try_map(&mut |stage: &QueryStage| {
-        let result = engine.execute_plan_bound(&stage.plan, params)?;
-        ColumnarStage::decode(stage.layout.clone(), result)
+        let i = stage_idx;
+        stage_idx += 1;
+        let result =
+            if profile_ops {
+                let (result, prof) = obs::time_maybe(obs, obs::Stage::Execute, || {
+                    engine.execute_plan_profiled(&stage.plan, params)
+                })?;
+                if let Some(o) = obs {
+                    let nodes = stage.plan.nodes();
+                    o.push_operators(prof.ops.iter().enumerate().map(|(n, a)| {
+                        obs::OperatorProfile {
+                            stage: i,
+                            node: n,
+                            op: nodes[n].kind().to_string(),
+                            batches: a.batches,
+                            rows_in: a.rows_in,
+                            rows_out: a.rows_out,
+                            nanos: a.nanos,
+                        }
+                    }));
+                }
+                result
+            } else {
+                obs::time_maybe(obs, obs::Stage::Execute, || {
+                    engine.execute_plan_bound(&stage.plan, params)
+                })?
+            };
+        ColumnarStage::decode_obs(stage.layout.clone(), result, obs)
     })?;
-    stitch(stages)
+    crate::stitch::stitch_obs(stages, obs)
 }
 
 /// Execute a compiled query over the row-major result path: transpose each

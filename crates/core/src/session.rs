@@ -43,11 +43,12 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use crate::error::ShredError;
 use crate::flatten::{value_to_sql, ResultLayout};
 use crate::nf::NormQuery;
-use crate::normalise::normalise_with_type;
+use crate::normalise::normalise_with_type_obs;
 use crate::pipeline::{self, CompiledQuery};
 use crate::semantics::{eval_shredded_package, IndexScheme, IndexTables};
 use crate::shred::{package_by, shred_query, shred_type, Package, ShreddedQuery};
@@ -58,6 +59,9 @@ use nrc::schema::{Database, Schema};
 use nrc::term::{Constant, Term};
 use nrc::types::{BaseType, Type};
 use nrc::value::Value;
+use obs::{
+    MetricsRegistry, MetricsSnapshot, ObsSink, QueryObs, QueryProfile, RingSink, Span, Stage,
+};
 use sqlengine::Engine;
 
 /// Default number of plans the session keeps cached.
@@ -223,6 +227,11 @@ pub struct PlanRequest<'a> {
     /// that were lifted out of the term); empty when the caller wrote
     /// explicit parameters or auto-parameterization is off.
     pub defaults: &'a Params,
+    /// The session's per-call span collector, when stage tracing is active.
+    /// SQL-compiling backends record `Shred`/`Sqlgen`/`Plan` spans into it
+    /// (e.g. via [`pipeline::compile_normalised_obs`]); backends that ignore
+    /// it simply produce plans without compile-phase spans.
+    pub obs: Option<&'a QueryObs>,
 }
 
 /// Execution-time context handed to a backend: the session's database, index
@@ -232,9 +241,18 @@ pub struct ExecContext<'a> {
     scheme: IndexScheme,
     engine: &'a OnceLock<Arc<Engine>>,
     engine_init: &'a Mutex<()>,
+    obs: Option<&'a QueryObs>,
 }
 
 impl<'a> ExecContext<'a> {
+    /// The session's per-call span collector, when stage tracing is active
+    /// for this execute call. Backends record `Execute`/`Decode`/`Stitch`
+    /// spans into it (conveniently via [`obs::time_maybe`]); when it also
+    /// requests operator profiling, SQL backends run the instrumented
+    /// executor and push per-plan-node actuals.
+    pub fn obs(&self) -> Option<&'a QueryObs> {
+        self.obs
+    }
     /// The session's database, or a configuration error if the session was
     /// built from a schema alone.
     pub fn db(&self) -> Result<&'a Database, ShredError> {
@@ -417,6 +435,18 @@ pub struct PreparedQuery {
     defaults: Arc<Params>,
     diagnostics: Arc<Diagnostics>,
     from_cache: bool,
+    /// Spans recorded while preparing this handle (typecheck/normalise and,
+    /// on cache misses, shred/sqlgen/plan/verify).
+    prepare_spans: Arc<Vec<Span>>,
+    /// Per-stage, per-node actuals of the most recent *profiled* execution
+    /// of this handle, shared across clones (plans are immutable, so the
+    /// actuals ride in a side slot rather than on the plan itself).
+    last_exec: Arc<Mutex<Option<Vec<Vec<sqlengine::OpActuals>>>>>,
+    /// Plan-cache counters captured when this handle was prepared.
+    cache_stats: CacheStats,
+    /// Engine plan-compilation counter captured when this handle was
+    /// prepared (0 until the engine is first loaded).
+    plans_built: u64,
 }
 
 impl PreparedQuery {
@@ -444,7 +474,69 @@ impl PreparedQuery {
             static_indexes: self.normalised.tags().iter().map(|t| t.as_int()).collect(),
             stages: self.plan.stages.clone(),
             diagnostics: self.diagnostics.iter().map(|d| d.to_string()).collect(),
+            cache: self.cache_stats,
+            plans_built: self.plans_built,
         }
+    }
+
+    /// Render every stage's physical plan tree annotated with the **actuals**
+    /// of the most recent profiled execution of this handle: per plan node,
+    /// the number of executions (`batches` — correlated subplans run once per
+    /// outer row), rows fed in by its children, rows produced and inclusive
+    /// wall time. The shape mirrors Postgres' `EXPLAIN ANALYZE`.
+    ///
+    /// Requires the sqlengine backend and at least one profiled execution —
+    /// enable profiling session-wide with [`ShredderBuilder::profile`]`(true)`
+    /// or per call with [`Shredder::execute_profiled`].
+    ///
+    /// ```
+    /// use nrc::builder::*;
+    /// use shredding::session::Shredder;
+    /// # use nrc::schema::{Database, Schema, TableSchema};
+    /// # use nrc::types::BaseType;
+    /// # use nrc::value::Value;
+    /// # let schema = Schema::new().with_table(
+    /// #     TableSchema::new("items", vec![("id", BaseType::Int)]).with_key(vec!["id"]));
+    /// # let mut db = Database::new(schema);
+    /// # db.insert_row("items", vec![("id", Value::Int(1))]).unwrap();
+    /// # db.insert_row("items", vec![("id", Value::Int(2))]).unwrap();
+    /// let session = Shredder::builder().database(db).profile(true).build().unwrap();
+    /// let query = for_in("x", table("items"), singleton(project(var("x"), "id")));
+    /// let prepared = session.prepare(&query).unwrap();
+    /// session.execute(&prepared).unwrap();
+    /// let analyzed = prepared.explain_analyze().unwrap();
+    /// assert!(analyzed.contains("rows_out=2"));   // both items reached the root
+    /// ```
+    pub fn explain_analyze(&self) -> Result<String, ShredError> {
+        use fmt::Write as _;
+        let compiled: &CompiledQuery = self.plan.downcast().map_err(|_| {
+            ShredError::Config(
+                "explain_analyze() requires a plan prepared by the sqlengine backend".into(),
+            )
+        })?;
+        let guard = self
+            .last_exec
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let Some(actuals) = guard.as_ref() else {
+            return Err(ShredError::Config(
+                "no profiled execution recorded for this prepared query; enable profiling \
+                 with ShredderBuilder::profile(true) or Shredder::execute_profiled(.., true)"
+                    .into(),
+            ));
+        };
+        let mut out = String::new();
+        for (i, stage) in compiled.stages.annotations().into_iter().enumerate() {
+            let _ = writeln!(out, "stage {} at path {}:", i + 1, stage.path);
+            let empty: &[sqlengine::OpActuals] = &[];
+            let rendered = stage
+                .plan
+                .render_analyzed(actuals.get(i).map(Vec::as_slice).unwrap_or(empty));
+            for line in rendered.lines() {
+                let _ = writeln!(out, "  > {}", line);
+            }
+        }
+        Ok(out)
     }
 
     /// The static diagnostics computed at prepare time: the λNRC lint pass
@@ -537,6 +629,11 @@ pub struct Explain {
     pub stages: Vec<StageExplain>,
     /// Rendered prepare-time diagnostics (see [`PreparedQuery::check`]).
     pub diagnostics: Vec<String>,
+    /// Plan-cache counters at the time this handle was prepared.
+    pub cache: CacheStats,
+    /// Physical plans the engine had compiled when this handle was prepared
+    /// (0 until the engine is first loaded).
+    pub plans_built: u64,
 }
 
 impl fmt::Display for Explain {
@@ -548,6 +645,12 @@ impl fmt::Display for Explain {
         )?;
         writeln!(f, "result type: {}", self.result_type)?;
         writeln!(f, "static indexes: {:?}", self.static_indexes)?;
+        writeln!(
+            f,
+            "cache: hits={} misses={} evictions={} entries={}",
+            self.cache.hits, self.cache.misses, self.cache.evictions, self.cache.entries
+        )?;
+        writeln!(f, "engine plans built: {}", self.plans_built)?;
         for (i, stage) in self.stages.iter().enumerate() {
             writeln!(f, "stage {} at path {}:", i + 1, stage.path)?;
             if !stage.columns.is_empty() {
@@ -736,6 +839,9 @@ pub struct ShredderBuilder {
     cache_disabled: bool,
     auto_param: bool,
     verify: Option<bool>,
+    profile: bool,
+    metrics: Option<Arc<MetricsRegistry>>,
+    obs_sink: Option<Arc<dyn ObsSink>>,
 }
 
 impl fmt::Debug for ShredderBuilder {
@@ -761,6 +867,9 @@ impl Default for ShredderBuilder {
             cache_disabled: false,
             auto_param: true,
             verify: None,
+            profile: false,
+            metrics: None,
+            obs_sink: None,
         }
     }
 }
@@ -837,6 +946,34 @@ impl ShredderBuilder {
         self
     }
 
+    /// Enable or disable per-operator execution profiling for every execute
+    /// call of this session (off by default; override per call with
+    /// [`Shredder::execute_profiled`]). When on, SQL plans run through the
+    /// instrumented executor, each plan node accumulates batches/rows/time,
+    /// and [`PreparedQuery::explain_analyze`] renders the actuals. Stage
+    /// tracing (per-phase spans) is always on regardless of this flag.
+    pub fn profile(mut self, enabled: bool) -> Self {
+        self.profile = enabled;
+        self
+    }
+
+    /// Use an existing metrics registry instead of a fresh one, so several
+    /// sessions (e.g. over different databases) aggregate into one set of
+    /// counters and histograms.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Deliver finished per-query profiles to a custom [`ObsSink`] instead
+    /// of the session's in-memory ring buffer. With a custom sink installed,
+    /// [`Shredder::recent_profiles`] returns nothing — the sink owns the
+    /// profiles.
+    pub fn obs_sink(mut self, sink: Arc<dyn ObsSink>) -> Self {
+        self.obs_sink = Some(sink);
+        self
+    }
+
     /// Validate the configuration and build the session.
     pub fn build(self) -> Result<Shredder, ShredError> {
         let schema = match (self.schema, &self.database) {
@@ -882,6 +1019,11 @@ impl ShredderBuilder {
         if let Some(e) = self.engine {
             let _ = engine.set(e);
         }
+        let ring = Arc::new(RingSink::default());
+        let sink: Arc<dyn ObsSink> = match self.obs_sink {
+            Some(custom) => custom,
+            None => ring.clone(),
+        };
         Ok(Shredder {
             core: Arc::new(ShredderCore {
                 schema: Arc::new(schema),
@@ -893,6 +1035,10 @@ impl ShredderBuilder {
                 cache,
                 auto_param: self.auto_param,
                 verify: self.verify.unwrap_or(cfg!(debug_assertions)),
+                profile: self.profile,
+                metrics: self.metrics.unwrap_or_default(),
+                ring,
+                sink,
             }),
         })
     }
@@ -985,6 +1131,17 @@ struct ShredderCore {
     /// Fail `prepare` on error-severity diagnostics (see
     /// [`ShredderBuilder::verify`]).
     verify: bool,
+    /// Session default for per-operator profiling (see
+    /// [`ShredderBuilder::profile`]).
+    profile: bool,
+    /// Counters and latency histograms, shared by every clone — and, when
+    /// the builder was given an external registry, across sessions.
+    metrics: Arc<MetricsRegistry>,
+    /// The built-in ring buffer behind [`Shredder::recent_profiles`].
+    ring: Arc<RingSink>,
+    /// Where finished profiles go: `ring` unless the builder installed a
+    /// custom sink.
+    sink: Arc<dyn ObsSink>,
 }
 
 impl Shredder {
@@ -1071,7 +1228,30 @@ impl Shredder {
         defaults: Params,
         use_cache: bool,
     ) -> Result<PreparedQuery, ShredError> {
-        let (normalised, result_type) = normalise_with_type(term, &self.core.schema)?;
+        let obs = QueryObs::new(false);
+        let mut prepared = self.prepare_stages(term, defaults, use_cache, &obs)?;
+        let (spans, _) = obs.take();
+        for span in &spans {
+            self.core
+                .metrics
+                .record(span.stage.metric_name(), span.nanos);
+        }
+        self.core.metrics.counter("queries.prepared").inc();
+        prepared.prepare_spans = Arc::new(spans);
+        prepared.cache_stats = self.cache_stats();
+        prepared.plans_built = self.core.engine.get().map(|e| e.plans_built()).unwrap_or(0);
+        Ok(prepared)
+    }
+
+    fn prepare_stages(
+        &self,
+        term: &Term,
+        defaults: Params,
+        use_cache: bool,
+        obs: &QueryObs,
+    ) -> Result<PreparedQuery, ShredError> {
+        let (normalised, result_type) =
+            normalise_with_type_obs(term, &self.core.schema, Some(obs))?;
         let params = param_specs(term)?;
         let cache = if use_cache {
             self.core.cache.as_ref()
@@ -1079,7 +1259,7 @@ impl Shredder {
             None
         };
         let Some(cache) = cache else {
-            return self.plan(term, normalised, result_type, params, defaults);
+            return self.plan(term, normalised, result_type, params, defaults, obs);
         };
         let key = plan_key(&normalised);
         if let Some((normalised, result_type, plan)) = cache.lookup(&key) {
@@ -1094,10 +1274,14 @@ impl Shredder {
                 defaults: Arc::new(defaults),
                 diagnostics: Arc::new(Diagnostics::new()),
                 from_cache: true,
+                prepare_spans: Arc::new(Vec::new()),
+                last_exec: Arc::new(Mutex::new(None)),
+                cache_stats: CacheStats::default(),
+                plans_built: 0,
             };
-            return self.verified(term, prepared);
+            return self.verified(term, prepared, obs);
         }
-        let prepared = self.plan(term, normalised, result_type, params, defaults)?;
+        let prepared = self.plan(term, normalised, result_type, params, defaults, obs)?;
         cache.insert(
             key,
             prepared.normalised.clone(),
@@ -1114,6 +1298,7 @@ impl Shredder {
         result_type: Type,
         params: Vec<ParamSpec>,
         defaults: Params,
+        obs: &QueryObs,
     ) -> Result<PreparedQuery, ShredError> {
         let req = PlanRequest {
             term,
@@ -1122,6 +1307,7 @@ impl Shredder {
             schema: &self.core.schema,
             params: &params,
             defaults: &defaults,
+            obs: Some(obs),
         };
         let plan = self.core.backend.prepare(&req)?;
         let prepared = PreparedQuery {
@@ -1135,8 +1321,12 @@ impl Shredder {
             defaults: Arc::new(defaults),
             diagnostics: Arc::new(Diagnostics::new()),
             from_cache: false,
+            prepare_spans: Arc::new(Vec::new()),
+            last_exec: Arc::new(Mutex::new(None)),
+            cache_stats: CacheStats::default(),
+            plans_built: 0,
         };
-        self.verified(term, prepared)
+        self.verified(term, prepared, obs)
     }
 
     /// Run the static verifier over a freshly built (or cache-served)
@@ -1151,9 +1341,11 @@ impl Shredder {
         &self,
         term: &Term,
         mut prepared: PreparedQuery,
+        obs: &QueryObs,
     ) -> Result<PreparedQuery, ShredError> {
         let names: Vec<String> = prepared.params.iter().map(|p| p.name.clone()).collect();
         let mut diagnostics = Diagnostics::new();
+        let verify_timer = Instant::now();
         diagnostics.extend(lint::lint_term(term, &names));
         if let Ok(compiled) = prepared.plan.downcast::<CompiledQuery>() {
             let catalog = pipeline::table_defs_of_schema(&self.core.schema);
@@ -1161,6 +1353,10 @@ impl Shredder {
         } else if let Ok(shredded) = prepared.plan.downcast::<ShreddedMemoryPlan>() {
             diagnostics.extend(verify::check_package(&shredded.package));
         }
+        obs.record(
+            Stage::Verify,
+            verify_timer.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
         if self.core.verify {
             if let Some(first) = diagnostics.first_error() {
                 return Err(ShredError::Verification {
@@ -1191,6 +1387,30 @@ impl Shredder {
         prepared: &PreparedQuery,
         params: &Params,
     ) -> Result<Value, ShredError> {
+        self.execute_observed(prepared, params, self.core.profile)
+    }
+
+    /// [`execute_bound`](Self::execute_bound) with an explicit per-call
+    /// override of the session's profiled mode: `profile = true` runs the
+    /// plan through the instrumented executor (recording per-operator
+    /// actuals for [`PreparedQuery::explain_analyze`]) even on a session
+    /// built without [`ShredderBuilder::profile`], and `false` opts a single
+    /// call out on a profiling session.
+    pub fn execute_profiled(
+        &self,
+        prepared: &PreparedQuery,
+        params: &Params,
+        profile: bool,
+    ) -> Result<Value, ShredError> {
+        self.execute_observed(prepared, params, profile)
+    }
+
+    fn execute_observed(
+        &self,
+        prepared: &PreparedQuery,
+        params: &Params,
+        profile: bool,
+    ) -> Result<Value, ShredError> {
         if prepared.backend != self.core.backend.name() {
             return Err(ShredError::Config(format!(
                 "prepared query belongs to the {} backend but this session uses {}",
@@ -1212,9 +1432,86 @@ impl Shredder {
             ));
         }
         let bindings = resolve_bindings(&prepared.params, &prepared.defaults, params)?;
-        self.core
-            .backend
-            .execute(&prepared.plan, &self.exec_context(), &bindings)
+        let obs = QueryObs::new(profile);
+        let start = Instant::now();
+        let result = self.core.backend.execute(
+            &prepared.plan,
+            &self.exec_context_obs(Some(&obs)),
+            &bindings,
+        );
+        let total_nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        match &result {
+            Ok(_) => self.record_execution(prepared, &obs, profile, total_nanos),
+            Err(_) => self.core.metrics.counter("queries.failed").inc(),
+        }
+        result
+    }
+
+    /// Fold a successful execution's spans and operator actuals into the
+    /// registry, stash the actuals on the prepared handle and hand the
+    /// finished profile to the sink.
+    fn record_execution(
+        &self,
+        prepared: &PreparedQuery,
+        obs: &QueryObs,
+        profile: bool,
+        total_nanos: u64,
+    ) {
+        let (spans, operators) = obs.take();
+        let metrics = &self.core.metrics;
+        metrics.counter("queries.executed").inc();
+        metrics.record("query.total", total_nanos);
+        for span in &spans {
+            metrics.record(span.stage.metric_name(), span.nanos);
+        }
+        if profile {
+            let mut per_stage: Vec<Vec<sqlengine::OpActuals>> =
+                vec![Vec::new(); prepared.plan.stages.len().max(1)];
+            for op in &operators {
+                metrics.record(&format!("operator.{}", op.op), op.nanos);
+                if op.stage >= per_stage.len() {
+                    per_stage.resize_with(op.stage + 1, Vec::new);
+                }
+                let stage = &mut per_stage[op.stage];
+                if stage.len() <= op.node {
+                    stage.resize_with(op.node + 1, Default::default);
+                }
+                stage[op.node] = sqlengine::OpActuals {
+                    batches: op.batches,
+                    rows_in: op.rows_in,
+                    rows_out: op.rows_out,
+                    nanos: op.nanos,
+                };
+            }
+            if !operators.is_empty() {
+                *prepared
+                    .last_exec
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(per_stage);
+            }
+        }
+        let mut all_spans = prepared.prepare_spans.as_ref().clone();
+        all_spans.extend(spans);
+        self.core.sink.record(QueryProfile {
+            query: {
+                let mut label = prepared.result_type.to_string();
+                if label.len() > 120 {
+                    let mut end = 117;
+                    while !label.is_char_boundary(end) {
+                        end -= 1;
+                    }
+                    label.truncate(end);
+                    label.push_str("...");
+                }
+                label
+            },
+            backend: prepared.backend.to_string(),
+            cached: prepared.from_cache,
+            profiled: profile,
+            spans: all_spans,
+            operators,
+            total_nanos,
+        });
     }
 
     /// Prepare (or fetch from the cache) and execute in one call.
@@ -1266,12 +1563,54 @@ impl Shredder {
         }
     }
 
+    /// The session's metrics registry: counters (`queries.prepared`,
+    /// `queries.executed`, `queries.failed`), per-stage latency histograms
+    /// (`stage.execute`, `stage.stitch`, …), per-operator-kind histograms
+    /// from profiled runs (`operator.HashJoin`, …) and the end-to-end
+    /// `query.total` histogram. Shared by every clone of the session.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.core.metrics
+    }
+
+    /// A point-in-time, JSON-serialisable view of the registry, with the
+    /// plan-cache counters and the engine's plan-compilation counter folded
+    /// in as gauges (`cache.hits`, `cache.misses`, `cache.evictions`,
+    /// `cache.entries`, `engine.plans_built`).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let metrics = &self.core.metrics;
+        let stats = self.cache_stats();
+        let clamp = |v: u64| v.min(i64::MAX as u64) as i64;
+        metrics.gauge("cache.hits").set(clamp(stats.hits));
+        metrics.gauge("cache.misses").set(clamp(stats.misses));
+        metrics.gauge("cache.evictions").set(clamp(stats.evictions));
+        metrics
+            .gauge("cache.entries")
+            .set(clamp(stats.entries as u64));
+        let plans = self.core.engine.get().map(|e| e.plans_built()).unwrap_or(0);
+        metrics.gauge("engine.plans_built").set(clamp(plans));
+        metrics.snapshot()
+    }
+
+    /// The most recent query profiles (oldest first) from the session's
+    /// in-memory ring buffer — one [`QueryProfile`] per completed execute
+    /// call, holding the per-stage spans (and per-operator actuals when the
+    /// call was profiled). Empty when the builder installed a custom
+    /// [`ObsSink`]: the sink owns the profiles then.
+    pub fn recent_profiles(&self) -> Vec<QueryProfile> {
+        self.core.ring.recent()
+    }
+
     fn exec_context(&self) -> ExecContext<'_> {
+        self.exec_context_obs(None)
+    }
+
+    fn exec_context_obs<'a>(&'a self, obs: Option<&'a QueryObs>) -> ExecContext<'a> {
         ExecContext {
             db: self.core.db.as_ref(),
             scheme: self.core.scheme,
             engine: &self.core.engine,
             engine_init: &self.core.engine_init,
+            obs,
         }
     }
 }
@@ -1454,10 +1793,11 @@ impl SqlBackend for SqlEngineBackend {
     }
 
     fn prepare(&self, req: &PlanRequest<'_>) -> Result<BackendPlan, ShredError> {
-        let compiled = pipeline::compile_normalised(
+        let compiled = pipeline::compile_normalised_obs(
             req.normalised.clone(),
             req.result_type.clone(),
             req.schema,
+            req.obs,
         )?;
         let stages = compiled
             .stages
@@ -1481,7 +1821,7 @@ impl SqlBackend for SqlEngineBackend {
     ) -> Result<Value, ShredError> {
         let compiled: &CompiledQuery = plan.downcast()?;
         let params = bindings.to_sql_params()?;
-        pipeline::execute_bound(compiled, cx.engine()?, &params)
+        pipeline::execute_bound_obs(compiled, cx.engine()?, &params, cx.obs())
     }
 }
 
@@ -1549,15 +1889,17 @@ impl SqlBackend for ShreddedMemoryBackend {
             package = payload.package.map(&mut |q| q.bind_params(&consts));
             (&normalised, &package)
         };
-        let tables = IndexTables::compute(normalised_ref, db)?;
-        if !tables.is_valid(scheme) {
-            return Err(ShredError::InvalidIndexing(format!(
-                "the {} indexing scheme is not valid for this query and database",
-                scheme
-            )));
-        }
-        let results = eval_shredded_package(package_ref, db, scheme, &tables)?;
-        stitch_rows(results, scheme)
+        let results = obs::time_maybe(cx.obs(), Stage::Execute, || {
+            let tables = IndexTables::compute(normalised_ref, db)?;
+            if !tables.is_valid(scheme) {
+                return Err(ShredError::InvalidIndexing(format!(
+                    "the {} indexing scheme is not valid for this query and database",
+                    scheme
+                )));
+            }
+            eval_shredded_package(package_ref, db, scheme, &tables)
+        })?;
+        obs::time_maybe(cx.obs(), Stage::Stitch, || stitch_rows(results, scheme))
     }
 }
 
@@ -1583,7 +1925,10 @@ impl SqlBackend for NestedOracleBackend {
         bindings: &Bindings,
     ) -> Result<Value, ShredError> {
         let term: &Term = plan.downcast()?;
-        nrc::eval_with_params(term, cx.db()?, &bindings.to_value_map()).map_err(ShredError::Eval)
+        obs::time_maybe(cx.obs(), Stage::Execute, || {
+            nrc::eval_with_params(term, cx.db()?, &bindings.to_value_map())
+                .map_err(ShredError::Eval)
+        })
     }
 }
 

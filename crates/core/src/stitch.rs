@@ -45,12 +45,21 @@ use std::collections::HashMap;
 /// flat indexes, so no [`IndexScheme`] parameter is needed here; the row
 /// path ([`stitch_rows`]) remains the scheme-polymorphic oracle.
 pub fn stitch(package: Package<ColumnarStage>) -> Result<Value, ShredError> {
-    match &package {
+    stitch_obs(package, None)
+}
+
+/// [`stitch`] with the elapsed time recorded as a `Stage::Stitch` span when
+/// a collector is present.
+pub fn stitch_obs(
+    package: Package<ColumnarStage>,
+    obs: Option<&obs::QueryObs>,
+) -> Result<Value, ShredError> {
+    obs::time_maybe(obs, obs::Stage::Stitch, || match &package {
         Package::Bag(_, _) => stitch_bag(&package, &IndexValue::top(IndexScheme::Flat)),
         _ => Err(ShredError::Internal(
             "stitching requires a bag-typed result package".to_string(),
         )),
-    }
+    })
 }
 
 fn stitch_bag(package: &Package<ColumnarStage>, index: &IndexValue) -> Result<Value, ShredError> {

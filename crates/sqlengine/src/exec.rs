@@ -96,6 +96,18 @@ impl Engine {
         crate::vexec::execute_plan_bound(plan, &self.storage, params)
     }
 
+    /// Like [`execute_plan_bound`](Engine::execute_plan_bound), but also
+    /// collect per-operator actuals (batches, rows, inclusive elapsed time)
+    /// for every plan node. Pair the returned profile with
+    /// [`PhysicalPlan::render_analyzed`] for an `EXPLAIN ANALYZE` tree.
+    pub fn execute_plan_profiled(
+        &self,
+        plan: &PhysicalPlan,
+        params: &ParamValues,
+    ) -> Result<(ColumnarResult, crate::vexec::PlanProfile), EngineError> {
+        crate::vexec::execute_plan_profiled(plan, &self.storage, params)
+    }
+
     /// Execute a query AST: plan it and run the plan on the vectorized
     /// executor (the default path). Callers that execute the same query
     /// repeatedly should [`prepare`](Engine::prepare) once instead.

@@ -66,7 +66,8 @@ pub use ast::{BinOp, Expr, FromItem, Query, Select, SelectItem, TableSource};
 pub use error::EngineError;
 pub use exec::Engine;
 pub use parser::{parse_expr, parse_query};
-pub use plan::{Catalog, PhysicalPlan, SchemaCatalog};
+pub use plan::{Catalog, OpActuals, PhysicalPlan, SchemaCatalog};
 pub use printer::{print_expr, print_query};
 pub use storage::{ColumnType, ColumnarResult, ResultSet, Storage, Table, TableDef};
 pub use value::{ParamValues, Row, SqlValue};
+pub use vexec::PlanProfile;

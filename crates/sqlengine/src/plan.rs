@@ -30,6 +30,7 @@ use crate::ast::{BinOp, Expr, FromItem, Query, Select, TableSource};
 use crate::error::EngineError;
 use crate::storage::{Storage, TableDef};
 use crate::value::SqlValue;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Default row-count estimate for relations whose cardinality the catalog
@@ -321,6 +322,106 @@ impl PhysicalPlan {
         }
     }
 
+    /// The operator kind name, as shown at the head of each rendered plan
+    /// line (used to bucket per-operator metrics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PhysicalPlan::UnitRow => "UnitRow",
+            PhysicalPlan::TableScan { .. } => "TableScan",
+            PhysicalPlan::CteScan { .. } => "CteScan",
+            PhysicalPlan::SubqueryScan { .. } => "SubqueryScan",
+            PhysicalPlan::NestedLoopJoin { .. } => "NestedLoopJoin",
+            PhysicalPlan::HashJoin { .. } => "HashJoin",
+            PhysicalPlan::Filter { .. } => "Filter",
+            PhysicalPlan::ExistsSemiJoin { .. } => "ExistsSemiJoin",
+            PhysicalPlan::RowNumber { .. } => "RowNumber",
+            PhysicalPlan::Sort { .. } => "Sort",
+            PhysicalPlan::Project { .. } => "Project",
+            PhysicalPlan::Distinct { .. } => "Distinct",
+            PhysicalPlan::UnionAll(_) => "UnionAll",
+            PhysicalPlan::ExceptAll { .. } => "ExceptAll",
+            PhysicalPlan::With { .. } => "With",
+        }
+    }
+
+    /// The node's direct structural children (its inputs), in render order.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::UnitRow
+            | PhysicalPlan::TableScan { .. }
+            | PhysicalPlan::CteScan { .. } => Vec::new(),
+            PhysicalPlan::SubqueryScan { input, .. }
+            | PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::RowNumber { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Distinct { input } => vec![input],
+            PhysicalPlan::ExistsSemiJoin { input, subplan, .. } => vec![input, subplan],
+            PhysicalPlan::NestedLoopJoin { left, right }
+            | PhysicalPlan::HashJoin { left, right, .. }
+            | PhysicalPlan::ExceptAll { left, right } => vec![left, right],
+            PhysicalPlan::UnionAll(branches) => branches.iter().collect(),
+            PhysicalPlan::With {
+                definition, body, ..
+            } => vec![definition, body],
+        }
+    }
+
+    /// `EXISTS (…)` subplans referenced by this node's expressions (not by
+    /// its structural children). These execute once per input row via
+    /// [`VExpr::Exists`] and get profiled like any other node.
+    fn expr_subplans(&self) -> Vec<&PhysicalPlan> {
+        fn go<'p>(e: &'p VExpr, acc: &mut Vec<&'p PhysicalPlan>) {
+            match e {
+                VExpr::Exists(sub) => acc.push(sub),
+                VExpr::BinOp { left, right, .. } => {
+                    go(left, acc);
+                    go(right, acc);
+                }
+                VExpr::Not(inner) => go(inner, acc),
+                VExpr::Col { .. } | VExpr::Outer { .. } | VExpr::Lit(_) | VExpr::Param(_) => {}
+            }
+        }
+        let mut acc = Vec::new();
+        match self {
+            PhysicalPlan::Filter { predicate, .. } => go(predicate, &mut acc),
+            PhysicalPlan::HashJoin {
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                left_keys.iter().for_each(|k| go(k, &mut acc));
+                right_keys.iter().for_each(|k| go(k, &mut acc));
+            }
+            PhysicalPlan::RowNumber { specs, .. } => specs
+                .iter()
+                .for_each(|keys| keys.iter().for_each(|k| go(k, &mut acc))),
+            PhysicalPlan::Sort { keys, .. } => keys.iter().for_each(|k| go(k, &mut acc)),
+            PhysicalPlan::Project { exprs, .. } => exprs.iter().for_each(|e| go(e, &mut acc)),
+            _ => {}
+        }
+        acc
+    }
+
+    /// Every node of the plan in pre-order: the node itself, then the
+    /// subplans of its expressions, then its structural children. A node's
+    /// position in this list is its stable *pre-order index*, the key the
+    /// profiled executor files per-operator actuals under.
+    pub fn nodes(&self) -> Vec<&PhysicalPlan> {
+        fn go<'p>(p: &'p PhysicalPlan, acc: &mut Vec<&'p PhysicalPlan>) {
+            acc.push(p);
+            for sub in p.expr_subplans() {
+                go(sub, acc);
+            }
+            for child in p.children() {
+                go(child, acc);
+            }
+        }
+        let mut acc = Vec::new();
+        go(self, &mut acc);
+        acc
+    }
+
     /// The plan's param slots: every named placeholder referenced anywhere in
     /// the plan tree (including subplans), in first-occurrence order.
     /// Executing the plan requires a bound value for each.
@@ -428,74 +529,49 @@ impl PhysicalPlan {
         }
     }
 
-    fn render(&self, out: &mut String, level: usize) {
-        for _ in 0..level {
-            out.push_str("  ");
-        }
+    /// This node's own render line, without indentation or children.
+    fn node_line(&self) -> String {
         match self {
-            PhysicalPlan::UnitRow => out.push_str("UnitRow\n"),
+            PhysicalPlan::UnitRow => "UnitRow".to_string(),
             PhysicalPlan::TableScan {
                 table,
                 alias,
                 estimated_rows,
                 ..
             } => {
-                out.push_str(&format!("TableScan {} AS {}", table, alias));
+                let mut line = format!("TableScan {} AS {}", table, alias);
                 if let Some(n) = estimated_rows {
-                    out.push_str(&format!(" (rows={})", n));
+                    line.push_str(&format!(" (rows={})", n));
                 }
-                out.push('\n');
+                line
             }
             PhysicalPlan::CteScan { name, alias, .. } => {
-                out.push_str(&format!("CteScan {} AS {}\n", name, alias));
+                format!("CteScan {} AS {}", name, alias)
             }
-            PhysicalPlan::SubqueryScan { input, alias } => {
-                out.push_str(&format!("SubqueryScan AS {}\n", alias));
-                input.render(out, level + 1);
-            }
-            PhysicalPlan::NestedLoopJoin { left, right } => {
-                out.push_str("NestedLoopJoin\n");
-                left.render(out, level + 1);
-                right.render(out, level + 1);
-            }
+            PhysicalPlan::SubqueryScan { alias, .. } => format!("SubqueryScan AS {}", alias),
+            PhysicalPlan::NestedLoopJoin { .. } => "NestedLoopJoin".to_string(),
             PhysicalPlan::HashJoin {
-                left,
-                right,
                 left_keys,
                 right_keys,
                 build,
+                ..
             } => {
                 let keys: Vec<String> = left_keys
                     .iter()
                     .zip(right_keys)
                     .map(|(l, r)| format!("{} = {}", l, r))
                     .collect();
-                out.push_str(&format!(
-                    "HashJoin build={} keys=[{}]\n",
-                    build,
-                    keys.join(", ")
-                ));
-                left.render(out, level + 1);
-                right.render(out, level + 1);
+                format!("HashJoin build={} keys=[{}]", build, keys.join(", "))
             }
-            PhysicalPlan::Filter { input, predicate } => {
-                out.push_str(&format!("Filter {}\n", predicate));
-                input.render(out, level + 1);
-            }
-            PhysicalPlan::ExistsSemiJoin {
-                input,
-                subplan,
-                anti,
-            } => {
-                out.push_str(if *anti {
-                    "ExistsSemiJoin anti\n"
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter {}", predicate),
+            PhysicalPlan::ExistsSemiJoin { anti, .. } => {
+                if *anti {
+                    "ExistsSemiJoin anti".to_string()
                 } else {
-                    "ExistsSemiJoin\n"
-                });
-                input.render(out, level + 1);
-                subplan.render(out, level + 1);
+                    "ExistsSemiJoin".to_string()
+                }
             }
-            PhysicalPlan::RowNumber { input, specs } => {
+            PhysicalPlan::RowNumber { specs, .. } => {
                 let rendered: Vec<String> = specs
                     .iter()
                     .map(|keys| {
@@ -503,53 +579,97 @@ impl PhysicalPlan {
                         format!("[{}]", ks.join(", "))
                     })
                     .collect();
-                out.push_str(&format!("RowNumber over {}\n", rendered.join(" ")));
-                input.render(out, level + 1);
+                format!("RowNumber over {}", rendered.join(" "))
             }
-            PhysicalPlan::Sort { input, keys } => {
+            PhysicalPlan::Sort { keys, .. } => {
                 let ks: Vec<String> = keys.iter().map(VExpr::to_string).collect();
-                out.push_str(&format!("Sort [{}]\n", ks.join(", ")));
-                input.render(out, level + 1);
+                format!("Sort [{}]", ks.join(", "))
             }
-            PhysicalPlan::Project {
-                input,
-                exprs,
-                columns,
-            } => {
+            PhysicalPlan::Project { exprs, columns, .. } => {
                 let items: Vec<String> = exprs
                     .iter()
                     .zip(columns)
                     .map(|(e, c)| format!("{} AS {}", e, c))
                     .collect();
-                out.push_str(&format!("Project [{}]\n", items.join(", ")));
-                input.render(out, level + 1);
+                format!("Project [{}]", items.join(", "))
             }
-            PhysicalPlan::Distinct { input } => {
-                out.push_str("Distinct\n");
-                input.render(out, level + 1);
-            }
-            PhysicalPlan::UnionAll(branches) => {
-                out.push_str("UnionAll\n");
-                for b in branches {
-                    b.render(out, level + 1);
-                }
-            }
-            PhysicalPlan::ExceptAll { left, right } => {
-                out.push_str("ExceptAll\n");
-                left.render(out, level + 1);
-                right.render(out, level + 1);
-            }
-            PhysicalPlan::With {
-                name,
-                definition,
-                body,
-            } => {
-                out.push_str(&format!("With {}\n", name));
-                definition.render(out, level + 1);
-                body.render(out, level + 1);
-            }
+            PhysicalPlan::Distinct { .. } => "Distinct".to_string(),
+            PhysicalPlan::UnionAll(_) => "UnionAll".to_string(),
+            PhysicalPlan::ExceptAll { .. } => "ExceptAll".to_string(),
+            PhysicalPlan::With { name, .. } => format!("With {}", name),
         }
     }
+
+    fn render(&self, out: &mut String, level: usize) {
+        for _ in 0..level {
+            out.push_str("  ");
+        }
+        out.push_str(&self.node_line());
+        out.push('\n');
+        for child in self.children() {
+            child.render(out, level + 1);
+        }
+    }
+
+    /// Render the plan tree with each node annotated with runtime actuals
+    /// (`EXPLAIN ANALYZE` style). `actuals` is indexed by the node pre-order
+    /// index from [`PhysicalPlan::nodes`], as produced by the profiled
+    /// executor; a node with no recorded executions is annotated
+    /// `never executed`. Elapsed times are inclusive of children.
+    pub fn render_analyzed(&self, actuals: &[OpActuals]) -> String {
+        let ids: HashMap<usize, usize> = self
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (*n as *const PhysicalPlan as usize, i))
+            .collect();
+        fn go(
+            plan: &PhysicalPlan,
+            out: &mut String,
+            level: usize,
+            ids: &HashMap<usize, usize>,
+            actuals: &[OpActuals],
+        ) {
+            for _ in 0..level {
+                out.push_str("  ");
+            }
+            out.push_str(&plan.node_line());
+            let stats = ids
+                .get(&(plan as *const PhysicalPlan as usize))
+                .and_then(|&id| actuals.get(id));
+            match stats {
+                Some(a) if a.batches > 0 => {
+                    out.push_str(&format!(
+                        "  (actual batches={} rows_in={} rows_out={} elapsed={:.3}ms)",
+                        a.batches,
+                        a.rows_in,
+                        a.rows_out,
+                        a.nanos as f64 / 1e6,
+                    ));
+                }
+                _ => out.push_str("  (actual never executed)"),
+            }
+            out.push('\n');
+            for child in plan.children() {
+                go(child, out, level + 1, ids, actuals);
+            }
+        }
+        let mut out = String::new();
+        go(self, &mut out, 0, &ids, actuals);
+        out.trim_end().to_string()
+    }
+}
+
+/// Runtime actuals accumulated for one plan node by the profiled executor
+/// (see `vexec::execute_plan_profiled`). `nanos` is wall time inclusive of
+/// the node's children, Postgres-`EXPLAIN ANALYZE` style; `batches` counts
+/// executions of the node (correlated subplans run once per outer row).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpActuals {
+    pub batches: u64,
+    pub rows_in: u64,
+    pub rows_out: u64,
+    pub nanos: u64,
 }
 
 impl fmt::Display for PhysicalPlan {
