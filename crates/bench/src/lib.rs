@@ -336,7 +336,7 @@ pub fn vexec_report_json(instance: &Instance, runs: usize, rows: &[VexecComparis
     out.push_str(&format!(
         "  \"departments\": {},\n  \"total_rows\": {},\n  \"runs\": {},\n",
         instance.departments,
-        instance.engine().storage.total_rows(),
+        instance.engine().storage().total_rows(),
         runs
     ));
     out.push_str("  \"queries\": [\n");
@@ -497,7 +497,7 @@ pub fn stitch_report_json(instance: &Instance, runs: usize, rows: &[StitchCompar
     out.push_str(&format!(
         "  \"departments\": {},\n  \"total_rows\": {},\n  \"runs\": {},\n",
         instance.departments,
-        instance.engine().storage.total_rows(),
+        instance.engine().storage().total_rows(),
         runs
     ));
     out.push_str("  \"queries\": [\n");
@@ -1368,6 +1368,202 @@ pub fn profile_report_json(instance: &Instance, runs: usize, report: &ProfileRep
     out
 }
 
+// ---------------------------------------------------------------------------
+// Incremental maintenance of live nested views (the PR 8 delta comparison)
+// ---------------------------------------------------------------------------
+
+/// One live-view maintenance comparison: a benchmark query kept live by a
+/// [`shredding::Subscription`] while a seeded [`datagen::MutationStream`]
+/// commits write batches of a fixed size. Each committed batch is timed two
+/// ways —
+///
+/// * **incremental** — the maintenance work `Shredder::apply_batch` does for
+///   the subscription (per-stage delta propagation through the cached
+///   executors plus group-level invalidation of the stitcher's memo), read
+///   off [`Subscription::maintain_nanos`];
+/// * **recompute** — a full `execute` of the same prepared query against the
+///   post-write storage, the from-scratch baseline.
+///
+/// Both sides exclude the storage write itself: the write is committed
+/// either way, so the comparison is between the two ways of *knowing the
+/// new answer* — folding the delta into the live view versus re-running the
+/// query from scratch (the standard IVM framing). After every batch the
+/// subscription's materialised value is compared with the recompute result
+/// (the differential oracle); the comparison itself is untimed.
+#[derive(Debug, Clone)]
+pub struct DeltaComparison {
+    pub query: String,
+    /// `"flat"` (QF1–QF6) or `"nested"` (Q1–Q6).
+    pub kind: &'static str,
+    /// Operations per committed write batch.
+    pub batch_size: usize,
+    /// Number of write batches committed (and timed) for this cell.
+    pub batches: usize,
+    /// Total signed delta rows emitted across all committed batches.
+    pub delta_rows: usize,
+    /// Median per-batch incremental maintenance time (delta propagation +
+    /// group invalidation; the storage write, common to both sides, is
+    /// excluded).
+    pub incremental_ms: f64,
+    /// Median per-batch time of a full recompute on the post-write state.
+    pub recompute_ms: f64,
+    /// Times the live view fell back to reseeding a stage from scratch.
+    pub reseeds: u64,
+    /// Whether any batch left the live view differing from the recompute.
+    pub diverged: bool,
+}
+
+impl DeltaComparison {
+    /// Recompute time over incremental time (>1 means maintenance wins).
+    pub fn speedup(&self) -> f64 {
+        if self.incremental_ms > 0.0 {
+            self.recompute_ms / self.incremental_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn median_of(mut samples: Vec<Duration>) -> f64 {
+    samples.sort();
+    samples
+        .get(samples.len() / 2)
+        .map(|d| d.as_secs_f64() * 1000.0)
+        .unwrap_or(0.0)
+}
+
+/// Drive every benchmark query as a live view under a seeded mutation
+/// stream, once per requested write-batch size, and compare per-batch
+/// incremental maintenance against full recompute. Each cell runs on its own
+/// freshly generated database and session so writes never leak between
+/// cells, and every batch's live value is differentially checked against the
+/// recompute oracle.
+pub fn compare_delta(
+    departments: usize,
+    batch_sizes: &[usize],
+    batches: usize,
+) -> Vec<DeltaComparison> {
+    use datagen::{MutationConfig, MutationStream};
+
+    let config = OrgConfig {
+        departments,
+        employees_per_department: 20,
+        contacts_per_department: 5,
+        ..OrgConfig::default()
+    };
+    let batches = batches.max(1);
+    let suites: [(&'static str, Vec<(&'static str, Term)>); 2] = [
+        ("flat", datagen::queries::flat_queries()),
+        ("nested", datagen::queries::nested_queries()),
+    ];
+    let mut out = Vec::new();
+    for (kind, queries) in suites {
+        for (name, q) in &queries {
+            for (si, &batch_size) in batch_sizes.iter().enumerate() {
+                let db = generate(&config);
+                let session = Shredder::builder()
+                    .database(db.clone())
+                    .build()
+                    .expect("generated data always configures a session");
+                let prepared = session.prepare(q).expect("benchmark queries prepare");
+                let sub = session
+                    .subscribe(&prepared)
+                    .expect("benchmark queries subscribe");
+                let mut stream = MutationStream::over(
+                    &db,
+                    MutationConfig {
+                        ops_per_batch: batch_size,
+                        seed: 42 + si as u64,
+                        ..MutationConfig::default()
+                    },
+                );
+                // Warm up both sides: the first materialisation builds the
+                // stitch memo, the first recompute pays any lazy columnar
+                // transposition, so neither lands in a median.
+                sub.value().expect("live views materialise");
+                session
+                    .execute(&prepared)
+                    .expect("benchmark queries execute");
+
+                let mut incremental = Vec::with_capacity(batches);
+                let mut recompute = Vec::with_capacity(batches);
+                let mut delta_rows = 0usize;
+                let mut diverged = false;
+                for _ in 0..batches {
+                    let batch = stream.next_batch();
+                    let before = sub.maintain_nanos();
+                    let delta = session
+                        .apply_batch(&batch)
+                        .expect("stream batches stay valid");
+                    incremental.push(Duration::from_nanos(sub.maintain_nanos() - before));
+                    delta_rows += delta.row_count();
+
+                    let start = Instant::now();
+                    let recomputed = session
+                        .execute(&prepared)
+                        .expect("benchmark queries execute");
+                    recompute.push(start.elapsed());
+
+                    let live = sub.value().expect("live views materialise");
+                    if !live.multiset_eq(&recomputed) {
+                        diverged = true;
+                    }
+                }
+                out.push(DeltaComparison {
+                    query: name.to_string(),
+                    kind,
+                    batch_size,
+                    batches,
+                    delta_rows,
+                    incremental_ms: median_of(incremental),
+                    recompute_ms: median_of(recompute),
+                    reseeds: sub.reseeds(),
+                    diverged,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render the delta comparison as the machine-readable `BENCH_pr8.json`
+/// document (hand-rolled: the workspace has no serde).
+pub fn delta_report_json(departments: usize, batches: usize, rows: &[DeltaComparison]) -> String {
+    fn f(ms: f64) -> String {
+        if ms.is_finite() {
+            format!("{:.4}", ms)
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"incremental-view-maintenance\",\n");
+    out.push_str(&format!(
+        "  \"departments\": {},\n  \"batches_per_cell\": {},\n",
+        departments, batches
+    ));
+    out.push_str("  \"queries\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{}\", \"kind\": \"{}\", \"batch_size\": {}, \
+             \"delta_rows\": {}, \"incremental_ms\": {}, \"recompute_ms\": {}, \
+             \"speedup\": {}, \"reseeds\": {}, \"diverged\": {}}}{}\n",
+            row.query,
+            row.kind,
+            row.batch_size,
+            row.delta_rows,
+            f(row.incremental_ms),
+            f(row.recompute_ms),
+            f(row.speedup()),
+            row.reseeds,
+            row.diverged,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// A minimal timing harness for the `benches/` targets (the workspace builds
 /// without external crates, so Criterion is not available): warm up once,
 /// time `iters` runs, report the median.
@@ -1460,6 +1656,25 @@ mod tests {
         assert!(json.contains("\"columnar-result-assembly\""));
         assert!(json.contains("\"row_path_ms\""));
         assert_eq!(json.matches("\"query\"").count(), 12);
+    }
+
+    #[test]
+    fn the_delta_comparison_keeps_live_views_on_the_oracle() {
+        let rows = compare_delta(2, &[1, 4], 2);
+        // 12 queries × 2 batch sizes.
+        assert_eq!(rows.len(), 12 * 2);
+        assert!(
+            rows.iter().all(|r| !r.diverged),
+            "live views must match the recompute oracle on every batch"
+        );
+        assert!(
+            rows.iter().any(|r| r.delta_rows > 0),
+            "the mutation stream must commit real work"
+        );
+        let json = delta_report_json(2, 2, &rows);
+        assert!(json.contains("\"incremental-view-maintenance\""));
+        assert!(json.contains("\"speedup\""));
+        assert_eq!(json.matches("\"query\"").count(), rows.len());
     }
 
     #[test]

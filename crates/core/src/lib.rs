@@ -77,6 +77,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod delta;
 pub mod error;
 pub mod flatten;
 pub mod letins;
@@ -99,6 +100,7 @@ pub use analysis;
 pub use obs;
 
 pub use analysis::{Diagnostic, Diagnostics, Severity};
+pub use delta::{StorageDelta, Subscription, TableDelta, WriteBatch, WriteOp};
 pub use error::ShredError;
 pub use flatten::ResultLayout;
 pub use nf::{NormQuery, StaticIndex};

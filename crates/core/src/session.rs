@@ -42,9 +42,10 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
+use crate::delta::{LiveView, StorageDelta, Subscription, WriteBatch};
 use crate::error::ShredError;
 use crate::flatten::{value_to_sql, ResultLayout};
 use crate::nf::NormQuery;
@@ -1039,6 +1040,8 @@ impl ShredderBuilder {
                 metrics: self.metrics.unwrap_or_default(),
                 ring,
                 sink,
+                write_lock: Mutex::new(()),
+                subs: Mutex::new(Vec::new()),
             }),
         })
     }
@@ -1142,6 +1145,13 @@ struct ShredderCore {
     /// Where finished profiles go: `ring` unless the builder installed a
     /// custom sink.
     sink: Arc<dyn ObsSink>,
+    /// Serialises committed write batches (and live-view seeding) so every
+    /// subscription observes the same totally ordered sequence of deltas.
+    write_lock: Mutex<()>,
+    /// The session's live subscriptions. Weak: dropping every clone of a
+    /// [`Subscription`] unsubscribes it; dead entries are pruned on the next
+    /// committed batch.
+    subs: Mutex<Vec<Weak<LiveView>>>,
 }
 
 impl Shredder {
@@ -1405,12 +1415,9 @@ impl Shredder {
         self.execute_observed(prepared, params, profile)
     }
 
-    fn execute_observed(
-        &self,
-        prepared: &PreparedQuery,
-        params: &Params,
-        profile: bool,
-    ) -> Result<Value, ShredError> {
+    /// Reject a prepared query that belongs to a different backend, indexing
+    /// scheme or schema than this session's.
+    fn guard_prepared(&self, prepared: &PreparedQuery) -> Result<(), ShredError> {
         if prepared.backend != self.core.backend.name() {
             return Err(ShredError::Config(format!(
                 "prepared query belongs to the {} backend but this session uses {}",
@@ -1431,6 +1438,16 @@ impl Shredder {
                 "prepared query was planned against a different schema".into(),
             ));
         }
+        Ok(())
+    }
+
+    fn execute_observed(
+        &self,
+        prepared: &PreparedQuery,
+        params: &Params,
+        profile: bool,
+    ) -> Result<Value, ShredError> {
+        self.guard_prepared(prepared)?;
         let bindings = resolve_bindings(&prepared.params, &prepared.defaults, params)?;
         let obs = QueryObs::new(profile);
         let start = Instant::now();
@@ -1525,6 +1542,139 @@ impl Shredder {
     pub fn run_bound(&self, term: &Term, params: &Params) -> Result<Value, ShredError> {
         let prepared = self.prepare(term)?;
         self.execute_bound(&prepared, params)
+    }
+
+    /// Subscribe to a prepared query's result: returns a live
+    /// [`Subscription`] whose [`value`](Subscription::value) is kept up to
+    /// date across every write batch committed through
+    /// [`apply_batch`](Self::apply_batch) — incrementally, without
+    /// re-running the query from scratch. Each shredded stage keeps a delta
+    /// executor over its physical plan; a committed write flows through the
+    /// operators as a signed row delta and the stitcher re-materialises only
+    /// the nested subtrees whose `(oidx_tag, oidx_ord)` groups changed.
+    /// Writes outside the incremental fragment transparently fall back to
+    /// recompute-from-scratch ([`Subscription::reseeds`] counts those).
+    ///
+    /// Subscriptions require the default [`SqlEngineBackend`]: they maintain
+    /// the compiled SQL pipeline itself. Every declared parameter must be
+    /// covered by the prepared query's defaults; use
+    /// [`subscribe_bound`](Self::subscribe_bound) to bind explicitly.
+    /// Dropping every clone of the handle unsubscribes it.
+    ///
+    /// ```
+    /// use nrc::builder::*;
+    /// use shredding::delta::WriteBatch;
+    /// use shredding::session::Shredder;
+    /// use sqlengine::SqlValue;
+    /// # use nrc::schema::{Database, Schema, TableSchema};
+    /// # use nrc::types::BaseType;
+    /// # use nrc::value::Value;
+    /// # let schema = Schema::new().with_table(
+    /// #     TableSchema::new("items", vec![("id", BaseType::Int)]).with_key(vec!["id"]));
+    /// # let mut db = Database::new(schema);
+    /// # db.insert_row("items", vec![("id", Value::Int(1))]).unwrap();
+    /// let session = Shredder::over(db).unwrap();
+    /// let query = for_in("x", table("items"), singleton(project(var("x"), "id")));
+    /// let prepared = session.prepare(&query).unwrap();
+    /// let live = session.subscribe(&prepared).unwrap();
+    /// assert_eq!(live.value().unwrap(), Value::bag(vec![Value::Int(1)]));
+    ///
+    /// session
+    ///     .apply_batch(&WriteBatch::new().insert("items", vec![SqlValue::Int(2)]))
+    ///     .unwrap();
+    /// assert_eq!(
+    ///     live.value().unwrap(),
+    ///     Value::bag(vec![Value::Int(1), Value::Int(2)])
+    /// );
+    /// ```
+    pub fn subscribe(&self, prepared: &PreparedQuery) -> Result<Subscription, ShredError> {
+        self.subscribe_bound(prepared, &Params::new())
+    }
+
+    /// [`subscribe`](Self::subscribe) with explicit parameter bindings,
+    /// fixed for the lifetime of the subscription (mirroring
+    /// [`execute_bound`](Self::execute_bound)).
+    pub fn subscribe_bound(
+        &self,
+        prepared: &PreparedQuery,
+        params: &Params,
+    ) -> Result<Subscription, ShredError> {
+        self.guard_prepared(prepared)?;
+        let compiled = prepared
+            .plan
+            .downcast::<CompiledQuery>()
+            .map_err(|_| {
+                ShredError::Config(
+                    "subscriptions require the sqlengine backend: only compiled SQL \
+                     pipelines can be maintained incrementally"
+                        .into(),
+                )
+            })?
+            .clone();
+        let bindings = resolve_bindings(&prepared.params, &prepared.defaults, params)?;
+        let sql_params = bindings.to_sql_params()?;
+        let engine = self.engine()?;
+        // Hold the commit lock while seeding and registering, so no write
+        // batch can slip between the snapshot the view is seeded from and
+        // the first delta it observes.
+        let _commit = self
+            .core
+            .write_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let view = {
+            let storage = engine.storage();
+            Arc::new(LiveView::new(Arc::new(compiled), sql_params, &storage)?)
+        };
+        self.core
+            .subs
+            .lock()
+            .expect("subscriptions lock")
+            .push(Arc::downgrade(&view));
+        Ok(Subscription { inner: view })
+    }
+
+    /// Atomically commit a write batch to the session's engine storage and
+    /// maintain every live subscription with the emitted delta. Returns the
+    /// typed per-table delta (insertion/retraction multisets). On a
+    /// validation error nothing is applied.
+    ///
+    /// Observability: bumps the `writes.applied` counter, adds the delta's
+    /// signed row count to `delta.rows`, and records one `stage.maintain`
+    /// histogram sample per maintained subscription.
+    ///
+    /// Note that writes go to the *engine storage*, which was loaded from
+    /// the session's [`Database`] on first use: [`Shredder::database`] (and
+    /// therefore [`oracle`](Self::oracle)) keeps reflecting the load-time
+    /// snapshot, while executions and subscriptions see the mutated state.
+    pub fn apply_batch(&self, batch: &WriteBatch) -> Result<StorageDelta, ShredError> {
+        let engine = self.engine()?;
+        let _commit = self
+            .core
+            .write_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let delta = engine.apply_batch(batch)?;
+        let metrics = &self.core.metrics;
+        metrics.counter("writes.applied").inc();
+        metrics.counter("delta.rows").add(delta.row_count() as u64);
+        let live: Vec<Arc<LiveView>> = {
+            let mut subs = self.core.subs.lock().expect("subscriptions lock");
+            subs.retain(|w| w.strong_count() > 0);
+            subs.iter().filter_map(Weak::upgrade).collect()
+        };
+        if !live.is_empty() {
+            let storage = engine.storage();
+            for view in live {
+                let start = Instant::now();
+                view.maintain(&storage, &delta)?;
+                metrics.record(
+                    Stage::Maintain.metric_name(),
+                    start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                );
+            }
+        }
+        Ok(delta)
     }
 
     /// Evaluate a query directly with the nested reference semantics N⟦−⟧
@@ -2158,5 +2308,77 @@ mod tests {
             let v = session.run(&q).unwrap();
             assert!(v.multiset_eq(&reference), "scheme {}", scheme);
         }
+    }
+
+    #[test]
+    fn subscriptions_track_writes_and_match_recompute() {
+        use sqlengine::SqlValue;
+        let session = Shredder::over(db()).unwrap();
+        let prepared = session.prepare(&nested_query()).unwrap();
+        let live = session.subscribe(&prepared).unwrap();
+        assert_eq!(live.generation(), 0);
+        assert!(live
+            .value()
+            .unwrap()
+            .multiset_eq(&session.execute(&prepared).unwrap()));
+
+        let batch = WriteBatch::new()
+            .insert(
+                "employees",
+                vec![
+                    SqlValue::Int(4),
+                    SqlValue::str("Research"),
+                    SqlValue::str("Dana"),
+                    SqlValue::Int(700),
+                ],
+            )
+            .delete_by_key("employees", vec![SqlValue::Int(2)]);
+        let delta = session.apply_batch(&batch).unwrap();
+        assert_eq!(delta.row_count(), 2);
+
+        let recomputed = session.execute(&prepared).unwrap();
+        assert!(live.value().unwrap().multiset_eq(&recomputed));
+        assert_eq!(live.generation(), 1);
+        assert_eq!(live.reseeds(), 0);
+
+        let snapshot = session.metrics_snapshot();
+        assert_eq!(snapshot.counter("writes.applied"), Some(1));
+        assert_eq!(snapshot.counter("delta.rows"), Some(2));
+        assert!(snapshot.histogram("stage.maintain").is_some());
+    }
+
+    #[test]
+    fn dropped_subscriptions_are_pruned_on_the_next_commit() {
+        use sqlengine::SqlValue;
+        let session = Shredder::over(db()).unwrap();
+        let prepared = session.prepare(&nested_query()).unwrap();
+        let live = session.subscribe(&prepared).unwrap();
+        drop(live);
+        // The dead subscription must not be maintained (or crash).
+        session
+            .apply_batch(&WriteBatch::new().insert(
+                "departments",
+                vec![SqlValue::Int(3), SqlValue::str("Design")],
+            ))
+            .unwrap();
+        assert_eq!(
+            session.core.subs.lock().unwrap().len(),
+            0,
+            "dead weak handles should be pruned"
+        );
+    }
+
+    #[test]
+    fn subscriptions_require_the_sqlengine_backend() {
+        let session = Shredder::builder()
+            .database(db())
+            .backend(Box::new(ShreddedMemoryBackend))
+            .build()
+            .unwrap();
+        let prepared = session.prepare(&nested_query()).unwrap();
+        assert!(matches!(
+            session.subscribe(&prepared),
+            Err(ShredError::Config(_))
+        ));
     }
 }

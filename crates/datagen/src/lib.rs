@@ -19,8 +19,10 @@
 #![forbid(unsafe_code)]
 
 pub mod generator;
+pub mod mutations;
 pub mod queries;
 pub mod rng;
 
 pub use generator::{generate, organisation_schema, OrgConfig};
+pub use mutations::{MutationConfig, MutationStream};
 pub use rng::Rng;

@@ -5,7 +5,8 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 /// One phase of the shredding pipeline. `prepare` produces the first six,
-/// `execute_bound` the last three.
+/// `execute_bound` the next three, and `Maintain` times the incremental
+/// upkeep of a live subscription after a committed write batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     Typecheck,
@@ -17,10 +18,11 @@ pub enum Stage {
     Execute,
     Decode,
     Stitch,
+    Maintain,
 }
 
 impl Stage {
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::Typecheck,
         Stage::Normalise,
         Stage::Shred,
@@ -30,6 +32,7 @@ impl Stage {
         Stage::Execute,
         Stage::Decode,
         Stage::Stitch,
+        Stage::Maintain,
     ];
 
     /// Name of the registry histogram this stage's spans feed, e.g.
@@ -45,6 +48,7 @@ impl Stage {
             Stage::Execute => "stage.execute",
             Stage::Decode => "stage.decode",
             Stage::Stitch => "stage.stitch",
+            Stage::Maintain => "stage.maintain",
         }
     }
 
@@ -59,6 +63,7 @@ impl Stage {
             Stage::Execute => "execute",
             Stage::Decode => "decode",
             Stage::Stitch => "stitch",
+            Stage::Maintain => "maintain",
         }
     }
 }

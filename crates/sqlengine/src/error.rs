@@ -26,6 +26,14 @@ pub enum EngineError {
         table: String,
         key: Row,
     },
+    /// A delete or update addressed a row (or key) not present in the table.
+    NoSuchRow {
+        table: String,
+        row: Row,
+    },
+    /// A keyed write (`DeleteByKey`, `Update`) targeted a table that does not
+    /// declare a key.
+    NoDeclaredKey(String),
     UnknownColumn {
         qualifier: Option<String>,
         name: String,
@@ -72,6 +80,18 @@ impl fmt::Display for EngineError {
                     rendered.join(", "),
                     table
                 )
+            }
+            EngineError::NoSuchRow { table, row } => {
+                let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                write!(
+                    f,
+                    "no row ({}) to delete or update in table {}",
+                    rendered.join(", "),
+                    table
+                )
+            }
+            EngineError::NoDeclaredKey(t) => {
+                write!(f, "table {} declares no key for keyed writes", t)
             }
             EngineError::UnknownColumn { qualifier, name } => match qualifier {
                 Some(q) => write!(f, "unknown column {}.{}", q, name),

@@ -27,29 +27,33 @@
 //! * `EXISTS` subqueries are evaluated with correlation to the enclosing row.
 
 use crate::ast::{BinOp, Expr, FromItem, Query, Select, TableSource};
+use crate::delta::{StorageDelta, WriteBatch};
 use crate::error::EngineError;
 use crate::plan::PhysicalPlan;
 use crate::storage::{ColumnarResult, ResultSet, Storage};
 use crate::value::{compare_rows, ParamValues, Row, SqlValue};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A SQL engine: storage plus an execution entry point.
 ///
-/// An `Engine` is `Send + Sync`: execution reads `&Storage` without interior
-/// mutation (the lazily built columnar views sit behind `OnceLock`s and the
-/// plan counter is atomic), so one engine instance — typically behind an
-/// `Arc` — serves any number of threads concurrently.
+/// An `Engine` is `Send + Sync`: storage sits behind an `RwLock`, so any
+/// number of concurrent executions share read guards (the lazily built
+/// columnar views sit behind version-stamped cells and the plan counter is
+/// atomic) while write batches ([`Engine::apply_batch`]) take the write
+/// lock. One engine instance — typically behind an `Arc` — serves any
+/// number of threads concurrently.
 #[derive(Debug, Default)]
 pub struct Engine {
-    pub storage: Storage,
+    storage: RwLock<Storage>,
     plans_built: AtomicU64,
 }
 
 impl Clone for Engine {
     fn clone(&self) -> Engine {
         Engine {
-            storage: self.storage.clone(),
+            storage: RwLock::new(self.storage().clone()),
             plans_built: AtomicU64::new(self.plans_built.load(Ordering::Relaxed)),
         }
     }
@@ -64,9 +68,29 @@ impl Engine {
     /// An engine over existing storage.
     pub fn with_storage(storage: Storage) -> Engine {
         Engine {
-            storage,
+            storage: RwLock::new(storage),
             plans_built: AtomicU64::new(0),
         }
+    }
+
+    /// A read guard over the engine's storage. Any number of guards may be
+    /// live at once; a write batch waits for them to drop.
+    pub fn storage(&self) -> RwLockReadGuard<'_, Storage> {
+        self.storage.read().expect("engine storage lock")
+    }
+
+    /// A write guard over the engine's storage, for callers that stage
+    /// validation, subscription maintenance and commit under one exclusion
+    /// span.
+    pub fn storage_mut(&self) -> RwLockWriteGuard<'_, Storage> {
+        self.storage.write().expect("engine storage lock")
+    }
+
+    /// Validate and commit a write batch under the storage write lock,
+    /// returning the typed [`StorageDelta`] it induced (see
+    /// [`Storage::apply_batch`]).
+    pub fn apply_batch(&self, batch: &WriteBatch) -> Result<StorageDelta, EngineError> {
+        self.storage_mut().apply_batch(batch)
     }
 
     /// Compile a query AST into a physical plan, consulting storage for
@@ -75,13 +99,13 @@ impl Engine {
     /// [`execute_plan`](Engine::execute_plan) without re-planning.
     pub fn prepare(&self, query: &Query) -> Result<PhysicalPlan, EngineError> {
         self.plans_built.fetch_add(1, Ordering::Relaxed);
-        crate::plan::plan_query(query, &self.storage)
+        crate::plan::plan_query(query, &*self.storage())
     }
 
     /// Run a pre-compiled, parameter-free physical plan on the vectorized
     /// executor, producing a columnar result.
     pub fn execute_plan(&self, plan: &PhysicalPlan) -> Result<ColumnarResult, EngineError> {
-        crate::vexec::execute_plan(plan, &self.storage)
+        crate::vexec::execute_plan(plan, &self.storage())
     }
 
     /// Run a pre-compiled physical plan with bound values for its param
@@ -93,7 +117,7 @@ impl Engine {
         plan: &PhysicalPlan,
         params: &ParamValues,
     ) -> Result<ColumnarResult, EngineError> {
-        crate::vexec::execute_plan_bound(plan, &self.storage, params)
+        crate::vexec::execute_plan_bound(plan, &self.storage(), params)
     }
 
     /// Like [`execute_plan_bound`](Engine::execute_plan_bound), but also
@@ -105,7 +129,7 @@ impl Engine {
         plan: &PhysicalPlan,
         params: &ParamValues,
     ) -> Result<(ColumnarResult, crate::vexec::PlanProfile), EngineError> {
-        crate::vexec::execute_plan_profiled(plan, &self.storage, params)
+        crate::vexec::execute_plan_profiled(plan, &self.storage(), params)
     }
 
     /// Execute a query AST: plan it and run the plan on the vectorized
@@ -142,8 +166,9 @@ impl Engine {
         query: &Query,
         params: &ParamValues,
     ) -> Result<ResultSet, EngineError> {
+        let storage = self.storage();
         let ctx = ExecCtx {
-            storage: &self.storage,
+            storage: &storage,
             params,
         };
         exec_query(query, &ctx, &CteEnv::default(), &Scope::default())

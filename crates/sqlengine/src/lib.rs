@@ -31,10 +31,12 @@
 //!
 //! The whole engine is `Send + Sync`: values share string storage by
 //! `Arc<str>`, batches share columns by `Arc`, the lazily transposed
-//! columnar views live in `OnceLock`s and the plan counter is atomic, so
-//! plans execute against `&Storage` with no interior mutation and one
-//! engine instance (typically an `Arc<Engine>`) serves any number of
-//! threads concurrently.
+//! columnar views sit in version-stamped cells and the plan counter is
+//! atomic. Storage is mutable — [`delta`] adds deletes, updates and a
+//! write-batch API that emits typed insertion/retraction deltas — so the
+//! engine keeps its storage behind an `RwLock`: plans execute against a
+//! read guard, write batches take the write lock, and one engine instance
+//! (typically an `Arc<Engine>`) serves any number of threads concurrently.
 //!
 //! ```
 //! use sqlengine::exec::Engine;
@@ -53,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod parser;
@@ -63,6 +66,7 @@ pub mod value;
 pub mod vexec;
 
 pub use ast::{BinOp, Expr, FromItem, Query, Select, SelectItem, TableSource};
+pub use delta::{StorageDelta, TableDelta, WriteBatch, WriteOp};
 pub use error::EngineError;
 pub use exec::Engine;
 pub use parser::{parse_expr, parse_query};
@@ -70,4 +74,4 @@ pub use plan::{Catalog, OpActuals, PhysicalPlan, SchemaCatalog};
 pub use printer::{print_expr, print_query};
 pub use storage::{ColumnType, ColumnarResult, ResultSet, Storage, Table, TableDef};
 pub use value::{ParamValues, Row, SqlValue};
-pub use vexec::PlanProfile;
+pub use vexec::{DeltaExec, DeltaRows, PlanProfile};

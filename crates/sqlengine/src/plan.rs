@@ -370,7 +370,7 @@ impl PhysicalPlan {
     /// `EXISTS (…)` subplans referenced by this node's expressions (not by
     /// its structural children). These execute once per input row via
     /// [`VExpr::Exists`] and get profiled like any other node.
-    fn expr_subplans(&self) -> Vec<&PhysicalPlan> {
+    pub(crate) fn expr_subplans(&self) -> Vec<&PhysicalPlan> {
         fn go<'p>(e: &'p VExpr, acc: &mut Vec<&'p PhysicalPlan>) {
             match e {
                 VExpr::Exists(sub) => acc.push(sub),
@@ -419,6 +419,59 @@ impl PhysicalPlan {
         }
         let mut acc = Vec::new();
         go(self, &mut acc);
+        acc
+    }
+
+    /// Every stored table this plan (or any of its subplans — `EXISTS`
+    /// expressions, semi-join subplans, `WITH` definitions) scans. The
+    /// incremental maintenance layer uses this to skip subtrees a write
+    /// batch cannot have affected.
+    pub fn referenced_tables(&self) -> std::collections::BTreeSet<String> {
+        self.nodes()
+            .into_iter()
+            .filter_map(|n| match n {
+                PhysicalPlan::TableScan { table, .. } => Some(table.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Every *free* `WITH`-bound name this plan scans: `CteScan` names not
+    /// bound by an enclosing `With` inside this subtree. A stage plan has no
+    /// free CTEs; subtrees of it (e.g. an `EXISTS` subplan under the `WITH`
+    /// body) may.
+    pub fn free_ctes(&self) -> std::collections::BTreeSet<String> {
+        fn go(
+            p: &PhysicalPlan,
+            bound: &mut Vec<String>,
+            acc: &mut std::collections::BTreeSet<String>,
+        ) {
+            if let PhysicalPlan::CteScan { name, .. } = p {
+                if !bound.iter().any(|b| b == name) {
+                    acc.insert(name.clone());
+                }
+            }
+            for sub in p.expr_subplans() {
+                go(sub, bound, acc);
+            }
+            if let PhysicalPlan::With {
+                name,
+                definition,
+                body,
+            } = p
+            {
+                go(definition, bound, acc);
+                bound.push(name.clone());
+                go(body, bound, acc);
+                bound.pop();
+            } else {
+                for child in p.children() {
+                    go(child, bound, acc);
+                }
+            }
+        }
+        let mut acc = std::collections::BTreeSet::new();
+        go(self, &mut Vec::new(), &mut acc);
         acc
     }
 

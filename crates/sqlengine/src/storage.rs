@@ -8,7 +8,7 @@ use crate::error::EngineError;
 use crate::value::{Row, SqlValue};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, RwLock};
 
 /// The declared type of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,22 +85,67 @@ impl TableDef {
     }
 }
 
+/// The version-stamped columnar cache of a [`Table`].
+///
+/// The table's mutators bump the table's `version`; the cache keeps the
+/// version it was built at and is served only while the stamps agree, so a
+/// delete or update can never leak a stale transposition (the historical
+/// `OnceLock` cache invalidated on insert only because insert was the only
+/// mutation).
+/// The shared column-major view a cell caches: one `Arc` per column.
+type SharedColumns = Arc<Vec<Arc<Vec<SqlValue>>>>;
+
+#[derive(Debug, Default)]
+struct ColumnarCell {
+    cache: RwLock<Option<(u64, SharedColumns)>>,
+}
+
+impl ColumnarCell {
+    fn get(&self, version: u64) -> Option<SharedColumns> {
+        match self.cache.read().expect("columnar cache lock").as_ref() {
+            Some((v, cols)) if *v == version => Some(cols.clone()),
+            _ => None,
+        }
+    }
+
+    fn put(&self, version: u64, cols: SharedColumns) {
+        *self.cache.write().expect("columnar cache lock") = Some((version, cols));
+    }
+}
+
 /// A stored table: a definition plus its rows.
 ///
-/// Rows must be added through [`Table::insert`] (or the [`Storage`] entry
-/// points), which enforces the schema — arity, column types and the key
-/// declared with [`TableDef::with_key`] — and keeps the cached columnar view
-/// consistent.
-#[derive(Debug, Clone)]
+/// Rows must be added through [`Table::insert`] and removed or replaced
+/// through [`Table::delete`] / [`Table::update`] (or the [`Storage`] entry
+/// points), which enforce the schema — arity, column types and the key
+/// declared with [`TableDef::with_key`] — and keep the cached columnar view
+/// consistent via a per-table version stamp.
+#[derive(Debug)]
 pub struct Table {
     pub def: TableDef,
     pub rows: Vec<Row>,
     /// Key values seen so far, for O(1) duplicate-key detection.
     key_seen: HashSet<Row>,
+    /// Bumped by every mutation; pairs with `columnar` so cached column
+    /// vectors are served only while they match the current contents.
+    version: u64,
     /// Lazily transposed column-major view served to the vectorized
-    /// executor; invalidated by `insert`. A `OnceLock` so concurrent readers
-    /// of a shared table can race to initialise it without `&mut` access.
-    columnar: OnceLock<Vec<Arc<Vec<SqlValue>>>>,
+    /// executor, stamped with the version it was built at. Behind an
+    /// `RwLock` so concurrent readers of a shared table can build it
+    /// without `&mut` access.
+    columnar: ColumnarCell,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        Table {
+            def: self.def.clone(),
+            rows: self.rows.clone(),
+            key_seen: self.key_seen.clone(),
+            version: self.version,
+            columnar: ColumnarCell::default(),
+        }
+    }
 }
 
 impl PartialEq for Table {
@@ -116,8 +161,27 @@ impl Table {
             def,
             rows: Vec::new(),
             key_seen: HashSet::new(),
-            columnar: OnceLock::new(),
+            version: 0,
+            columnar: ColumnarCell::default(),
         }
+    }
+
+    /// The non-`NULL` key projection of a row, when the table declares a key
+    /// (rows whose key contains `NULL` never participate in uniqueness).
+    fn key_of(&self, row: &Row) -> Option<Row> {
+        if self.def.key.is_empty() {
+            return None;
+        }
+        self.def
+            .key
+            .iter()
+            .map(|k| {
+                self.def
+                    .column_index(k)
+                    .map(|i| row[i].clone())
+                    .filter(|v| !v.is_null())
+            })
+            .collect()
     }
 
     /// Insert a row after checking its arity, column types and — when the
@@ -142,50 +206,108 @@ impl Table {
                 });
             }
         }
-        if !self.def.key.is_empty() {
-            let key: Option<Row> = self
-                .def
-                .key
-                .iter()
-                .map(|k| {
-                    self.def
-                        .column_index(k)
-                        .map(|i| row[i].clone())
-                        .filter(|v| !v.is_null())
-                })
-                .collect();
-            if let Some(key) = key {
-                if !self.key_seen.insert(key.clone()) {
-                    return Err(EngineError::DuplicateKey {
-                        table: self.def.name.clone(),
-                        key,
-                    });
-                }
+        if let Some(key) = self.key_of(&row) {
+            if !self.key_seen.insert(key.clone()) {
+                return Err(EngineError::DuplicateKey {
+                    table: self.def.name.clone(),
+                    key,
+                });
             }
         }
         self.rows.push(row);
-        self.columnar.take();
+        self.version += 1;
         Ok(())
+    }
+
+    /// Delete the first row equal to `row`. Errors when no such row exists;
+    /// the row's key (if any) becomes available for re-insertion.
+    pub fn delete(&mut self, row: &Row) -> Result<(), EngineError> {
+        let idx =
+            self.rows
+                .iter()
+                .position(|r| r == row)
+                .ok_or_else(|| EngineError::NoSuchRow {
+                    table: self.def.name.clone(),
+                    row: row.clone(),
+                })?;
+        self.delete_at(idx);
+        Ok(())
+    }
+
+    /// Delete the row whose key columns equal `key`, returning the deleted
+    /// row. The table must declare a key.
+    pub fn delete_by_key(&mut self, key: &Row) -> Result<Row, EngineError> {
+        let idx = self.position_by_key(key)?;
+        let row = self.rows[idx].clone();
+        self.delete_at(idx);
+        Ok(row)
+    }
+
+    /// Replace the row whose key columns equal `key` with `row`, returning
+    /// the previous row. The replacement is validated like an insert (arity,
+    /// column types, key uniqueness against every *other* row), and the
+    /// updated row moves to the end of the table — an update is a delete
+    /// plus an insert, exactly the normal form the delta layer emits.
+    pub fn update(&mut self, key: &Row, row: Row) -> Result<Row, EngineError> {
+        let idx = self.position_by_key(key)?;
+        let old = self.rows[idx].clone();
+        self.delete_at(idx);
+        match self.insert(row) {
+            Ok(()) => Ok(old),
+            Err(e) => {
+                // Roll the delete back so a rejected update leaves the table
+                // untouched (the old row returns at the end; multiset
+                // contents are what the engine guarantees).
+                self.insert(old).expect("reinserting the old row succeeds");
+                Err(e)
+            }
+        }
+    }
+
+    fn position_by_key(&self, key: &Row) -> Result<usize, EngineError> {
+        if self.def.key.is_empty() {
+            return Err(EngineError::NoDeclaredKey(self.def.name.clone()));
+        }
+        self.rows
+            .iter()
+            .position(|r| self.key_of(r).as_deref() == Some(key))
+            .ok_or_else(|| EngineError::NoSuchRow {
+                table: self.def.name.clone(),
+                row: key.clone(),
+            })
+    }
+
+    fn delete_at(&mut self, idx: usize) {
+        let row = self.rows.remove(idx);
+        if let Some(key) = self.key_of(&row) {
+            self.key_seen.remove(&key);
+        }
+        self.version += 1;
     }
 
     /// The column-major view of the table: one shared vector per column, in
     /// declaration order. Built lazily on first use (thread-safely: any
     /// number of concurrent readers may trigger the build) and cached until
-    /// the next insert; the vectorized executor scans these vectors
+    /// the next mutation; the vectorized executor scans these vectors
     /// zero-copy, and the `Arc`s let batches outlive the borrow and cross
-    /// threads.
-    pub fn columnar(&self) -> &[Arc<Vec<SqlValue>>] {
-        self.columnar.get_or_init(|| {
-            let mut columns: Vec<Vec<SqlValue>> = (0..self.def.arity())
-                .map(|_| Vec::with_capacity(self.rows.len()))
-                .collect();
-            for row in &self.rows {
-                for (c, v) in row.iter().enumerate() {
-                    columns[c].push(v.clone());
-                }
+    /// threads. The cache is stamped with the table version it was built at,
+    /// so deletes and updates invalidate it just like inserts.
+    pub fn columnar(&self) -> Arc<Vec<Arc<Vec<SqlValue>>>> {
+        if let Some(cols) = self.columnar.get(self.version) {
+            return cols;
+        }
+        let mut columns: Vec<Vec<SqlValue>> = (0..self.def.arity())
+            .map(|_| Vec::with_capacity(self.rows.len()))
+            .collect();
+        for row in &self.rows {
+            for (c, v) in row.iter().enumerate() {
+                columns[c].push(v.clone());
             }
-            columns.into_iter().map(Arc::new).collect()
-        })
+        }
+        let built: Arc<Vec<Arc<Vec<SqlValue>>>> =
+            Arc::new(columns.into_iter().map(Arc::new).collect());
+        self.columnar.put(self.version, built.clone());
+        built
     }
 
     /// Number of rows.
@@ -240,10 +362,33 @@ impl Storage {
         Ok(())
     }
 
+    /// Delete the first row of `table` equal to `row`.
+    pub fn delete(&mut self, table: &str, row: &Row) -> Result<(), EngineError> {
+        self.table_mut(table)?.delete(row)
+    }
+
+    /// Delete the row of `table` whose key equals `key`, returning it.
+    pub fn delete_by_key(&mut self, table: &str, key: &Row) -> Result<Row, EngineError> {
+        self.table_mut(table)?.delete_by_key(key)
+    }
+
+    /// Replace the row of `table` whose key equals `key`, returning the
+    /// previous row.
+    pub fn update(&mut self, table: &str, key: &Row, row: Row) -> Result<Row, EngineError> {
+        self.table_mut(table)?.update(key, row)
+    }
+
     /// Look up a table.
     pub fn table(&self, name: &str) -> Result<&Table, EngineError> {
         self.tables
             .get(name)
+            .ok_or_else(|| EngineError::NoSuchTable(name.to_string()))
+    }
+
+    /// Look up a table mutably.
+    pub(crate) fn table_mut(&mut self, name: &str) -> Result<&mut Table, EngineError> {
+        self.tables
+            .get_mut(name)
             .ok_or_else(|| EngineError::NoSuchTable(name.to_string()))
     }
 
@@ -550,6 +695,77 @@ mod tests {
             .unwrap();
         let cols = s.table("t").unwrap().columnar();
         assert_eq!(*cols[0], vec![SqlValue::Int(1), SqlValue::Int(2)]);
+    }
+
+    #[test]
+    fn the_columnar_view_is_invalidated_by_every_mutation() {
+        // Regression test for the stale-columnar-view hazard: the historical
+        // `OnceLock` cache only invalidated on insert, so a read after a
+        // delete or update served the old transposition.
+        let mut s = Storage::new();
+        s.create_table(def()).unwrap();
+        for (id, name) in [(1, "a"), (2, "b"), (3, "c")] {
+            s.insert("t", vec![SqlValue::Int(id), SqlValue::str(name)])
+                .unwrap();
+        }
+        // Read once to populate the cache.
+        assert_eq!(s.table("t").unwrap().columnar()[0].len(), 3);
+        // Delete-by-value, then re-read: the view must shrink.
+        s.delete("t", &vec![SqlValue::Int(2), SqlValue::str("b")])
+            .unwrap();
+        let cols = s.table("t").unwrap().columnar();
+        assert_eq!(*cols[0], vec![SqlValue::Int(1), SqlValue::Int(3)]);
+        // Update-by-key, then re-read: the view must show the new row (at
+        // the end: an update is delete + insert).
+        s.update(
+            "t",
+            &vec![SqlValue::Int(1)],
+            vec![SqlValue::Int(1), SqlValue::str("z")],
+        )
+        .unwrap();
+        let cols = s.table("t").unwrap().columnar();
+        assert_eq!(*cols[1], vec![SqlValue::str("c"), SqlValue::str("z")]);
+        // Keyed delete, then re-read.
+        s.delete_by_key("t", &vec![SqlValue::Int(3)]).unwrap();
+        let cols = s.table("t").unwrap().columnar();
+        assert_eq!(*cols[0], vec![SqlValue::Int(1)]);
+        assert_eq!(*cols[1], vec![SqlValue::str("z")]);
+    }
+
+    #[test]
+    fn deletes_and_updates_maintain_key_bookkeeping() {
+        let mut s = Storage::new();
+        s.create_table(def()).unwrap();
+        s.insert("t", vec![SqlValue::Int(1), SqlValue::str("a")])
+            .unwrap();
+        // Deleting frees the key for re-insertion.
+        s.delete("t", &vec![SqlValue::Int(1), SqlValue::str("a")])
+            .unwrap();
+        s.insert("t", vec![SqlValue::Int(1), SqlValue::str("b")])
+            .unwrap();
+        // A second row, then a conflicting update is rejected atomically.
+        s.insert("t", vec![SqlValue::Int(2), SqlValue::str("c")])
+            .unwrap();
+        let err = s
+            .update(
+                "t",
+                &vec![SqlValue::Int(2)],
+                vec![SqlValue::Int(1), SqlValue::str("dup")],
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::DuplicateKey { .. }));
+        assert_eq!(s.table("t").unwrap().len(), 2);
+        // Missing rows and keyless keyed-writes are reported.
+        assert!(matches!(
+            s.delete("t", &vec![SqlValue::Int(9), SqlValue::Null]),
+            Err(EngineError::NoSuchRow { .. })
+        ));
+        s.create_table(TableDef::new("bag", vec![("x", ColumnType::Int)]))
+            .unwrap();
+        assert!(matches!(
+            s.delete_by_key("bag", &vec![SqlValue::Int(1)]),
+            Err(EngineError::NoDeclaredKey(_))
+        ));
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //!
 //! * a [`Batch`] holds one `Vec<SqlValue>` per column, shared by `Arc` so
 //!   table scans and CTE references are zero-copy and batches are
-//!   `Send + Sync` (plans execute against `&Storage` with no interior
-//!   mutation, so any number of threads can run plans over one engine),
+//!   `Send + Sync` (plans execute against a storage read guard — the only
+//!   interior state is each table's version-stamped columnar cell — so any
+//!   number of threads can run plans over one engine),
 //! * filters and sorts produce **selection vectors** instead of moving data,
 //! * expressions are evaluated column-at-a-time ([`VExpr::Col`] is a resolved
 //!   position, so there is no name lookup per row),
@@ -26,6 +27,7 @@ use crate::plan::{BuildSide, OpActuals, PhysicalPlan, VExpr};
 use crate::storage::{ColumnarResult, Storage};
 use crate::value::{compare_rows, ParamValues, Row, SqlValue};
 use std::cell::Cell;
+use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
@@ -767,6 +769,1190 @@ fn eval(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Incremental (delta) execution
+// ---------------------------------------------------------------------------
+
+use crate::delta::StorageDelta;
+
+/// A signed row multiset: the delta flowing between plan operators.
+/// Multiplicity is by repetition; signs are ±1 after normalisation
+/// (retractions first, then insertions, in first-mention order).
+pub type DeltaRows = Vec<(Row, i64)>;
+
+/// Why a delta pass could not produce an answer: either the plan shape is
+/// outside the incremental fragment for this particular write (correlated
+/// `EXISTS` over a mutated table), or a hard execution error.
+enum DeltaFail {
+    /// Fall back to a full re-seed of this plan; not an error.
+    Bail,
+    Err(EngineError),
+}
+
+impl From<EngineError> for DeltaFail {
+    fn from(e: EngineError) -> DeltaFail {
+        DeltaFail::Err(e)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum DeltaMode {
+    /// Build every operator cache from scratch: table scans emit the full
+    /// stored content as insertions against empty caches, so one code path
+    /// serves both initial materialisation and maintenance.
+    Seed,
+    /// Propagate a committed [`StorageDelta`] through the cached operators.
+    Incremental,
+}
+
+struct DeltaCtx<'a> {
+    storage: &'a Storage,
+    params: &'a ParamValues,
+    mode: DeltaMode,
+    delta: &'a StorageDelta,
+}
+
+/// Per-`With` environment threaded through a delta pass: the definition's
+/// delta, its batch schema, and a materialised post-state batch for
+/// correlated subplans executed via the ordinary executor.
+#[derive(Default, Clone)]
+struct DeltaEnv {
+    deltas: Vec<(String, DeltaRows)>,
+    schemas: Vec<(String, Arc<Vec<SchemaCol>>)>,
+    materialised: CteEnv,
+}
+
+impl DeltaEnv {
+    fn delta_of(&self, name: &str) -> Option<&DeltaRows> {
+        self.deltas
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d)
+    }
+}
+
+/// The incremental twin of [`execute_plan_bound`]: a `DeltaExec` keeps one
+/// cached output row multiset per plan node (indexed by the node's pre-order
+/// position in [`PhysicalPlan::nodes`]) and propagates signed row deltas
+/// through the operators instead of recomputing them.
+///
+/// [`DeltaExec::seed`] populates the caches from scratch — it is the same
+/// delta pass run in a mode where table scans emit their full stored content
+/// as insertions, so seeding, maintenance and fallback share one operator
+/// algebra. [`DeltaExec::apply`] then folds a committed [`StorageDelta`] in:
+/// subtrees whose referenced tables (and `WITH`-bound inputs) are untouched
+/// are skipped without recursion, and the root's emitted delta tells the
+/// caller exactly which output rows changed. `apply` returns `Ok(None)` when
+/// the write falls outside the incremental fragment (a correlated `EXISTS`
+/// over a mutated table); the caller re-seeds against post-state storage —
+/// correct by construction, since seeding is the same algebra.
+///
+/// Determinism: caches are maintained retract-first-occurrence /
+/// append-at-end — the same discipline [`Storage::apply_delta`]
+/// (`crate::delta`) uses for tables — and no operator lets hash-map
+/// iteration order reach its output, so two structurally identical subplans
+/// (e.g. the shared outer-query CTE of two shredded stages) maintained from
+/// identical seeds stay row-for-row identical. Window numbering
+/// (`RowNumber`) therefore assigns the same ranks in every stage, which is
+/// what keeps cross-stage index joins consistent under maintenance.
+pub struct DeltaExec {
+    caches: Vec<Vec<Row>>,
+    /// Static per-node facts (subtree extent, referenced tables, free CTEs),
+    /// computed once at construction so the per-write pass never re-walks
+    /// the plan structure.
+    info: Vec<NodeInfo>,
+    /// Lazily memoised output schema per node (schemas are static for a
+    /// fixed plan — the `WITH` bindings visible at a node never change).
+    schemas: Vec<Option<Arc<Vec<SchemaCol>>>>,
+    /// Set by an operator arm that installed its own cache contents (e.g.
+    /// `RowNumber` keeping its cache in rank order); tells [`delta_node`] to
+    /// skip the generic retract/append cache fold for that node.
+    cache_replaced: bool,
+    /// Per-`HashJoin`-node persistent hash indexes (one per side, keyed by
+    /// the join key values), maintained incrementally from the same deltas
+    /// as the row caches. A delta probes the *other* side's index instead of
+    /// scanning its full cached rows, so a small write costs O(delta ×
+    /// matches) rather than O(cache).
+    join_index: Vec<Option<JoinIndex>>,
+}
+
+/// The two sides' hash indexes of one `HashJoin` node. Bucket order is
+/// insertion order with first-occurrence removal — the same discipline as
+/// the row caches — so probe output stays deterministic.
+#[derive(Default)]
+struct JoinIndex {
+    left: HashMap<Row, Vec<Row>>,
+    right: HashMap<Row, Vec<Row>>,
+}
+
+impl JoinIndex {
+    /// Fold one signed row into a side's index; `Err` when a retraction
+    /// misses (the write is outside the incremental fragment).
+    fn fold(
+        side: &mut HashMap<Row, Vec<Row>>,
+        key: Row,
+        row: &Row,
+        sign: i64,
+    ) -> Result<(), DeltaFail> {
+        if sign > 0 {
+            side.entry(key).or_default().push(row.clone());
+            return Ok(());
+        }
+        let missed = match side.get_mut(&key) {
+            Some(bucket) => match bucket.iter().position(|r| r == row) {
+                Some(at) => {
+                    bucket.remove(at);
+                    if bucket.is_empty() {
+                        side.remove(&key);
+                    }
+                    false
+                }
+                None => true,
+            },
+            None => true,
+        };
+        if missed {
+            return Err(DeltaFail::Bail);
+        }
+        Ok(())
+    }
+}
+
+/// Per-node static facts, indexed by pre-order position.
+#[derive(Default)]
+struct NodeInfo {
+    /// Pre-order slots this node's subtree occupies (itself included).
+    len: usize,
+    /// Pre-order index of the node's first structural child (expression
+    /// subplans occupy the slots in between).
+    first_child: usize,
+    /// Every stored table scanned anywhere in the subtree.
+    tables: Vec<String>,
+    /// Every free `WITH`-bound name the subtree reads.
+    free_ctes: Vec<String>,
+    /// Does the subtree execute a correlated subplan (exists-semijoin or an
+    /// `EXISTS` inside an expression)? Only those consult a `WITH` binding's
+    /// *materialised* batch, so `With` maintenance skips materialisation
+    /// when this is false.
+    execs_subplans: bool,
+    /// Is this node's cache read during *incremental* maintenance? Most
+    /// operators are pure delta transformers — only caches somebody actually
+    /// consults (the root's output, rank and bag-difference state, the sides
+    /// of non-indexed joins, materialised `WITH` definitions) are worth the
+    /// per-write retraction sweep; the rest go stale until the next seed,
+    /// which rebuilds every cache anyway.
+    live_cache: bool,
+}
+
+fn build_node_info(plan: &PhysicalPlan, acc: &mut Vec<NodeInfo>) {
+    let idx = acc.len();
+    acc.push(NodeInfo::default());
+    for sub in plan.expr_subplans() {
+        build_node_info(sub, acc);
+    }
+    let first_child = acc.len();
+    for child in plan.children() {
+        build_node_info(child, acc);
+    }
+    acc[idx] = NodeInfo {
+        len: acc.len() - idx,
+        first_child,
+        tables: plan.referenced_tables().into_iter().collect(),
+        free_ctes: plan.free_ctes().into_iter().collect(),
+        execs_subplans: plan_execs_subplans(plan),
+        live_cache: false,
+    };
+}
+
+/// Mark the node caches that incremental maintenance actually reads (see
+/// [`NodeInfo::live_cache`]). Mirrors `delta_op`'s consumers exactly:
+/// anything unmarked is never consulted between seeds.
+fn mark_live_caches(plan: &PhysicalPlan, idx: usize, info: &mut [NodeInfo]) {
+    let child_idx = info[idx].first_child;
+    match plan {
+        PhysicalPlan::NestedLoopJoin { .. } => {
+            // Δ(L × R) joins each side's delta against the other's cache.
+            info[child_idx].live_cache = true;
+            let right_idx = child_idx + info[child_idx].len;
+            info[right_idx].live_cache = true;
+        }
+        PhysicalPlan::RowNumber { specs, .. } => {
+            info[idx].live_cache = true;
+            if all_col_specs(specs).is_none() {
+                // The interpreter fallback re-ranks the full input.
+                info[child_idx].live_cache = true;
+            }
+        }
+        PhysicalPlan::Distinct { .. } => {
+            // Multiplicity recovery reads the child's post-delta rows.
+            info[child_idx].live_cache = true;
+        }
+        PhysicalPlan::ExceptAll { .. } => {
+            // The bag difference is replayed from both children in full.
+            info[idx].live_cache = true;
+            info[child_idx].live_cache = true;
+            let right_idx = child_idx + info[child_idx].len;
+            info[right_idx].live_cache = true;
+        }
+        PhysicalPlan::With { .. } => {
+            let body_idx = child_idx + info[child_idx].len;
+            if info[body_idx].execs_subplans {
+                // Correlated subplans in the body read the materialised
+                // definition.
+                info[child_idx].live_cache = true;
+            }
+        }
+        _ => {}
+    }
+    let mut at = child_idx;
+    for child in plan.children() {
+        mark_live_caches(child, at, info);
+        at += info[at].len;
+    }
+}
+
+impl DeltaExec {
+    /// Empty caches for a plan; call [`DeltaExec::seed`] before `apply`.
+    pub fn new(plan: &PhysicalPlan) -> DeltaExec {
+        let mut info = Vec::new();
+        build_node_info(plan, &mut info);
+        mark_live_caches(plan, 0, &mut info);
+        // The root's cache is the public output ([`DeltaExec::rows`]).
+        info[0].live_cache = true;
+        let n = info.len();
+        DeltaExec {
+            caches: vec![Vec::new(); n],
+            info,
+            schemas: vec![None; n],
+            cache_replaced: false,
+            join_index: (0..n).map(|_| None).collect(),
+        }
+    }
+
+    /// (Re)build every operator cache from scratch against `storage`. The
+    /// root cache afterwards holds the plan's full output (row-major).
+    pub fn seed(
+        &mut self,
+        plan: &PhysicalPlan,
+        storage: &Storage,
+        params: &ParamValues,
+    ) -> Result<(), EngineError> {
+        for cache in &mut self.caches {
+            cache.clear();
+        }
+        for index in &mut self.join_index {
+            *index = None;
+        }
+        let empty = StorageDelta::default();
+        let ctx = DeltaCtx {
+            storage,
+            params,
+            mode: DeltaMode::Seed,
+            delta: &empty,
+        };
+        match self.delta_node(plan, 0, &ctx, &DeltaEnv::default()) {
+            Ok(_) => Ok(()),
+            Err(DeltaFail::Err(e)) => Err(e),
+            Err(DeltaFail::Bail) => Err(EngineError::TypeError(
+                "delta seed pass bailed (internal invariant violated)".to_string(),
+            )),
+        }
+    }
+
+    /// Fold a committed write delta into the caches. `storage` must be the
+    /// **post-state** (the delta already applied): incremental operators
+    /// work off their caches and the delta alone, and the only storage reads
+    /// are correlated `EXISTS` subplans over tables the delta provably did
+    /// not touch (where pre- and post-state agree).
+    ///
+    /// Returns the root's normalised output delta, or `None` when the write
+    /// falls outside the incremental fragment — the caches are then stale
+    /// and the caller must [`DeltaExec::seed`] again.
+    pub fn apply(
+        &mut self,
+        plan: &PhysicalPlan,
+        storage: &Storage,
+        params: &ParamValues,
+        delta: &StorageDelta,
+    ) -> Result<Option<DeltaRows>, EngineError> {
+        let ctx = DeltaCtx {
+            storage,
+            params,
+            mode: DeltaMode::Incremental,
+            delta,
+        };
+        match self.delta_node(plan, 0, &ctx, &DeltaEnv::default()) {
+            Ok(delta) => Ok(Some(delta)),
+            Err(DeltaFail::Bail) => Ok(None),
+            Err(DeltaFail::Err(e)) => Err(e),
+        }
+    }
+
+    /// The plan's full current output: the root node's cache.
+    pub fn rows(&self) -> &[Row] {
+        &self.caches[0]
+    }
+
+    /// Can the subtree at `idx` be skipped outright for this write? Yes when
+    /// none of its scanned tables are touched and every free `WITH`-bound
+    /// input it reads has an empty delta. Also doubles as the "is a
+    /// correlated subplan safe to evaluate against post-state storage?"
+    /// check — the write then provably did not change anything it reads.
+    fn can_skip(&self, idx: usize, ctx: &DeltaCtx<'_>, env: &DeltaEnv) -> bool {
+        let info = &self.info[idx];
+        info.tables.iter().all(|t| !ctx.delta.touches(t))
+            && info
+                .free_ctes
+                .iter()
+                .all(|n| env.delta_of(n).is_some_and(Vec::is_empty))
+    }
+
+    fn delta_node(
+        &mut self,
+        plan: &PhysicalPlan,
+        idx: usize,
+        ctx: &DeltaCtx<'_>,
+        env: &DeltaEnv,
+    ) -> Result<DeltaRows, DeltaFail> {
+        if ctx.mode == DeltaMode::Incremental {
+            if self.can_skip(idx, ctx, env) {
+                return Ok(Vec::new());
+            }
+            // Expression subplans occupy the pre-order slots between this
+            // node and its first structural child.
+            let mut sub = idx + 1;
+            while sub < self.info[idx].first_child {
+                if !self.can_skip(sub, ctx, env) {
+                    return Err(DeltaFail::Bail);
+                }
+                sub += self.info[sub].len;
+            }
+        }
+        // Operators that install their cache contents themselves (rank and
+        // bag-difference nodes, whose caches are kept in *output* order) set
+        // `cache_replaced`; everyone else gets the generic signed-delta
+        // cache update.
+        self.cache_replaced = false;
+        let raw = self.delta_op(plan, idx, ctx, env)?;
+        let replaced = std::mem::take(&mut self.cache_replaced);
+        let delta = normalise_delta(raw);
+        // Seeding fills every cache (the seed pass reads them as it goes);
+        // afterwards only the caches some operator actually consults are
+        // kept current.
+        if !replaced && (ctx.mode == DeltaMode::Seed || self.info[idx].live_cache) {
+            self.update_cache(idx, &delta)?;
+        }
+        Ok(delta)
+    }
+
+    fn delta_op(
+        &mut self,
+        plan: &PhysicalPlan,
+        idx: usize,
+        ctx: &DeltaCtx<'_>,
+        env: &DeltaEnv,
+    ) -> Result<DeltaRows, DeltaFail> {
+        let child_idx = self.info[idx].first_child;
+        match plan {
+            PhysicalPlan::UnitRow => Ok(match ctx.mode {
+                DeltaMode::Seed => vec![(Vec::new(), 1)],
+                DeltaMode::Incremental => Vec::new(),
+            }),
+            PhysicalPlan::TableScan { table, columns, .. } => match ctx.mode {
+                DeltaMode::Seed => {
+                    let table = ctx.storage.table(table)?;
+                    let names = table.def.column_names();
+                    if names != *columns {
+                        return Err(EngineError::TypeError(format!(
+                            "physical plan for table {} was compiled against columns ({}) \
+                             but storage has ({})",
+                            table.def.name,
+                            columns.join(", "),
+                            names.join(", ")
+                        ))
+                        .into());
+                    }
+                    Ok(table.rows.iter().map(|r| (r.clone(), 1)).collect())
+                }
+                DeltaMode::Incremental => Ok(ctx
+                    .delta
+                    .get(table)
+                    .map(|d| d.signed_rows().map(|(r, s)| (r.clone(), s)).collect())
+                    .unwrap_or_default()),
+            },
+            PhysicalPlan::CteScan { name, .. } => Ok(env
+                .delta_of(name)
+                .ok_or_else(|| EngineError::UnknownCte(name.clone()))?
+                .clone()),
+            PhysicalPlan::SubqueryScan { input, .. } => self.delta_node(input, child_idx, ctx, env),
+            PhysicalPlan::NestedLoopJoin { left, right } => {
+                let right_idx = child_idx + self.info[child_idx].len;
+                let mut out = Vec::new();
+                // Δ(L × R) = ΔL × R_old ⊎ L_new × ΔR: joining each delta
+                // against the *other* side's cache as it stands at that
+                // point in the pass needs no pre-recursion snapshot clones.
+                let dl = self.delta_node(left, child_idx, ctx, env)?;
+                for (l, sl) in &dl {
+                    for r in &self.caches[right_idx] {
+                        out.push((concat_rows(l, r), *sl));
+                    }
+                }
+                let dr = self.delta_node(right, right_idx, ctx, env)?;
+                for l in &self.caches[child_idx] {
+                    for (r, sr) in &dr {
+                        out.push((concat_rows(l, r), *sr));
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                let right_idx = child_idx + self.info[child_idx].len;
+                let left_schema = self.node_schema(left, child_idx, env)?;
+                let right_schema = self.node_schema(right, right_idx, env)?;
+                let mut out = Vec::new();
+                // Δ(L ⋈ R) = ΔL ⋈ R_old ⊎ L_new ⋈ ΔR, off the node's two
+                // persistent hash indexes: ΔL probes the right index before
+                // ΔR is folded in (so it sees R_old), ΔR probes the left
+                // index after ΔL was folded (so it sees L_new). A small
+                // write therefore costs O(delta × matches), never a scan of
+                // the cached side.
+                let dl = self.delta_node(left, child_idx, ctx, env)?;
+                let index = self.join_index[idx].get_or_insert_with(JoinIndex::default);
+                for (l, sl) in &dl {
+                    let Some(key) = row_key(left_keys, l, &left_schema, ctx, env)? else {
+                        continue;
+                    };
+                    if let Some(bucket) = index.right.get(&key) {
+                        for r in bucket {
+                            out.push((concat_rows(l, r), *sl));
+                        }
+                    }
+                    JoinIndex::fold(&mut index.left, key, l, *sl)?;
+                }
+                let dr = self.delta_node(right, right_idx, ctx, env)?;
+                let index = self.join_index[idx]
+                    .as_mut()
+                    .expect("join index initialised above");
+                for (r, sr) in &dr {
+                    let Some(key) = row_key(right_keys, r, &right_schema, ctx, env)? else {
+                        continue;
+                    };
+                    if let Some(bucket) = index.left.get(&key) {
+                        for l in bucket {
+                            out.push((concat_rows(l, r), *sr));
+                        }
+                    }
+                    JoinIndex::fold(&mut index.right, key, r, *sr)?;
+                }
+                Ok(out)
+            }
+            PhysicalPlan::Filter { input, predicate } => {
+                let schema = self.node_schema(input, child_idx, env)?;
+                let din = self.delta_node(input, child_idx, ctx, env)?;
+                let mut out = Vec::new();
+                for (row, sign) in din {
+                    if eval_row(predicate, &row, &schema, ctx, env)?.as_bool() == Some(true) {
+                        out.push((row, sign));
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::ExistsSemiJoin {
+                input,
+                subplan,
+                anti,
+            } => {
+                let subplan_idx = child_idx + self.info[child_idx].len;
+                if ctx.mode == DeltaMode::Incremental && !self.can_skip(subplan_idx, ctx, env) {
+                    return Err(DeltaFail::Bail);
+                }
+                let schema = self.node_schema(input, child_idx, env)?;
+                let din = self.delta_node(input, child_idx, ctx, env)?;
+                let vctx = VecCtx {
+                    storage: ctx.storage,
+                    params: ctx.params,
+                    prof: None,
+                };
+                let mut out = Vec::new();
+                for (row, sign) in din {
+                    let frame = ScopeFrame {
+                        schema: schema.clone(),
+                        values: row.clone(),
+                    };
+                    let inner = exec(
+                        subplan,
+                        &vctx,
+                        &env.materialised,
+                        &ScopeStack::default().pushed(frame),
+                    )?;
+                    if inner.is_empty() == *anti {
+                        out.push((row, sign));
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::RowNumber { input, specs } => {
+                let schema = self.node_schema(input, child_idx, env)?;
+                let din = self.delta_node(input, child_idx, ctx, env)?;
+                if din.is_empty() {
+                    return Ok(Vec::new());
+                }
+                // The common shredded shape orders each window by plain
+                // columns; ranks then shift only where sorted positions
+                // move, so the cached output can be patched in place from
+                // the input delta alone — no re-sort, no full-output clone.
+                if ctx.mode == DeltaMode::Incremental {
+                    if let Some(col_specs) = all_col_specs(specs) {
+                        let delta = incremental_rank(&mut self.caches[idx], &col_specs, &din)?;
+                        self.cache_replaced = true;
+                        return Ok(delta);
+                    }
+                }
+                let new_out = rank_rows(&self.caches[child_idx], specs, &schema, ctx, env)?;
+                let delta = positional_diff(&new_out, &self.caches[idx]);
+                // Replace the cache with the freshly ranked output instead
+                // of letting the generic retract/append pass disorder it:
+                // `positional_diff` only stays O(change) while the cache
+                // mirrors the input order it is diffed against.
+                self.caches[idx] = new_out;
+                self.cache_replaced = true;
+                Ok(delta)
+            }
+            PhysicalPlan::Sort { input, .. } => {
+                // Bag semantics downstream: a sort re-orders, never changes
+                // membership, so its delta is its input's.
+                self.delta_node(input, child_idx, ctx, env)
+            }
+            PhysicalPlan::Project { input, exprs, .. } => {
+                let schema = self.node_schema(input, child_idx, env)?;
+                let din = self.delta_node(input, child_idx, ctx, env)?;
+                let mut out = Vec::with_capacity(din.len());
+                for (row, sign) in din {
+                    let projected = exprs
+                        .iter()
+                        .map(|e| eval_row(e, &row, &schema, ctx, env))
+                        .collect::<Result<Row, _>>()?;
+                    out.push((projected, sign));
+                }
+                Ok(out)
+            }
+            PhysicalPlan::Distinct { input } => {
+                let din = self.delta_node(input, child_idx, ctx, env)?;
+                // Pre-delta multiplicities of just the rows the delta
+                // mentions, recovered from the already-updated child cache
+                // (old = new − net delta) — no full-input clone or hash.
+                let mut counts: HashMap<Row, i64> = HashMap::new();
+                for (row, _) in &din {
+                    if !counts.contains_key(row) {
+                        let new_count =
+                            self.caches[child_idx].iter().filter(|r| *r == row).count() as i64;
+                        let net: i64 = din
+                            .iter()
+                            .filter(|(r, _)| r == row)
+                            .map(|(_, sign)| *sign)
+                            .sum();
+                        counts.insert(row.clone(), new_count - net);
+                    }
+                }
+                let mut out = Vec::new();
+                for (row, sign) in din {
+                    let count = counts.entry(row.clone()).or_insert(0);
+                    let before = *count;
+                    *count += sign;
+                    if before == 0 && *count > 0 {
+                        out.push((row, 1));
+                    } else if before > 0 && *count == 0 {
+                        out.push((row, -1));
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::UnionAll(branches) => {
+                let mut out = Vec::new();
+                let mut at = child_idx;
+                for branch in branches {
+                    out.extend(self.delta_node(branch, at, ctx, env)?);
+                    at += self.info[at].len;
+                }
+                Ok(out)
+            }
+            PhysicalPlan::ExceptAll { left, right } => {
+                let right_idx = child_idx + self.info[child_idx].len;
+                let dl = self.delta_node(left, child_idx, ctx, env)?;
+                let dr = self.delta_node(right, right_idx, ctx, env)?;
+                if dl.is_empty() && dr.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let new_out = bag_difference(&self.caches[child_idx], &self.caches[right_idx]);
+                let delta = positional_diff(&new_out, &self.caches[idx]);
+                self.caches[idx] = new_out;
+                self.cache_replaced = true;
+                Ok(delta)
+            }
+            PhysicalPlan::With {
+                name,
+                definition,
+                body,
+            } => {
+                let body_idx = child_idx + self.info[child_idx].len;
+                let ddef = self.delta_node(definition, child_idx, ctx, env)?;
+                let def_schema = self.node_schema(definition, child_idx, env)?;
+                let mut extended = env.clone();
+                extended.deltas.push((name.clone(), ddef));
+                extended.schemas.push((name.clone(), def_schema.clone()));
+                // Only correlated subplans read a *materialised* binding
+                // (delta consumers go through `deltas`); skip the full
+                // clone-and-transpose of the definition cache unless the
+                // body actually executes one.
+                if self.info[body_idx].execs_subplans {
+                    let bound = Batch::from_rows(def_schema, self.caches[child_idx].clone());
+                    extended.materialised = env.materialised.extended(name, bound);
+                }
+                self.delta_node(body, body_idx, ctx, &extended)
+            }
+        }
+    }
+
+    /// The batch schema a node's output rows carry (the static twin of the
+    /// schemas [`exec_node`] constructs), used to build correlation frames
+    /// for `EXISTS` subplans. Memoised per node: for a fixed plan, the
+    /// `WITH` bindings visible at a node — and hence its schema — never
+    /// change across passes.
+    fn node_schema(
+        &mut self,
+        plan: &PhysicalPlan,
+        idx: usize,
+        env: &DeltaEnv,
+    ) -> Result<Arc<Vec<SchemaCol>>, DeltaFail> {
+        if let Some(schema) = &self.schemas[idx] {
+            return Ok(Arc::clone(schema));
+        }
+        let schema = batch_schema(plan, &env.schemas)?;
+        self.schemas[idx] = Some(Arc::clone(&schema));
+        Ok(schema)
+    }
+
+    /// Fold a normalised delta into a node cache: retractions remove the
+    /// first matching row, insertions append. A retraction that misses the
+    /// cache signals a write outside the incremental fragment → bail.
+    ///
+    /// Retractions are applied in one mark-and-sweep pass (first occurrences
+    /// win, matching `Storage::apply_delta`), so a delta with many
+    /// retractions costs O(cache + delta) instead of one linear scan per
+    /// retracted row.
+    fn update_cache(&mut self, idx: usize, delta: &DeltaRows) -> Result<(), DeltaFail> {
+        let mut pending: Vec<&Row> = delta
+            .iter()
+            .filter(|(_, sign)| *sign < 0)
+            .map(|(row, _)| row)
+            .collect();
+        if pending.len() <= 8 {
+            // The common small write: match retractions by fast-fail row
+            // equality instead of hashing every cached row.
+            if !pending.is_empty() {
+                self.caches[idx].retain(|r| match pending.iter().position(|p| *p == r) {
+                    Some(i) => {
+                        pending.swap_remove(i);
+                        false
+                    }
+                    None => true,
+                });
+                if !pending.is_empty() {
+                    return Err(DeltaFail::Bail);
+                }
+            }
+        } else {
+            let mut counts: HashMap<&Row, i64> = HashMap::new();
+            for row in &pending {
+                *counts.entry(row).or_insert(0) += 1;
+            }
+            let mut outstanding = pending.len() as i64;
+            self.caches[idx].retain(|r| match counts.get_mut(r) {
+                Some(c) if *c > 0 => {
+                    *c -= 1;
+                    outstanding -= 1;
+                    false
+                }
+                _ => true,
+            });
+            if outstanding > 0 {
+                return Err(DeltaFail::Bail);
+            }
+        }
+        for (row, sign) in delta {
+            if *sign > 0 {
+                self.caches[idx].push(row.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Does any node of this subtree execute a correlated subplan (an
+/// exists-semijoin or an `EXISTS` inside an expression)? Only those consult
+/// a `WITH` binding's *materialised* batch — every other consumer works off
+/// the binding's delta — so `With` maintenance can skip materialisation
+/// when this is false.
+fn plan_execs_subplans(plan: &PhysicalPlan) -> bool {
+    plan.nodes()
+        .iter()
+        .any(|n| matches!(n, PhysicalPlan::ExistsSemiJoin { .. }) || !n.expr_subplans().is_empty())
+}
+
+/// Positional diff of a recomputed output against the cached one: skip the
+/// longest common prefix and suffix, retract the remaining old rows, insert
+/// the remaining new rows. Multiset-equivalent to a full two-sided diff, but
+/// the localised edits rank recomputation produces (one row changed, a
+/// shifted tail) cost O(change) instead of O(output) rows — and only the
+/// changed middle is ever cloned.
+fn positional_diff(new: &[Row], old: &[Row]) -> DeltaRows {
+    let mut start = 0;
+    while start < new.len() && start < old.len() && new[start] == old[start] {
+        start += 1;
+    }
+    let mut old_end = old.len();
+    let mut new_end = new.len();
+    while old_end > start && new_end > start && old[old_end - 1] == new[new_end - 1] {
+        old_end -= 1;
+        new_end -= 1;
+    }
+    let mut out: DeltaRows = old[start..old_end]
+        .iter()
+        .map(|r| (r.clone(), -1))
+        .collect();
+    out.extend(new[start..new_end].iter().map(|r| (r.clone(), 1)));
+    out
+}
+
+/// Cancel opposite-signed mentions of the same row and order the result
+/// retractions-first (each with unit sign), in first-mention order — the
+/// shape [`DeltaExec::update_cache`] consumes.
+fn normalise_delta(rows: DeltaRows) -> DeltaRows {
+    let mut order: Vec<(Row, i64)> = Vec::new();
+    let mut index: HashMap<Row, usize> = HashMap::new();
+    for (row, sign) in rows {
+        match index.get(&row) {
+            Some(&i) => order[i].1 += sign,
+            None => {
+                index.insert(row.clone(), order.len());
+                order.push((row, sign));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (row, net) in &order {
+        for _ in 0..(-net).max(0) {
+            out.push((row.clone(), -1));
+        }
+    }
+    for (row, net) in order {
+        for _ in 0..net.max(0) {
+            out.push((row.clone(), 1));
+        }
+    }
+    out
+}
+
+/// Concatenate two rows (the join output shape).
+fn concat_rows(l: &Row, r: &Row) -> Row {
+    let mut out = Vec::with_capacity(l.len() + r.len());
+    out.extend_from_slice(l);
+    out.extend_from_slice(r);
+    out
+}
+
+/// Evaluate join keys over one row; `None` when any key value is `NULL`
+/// (`NULL` never joins, matching the batch executor).
+fn row_key(
+    keys: &[VExpr],
+    row: &Row,
+    schema: &Arc<Vec<SchemaCol>>,
+    ctx: &DeltaCtx<'_>,
+    env: &DeltaEnv,
+) -> Result<Option<Row>, DeltaFail> {
+    let mut out = Vec::with_capacity(keys.len());
+    for k in keys {
+        let v = eval_row(k, row, schema, ctx, env)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        out.push(v);
+    }
+    Ok(Some(out))
+}
+
+/// When every window spec orders by plain columns, the per-spec key column
+/// indices; `None` as soon as any key needs the expression interpreter.
+fn all_col_specs(specs: &[Vec<VExpr>]) -> Option<Vec<Vec<usize>>> {
+    specs
+        .iter()
+        .map(|keys| {
+            keys.iter()
+                .map(|k| match k {
+                    VExpr::Col { index, .. } => Some(*index),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Compare two rows on a window's key columns (both rows carry the input
+/// columns in their prefix).
+fn cmp_keys(a: &[SqlValue], b: &[SqlValue], cols: &[usize]) -> Ordering {
+    for &c in cols {
+        let ord = a[c].sql_cmp(&b[c]);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Patch a `RowNumber` node's cached output in place from its input delta,
+/// returning the exact signed output delta.
+///
+/// The cache holds `input row ++ one rank column per spec`, aligned with the
+/// child cache's row order (both are maintained retract-first-occurrence /
+/// append-at-end from the same seeds). A rank only changes when a retraction
+/// or insertion lands strictly before the row in a window's sort order —
+/// with ties broken by input order, exactly the comparator `rank_rows`
+/// numbers by — so one pass over the cache computes every shifted rank:
+/// O(cache × delta) cheap key comparisons, cloning only the rows that
+/// actually change.
+fn incremental_rank(
+    cache: &mut Vec<Row>,
+    specs: &[Vec<usize>],
+    din: &DeltaRows,
+) -> Result<DeltaRows, DeltaFail> {
+    let nspecs = specs.len();
+    let mut retr: Vec<&Row> = Vec::new();
+    let mut ins: Vec<&Row> = Vec::new();
+    for (row, sign) in din {
+        if *sign < 0 {
+            retr.push(row);
+        } else {
+            ins.push(row);
+        }
+    }
+    let arity = cache
+        .first()
+        .map(|r| r.len() - nspecs)
+        .unwrap_or_else(|| ins.first().map(|r| r.len()).unwrap_or(0));
+    // First-occurrence positions of the retracted input rows (matching the
+    // discipline the child cache was updated with).
+    let mut retr_pos: Vec<Option<usize>> = vec![None; retr.len()];
+    let mut consumed = vec![false; retr.len()];
+    for (pos, row) in cache.iter().enumerate() {
+        for (ri, r) in retr.iter().enumerate() {
+            if !consumed[ri] && row[..arity] == r[..] {
+                consumed[ri] = true;
+                retr_pos[ri] = Some(pos);
+                break;
+            }
+        }
+    }
+    if consumed.iter().any(|c| !c) {
+        return Err(DeltaFail::Bail);
+    }
+    let retracted: HashSet<usize> = retr_pos.iter().map(|p| p.expect("consumed")).collect();
+    let mut retractions: DeltaRows = Vec::new();
+    let mut insertions: DeltaRows = Vec::new();
+    // For each insertion and spec, how many surviving rows sort before it
+    // (ties go to the survivor: appended rows are last in input order).
+    let mut ins_before: Vec<Vec<i64>> = vec![vec![0; nspecs]; ins.len()];
+    for (pos, row) in cache.iter_mut().enumerate() {
+        if retracted.contains(&pos) {
+            retractions.push((row.clone(), -1));
+            continue;
+        }
+        let mut adj = vec![0i64; nspecs];
+        let mut changed = false;
+        for (s, cols) in specs.iter().enumerate() {
+            for r in &ins {
+                if cmp_keys(r, row, cols) == Ordering::Less {
+                    adj[s] += 1;
+                }
+            }
+            for (ri, r) in retr.iter().enumerate() {
+                match cmp_keys(r, row, cols) {
+                    Ordering::Less => adj[s] -= 1,
+                    // An equal-keyed retraction shifts this row only if it
+                    // preceded it in input order.
+                    Ordering::Equal if retr_pos[ri].expect("consumed") < pos => adj[s] -= 1,
+                    _ => {}
+                }
+            }
+            for (i, r) in ins.iter().enumerate() {
+                if cmp_keys(row, r, cols) != Ordering::Greater {
+                    ins_before[i][s] += 1;
+                }
+            }
+            changed |= adj[s] != 0;
+        }
+        if changed {
+            retractions.push((row.clone(), -1));
+            for (s, a) in adj.iter().enumerate() {
+                if let SqlValue::Int(n) = &mut row[arity + s] {
+                    *n += a;
+                }
+            }
+            insertions.push((row.clone(), 1));
+        }
+    }
+    // Drop the retracted rows, then append the inserted ones with their
+    // ranks: survivors before them, plus earlier-appended peers.
+    let mut pos = 0;
+    cache.retain(|_| {
+        let keep = !retracted.contains(&pos);
+        pos += 1;
+        keep
+    });
+    for (i, r) in ins.iter().enumerate() {
+        let mut row: Row = (*r).clone();
+        for (s, cols) in specs.iter().enumerate() {
+            // Peer insertions sort before this one when strictly smaller,
+            // or equal-keyed but appended earlier.
+            let peers: i64 = ins
+                .iter()
+                .enumerate()
+                .filter(|(j, jr)| match cmp_keys(jr, r, cols) {
+                    Ordering::Less => true,
+                    Ordering::Equal => *j < i,
+                    Ordering::Greater => false,
+                })
+                .count() as i64;
+            row.push(SqlValue::Int(1 + ins_before[i][s] + peers));
+        }
+        insertions.push((row.clone(), 1));
+        cache.push(row);
+    }
+    retractions.extend(insertions);
+    Ok(retractions)
+}
+
+/// Scalar re-ranking: the row-at-a-time twin of the batch `RowNumber`
+/// operator. Appends one 1-based `#rn<i>` column per window spec, numbering
+/// by a stable sort over the spec's keys — identical comparator, identical
+/// tie-breaking by input order, so a maintained cache and a fresh batch
+/// execution over the same input order produce identical ranks.
+fn rank_rows(
+    input: &[Row],
+    specs: &[Vec<VExpr>],
+    input_schema: &Arc<Vec<SchemaCol>>,
+    ctx: &DeltaCtx<'_>,
+    env: &DeltaEnv,
+) -> Result<Vec<Row>, DeltaFail> {
+    let mut rows: Vec<Row> = input.to_vec();
+    let mut schema = input_schema.as_ref().clone();
+    for (spec_idx, keys) in specs.iter().enumerate() {
+        // The common shredded shape orders by plain columns; indexing
+        // directly keeps this maintenance hot path free of the expression
+        // interpreter.
+        let col_keys: Option<Vec<usize>> = keys
+            .iter()
+            .map(|k| match k {
+                VExpr::Col { index, .. } => Some(*index),
+                _ => None,
+            })
+            .collect();
+        let key_values: Vec<Row> = match &col_keys {
+            Some(cols) => rows
+                .iter()
+                .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
+                .collect(),
+            None => {
+                let schema_arc = Arc::new(schema.clone());
+                rows.iter()
+                    .map(|r| {
+                        keys.iter()
+                            .map(|k| eval_row(k, r, &schema_arc, ctx, env))
+                            .collect::<Result<Row, _>>()
+                    })
+                    .collect::<Result<Vec<Row>, _>>()?
+            }
+        };
+        let mut order: Vec<usize> = (0..rows.len()).collect();
+        order.sort_by(|&a, &b| compare_rows(&key_values[a], &key_values[b]));
+        let mut rn = vec![0i64; rows.len()];
+        for (number, row_idx) in order.into_iter().enumerate() {
+            rn[row_idx] = (number + 1) as i64;
+        }
+        for (row, n) in rows.iter_mut().zip(rn) {
+            row.push(SqlValue::Int(n));
+        }
+        schema.push((None, format!("#rn{}", spec_idx)));
+    }
+    Ok(rows)
+}
+
+/// Bag difference preserving left order (the `EXCEPT ALL` replay used to
+/// diff an except node's output).
+fn bag_difference(left: &[Row], right: &[Row]) -> Vec<Row> {
+    let mut counts: HashMap<Row, usize> = HashMap::new();
+    for row in right {
+        *counts.entry(row.clone()).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for row in left {
+        match counts.get_mut(row) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => out.push(row.clone()),
+        }
+    }
+    out
+}
+
+/// Scalar expression evaluation over one cached row (the row-at-a-time twin
+/// of [`eval`]). Correlated `EXISTS` subplans run on the ordinary batch
+/// executor with the row pushed as a scope frame.
+fn eval_row(
+    expr: &VExpr,
+    row: &Row,
+    schema: &Arc<Vec<SchemaCol>>,
+    ctx: &DeltaCtx<'_>,
+    env: &DeltaEnv,
+) -> Result<SqlValue, DeltaFail> {
+    match expr {
+        VExpr::Col { index, .. } => Ok(row[*index].clone()),
+        VExpr::Outer { table, column } => {
+            // Stage-level expressions never reference an enclosing query —
+            // outer references only occur inside EXISTS subplans, which
+            // execute via `exec` with a pushed frame.
+            Err(EngineError::UnknownColumn {
+                qualifier: table.clone(),
+                name: column.clone(),
+            }
+            .into())
+        }
+        VExpr::Lit(v) => Ok(v.clone()),
+        VExpr::Param(name) => ctx
+            .params
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::UnboundParameter(name.clone()).into()),
+        VExpr::BinOp { op, left, right } => {
+            let l = eval_row(left, row, schema, ctx, env)?;
+            let r = eval_row(right, row, schema, ctx, env)?;
+            Ok(eval_binop(*op, l, r)?)
+        }
+        VExpr::Not(inner) => match eval_row(inner, row, schema, ctx, env)? {
+            SqlValue::Bool(b) => Ok(SqlValue::Bool(!b)),
+            SqlValue::Null => Ok(SqlValue::Null),
+            other => {
+                Err(EngineError::TypeError(format!("NOT applied to {}", other.type_name())).into())
+            }
+        },
+        VExpr::Exists(subplan) => {
+            let vctx = VecCtx {
+                storage: ctx.storage,
+                params: ctx.params,
+                prof: None,
+            };
+            let frame = ScopeFrame {
+                schema: schema.clone(),
+                values: row.clone(),
+            };
+            let inner = exec(
+                subplan,
+                &vctx,
+                &env.materialised,
+                &ScopeStack::default().pushed(frame),
+            )?;
+            Ok(SqlValue::Bool(!inner.is_empty()))
+        }
+    }
+}
+
+/// The schema of the batch a plan node produces — a static reconstruction
+/// of the decisions [`exec_node`] makes, so the delta executor can build
+/// correlation frames without executing anything.
+fn batch_schema(
+    plan: &PhysicalPlan,
+    cte_schemas: &[(String, Arc<Vec<SchemaCol>>)],
+) -> Result<Arc<Vec<SchemaCol>>, DeltaFail> {
+    fn lookup<'a>(
+        cte_schemas: &'a [(String, Arc<Vec<SchemaCol>>)],
+        name: &str,
+    ) -> Option<&'a Arc<Vec<SchemaCol>>> {
+        cte_schemas
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+    match plan {
+        PhysicalPlan::UnitRow => Ok(Arc::new(Vec::new())),
+        PhysicalPlan::TableScan { alias, columns, .. } => Ok(Arc::new(
+            columns
+                .iter()
+                .map(|c| (Some(alias.clone()), c.clone()))
+                .collect(),
+        )),
+        PhysicalPlan::CteScan { name, alias, .. } => {
+            let bound =
+                lookup(cte_schemas, name).ok_or_else(|| EngineError::UnknownCte(name.clone()))?;
+            Ok(Arc::new(
+                bound
+                    .iter()
+                    .map(|(_, c)| (Some(alias.clone()), c.clone()))
+                    .collect(),
+            ))
+        }
+        PhysicalPlan::SubqueryScan { input, alias } => {
+            let inner = batch_schema(input, cte_schemas)?;
+            Ok(Arc::new(
+                inner
+                    .iter()
+                    .map(|(_, c)| (Some(alias.clone()), c.clone()))
+                    .collect(),
+            ))
+        }
+        PhysicalPlan::NestedLoopJoin { left, right }
+        | PhysicalPlan::HashJoin { left, right, .. } => {
+            let mut schema = batch_schema(left, cte_schemas)?.as_ref().clone();
+            schema.extend(batch_schema(right, cte_schemas)?.iter().cloned());
+            Ok(Arc::new(schema))
+        }
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::ExistsSemiJoin { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Distinct { input } => batch_schema(input, cte_schemas),
+        PhysicalPlan::RowNumber { input, specs } => {
+            let mut schema = batch_schema(input, cte_schemas)?.as_ref().clone();
+            schema.extend((0..specs.len()).map(|i| (None, format!("#rn{}", i))));
+            Ok(Arc::new(schema))
+        }
+        PhysicalPlan::Project { columns, .. } => Ok(Arc::new(
+            columns.iter().map(|c| (None, c.clone())).collect(),
+        )),
+        PhysicalPlan::UnionAll(branches) => {
+            let first = branches
+                .first()
+                .ok_or_else(|| EngineError::TypeError("empty UNION ALL".to_string()))?;
+            batch_schema(first, cte_schemas)
+        }
+        PhysicalPlan::ExceptAll { left, .. } => batch_schema(left, cte_schemas),
+        PhysicalPlan::With {
+            name,
+            definition,
+            body,
+        } => {
+            let def = batch_schema(definition, cte_schemas)?;
+            let mut extended = cte_schemas.to_vec();
+            extended.push((name.clone(), def));
+            batch_schema(body, &extended)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -917,5 +2103,258 @@ mod tests {
         let (i, v) = run_both(&engine(), &q);
         assert_eq!(i, v);
         assert_eq!(v.rows, vec![vec![SqlValue::Int(42)]]);
+    }
+
+    // --- delta execution -------------------------------------------------
+
+    use crate::delta::WriteBatch;
+
+    fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+        rows.sort_by(|a, b| compare_rows(a, b));
+        rows
+    }
+
+    /// Seed a `DeltaExec`, commit the batch, maintain, and assert the
+    /// maintained rows are multiset-equal to a fresh execution on post-state.
+    fn maintain_and_check(engine: &Engine, q: &Query, batch: WriteBatch) {
+        let plan = engine.prepare(q).unwrap();
+        let params = ParamValues::new();
+        let mut dx = DeltaExec::new(&plan);
+        dx.seed(&plan, &engine.storage(), &params).unwrap();
+        assert_eq!(
+            sorted(dx.rows().to_vec()),
+            sorted(engine.execute_plan(&plan).unwrap().into_result_set().rows),
+            "seed disagrees with the batch executor"
+        );
+        let delta = engine.apply_batch(&batch).unwrap();
+        let storage = engine.storage();
+        match dx.apply(&plan, &storage, &params, &delta).unwrap() {
+            Some(_) => {}
+            None => dx.seed(&plan, &storage, &params).unwrap(),
+        }
+        drop(storage);
+        assert_eq!(
+            sorted(dx.rows().to_vec()),
+            sorted(engine.execute_plan(&plan).unwrap().into_result_set().rows),
+            "maintained rows disagree with recompute on post-state"
+        );
+    }
+
+    #[test]
+    fn deltas_through_scans_filters_and_joins_match_recompute() {
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("a", "n"), "l")
+                .item(Expr::col("b", "n"), "r")
+                .from_named("nums", "a")
+                .from_named("nums", "b")
+                .filter(Expr::eq(Expr::col("a", "tag"), Expr::col("b", "tag"))),
+        );
+        let batch = WriteBatch::new()
+            .insert("nums", vec![SqlValue::Int(5), SqlValue::str("odd")])
+            .delete("nums", vec![SqlValue::Int(2), SqlValue::str("even")]);
+        maintain_and_check(&engine(), &q, batch);
+    }
+
+    #[test]
+    fn deltas_through_with_row_number_and_distinct_match_recompute() {
+        let inner = Select::new()
+            .item(Expr::col("x", "tag"), "tag")
+            .item(Expr::row_number(vec![Expr::col("x", "n")]), "rank")
+            .from_named("nums", "x");
+        let outer = Select::new()
+            .item(Expr::col("q", "tag"), "tag")
+            .from_named("q", "q")
+            .filter(Expr::binop(BinOp::Le, Expr::col("q", "rank"), Expr::lit(2)))
+            .distinct();
+        let q = Query::with("q", inner, Query::select(outer));
+        let batch = WriteBatch::new()
+            .insert("nums", vec![SqlValue::Int(0), SqlValue::str("zero")])
+            .delete("nums", vec![SqlValue::Int(1), SqlValue::str("odd")]);
+        maintain_and_check(&engine(), &q, batch);
+    }
+
+    #[test]
+    fn a_correlated_exists_over_a_mutated_table_bails_to_reseed() {
+        let sub = Select::new()
+            .item(Expr::lit(1), "one")
+            .from_named("nums", "y")
+            .filter(Expr::eq(Expr::col("y", "tag"), Expr::col("x", "tag")));
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("x", "n"), "n")
+                .from_named("nums", "x")
+                .filter(Expr::Exists(Box::new(Query::select(sub)))),
+        );
+        let engine = engine();
+        let plan = engine.prepare(&q).unwrap();
+        let params = ParamValues::new();
+        let mut dx = DeltaExec::new(&plan);
+        dx.seed(&plan, &engine.storage(), &params).unwrap();
+        let batch = WriteBatch::new().delete("nums", vec![SqlValue::Int(3), SqlValue::str("odd")]);
+        let delta = engine.apply_batch(&batch).unwrap();
+        let storage = engine.storage();
+        assert!(
+            dx.apply(&plan, &storage, &params, &delta)
+                .unwrap()
+                .is_none(),
+            "EXISTS over a mutated table must fall back"
+        );
+        dx.seed(&plan, &storage, &params).unwrap();
+        drop(storage);
+        assert_eq!(
+            sorted(dx.rows().to_vec()),
+            sorted(engine.execute_plan(&plan).unwrap().into_result_set().rows)
+        );
+    }
+
+    #[test]
+    fn an_untouched_subtree_is_skipped_without_losing_rows() {
+        // Two tables; mutate only one. The scan of the other must be skipped
+        // (its cache untouched) while the join output still updates.
+        let mut storage = Storage::new();
+        storage
+            .create_table(TableDef::new(
+                "nums",
+                vec![("n", ColumnType::Int), ("tag", ColumnType::Text)],
+            ))
+            .unwrap();
+        storage
+            .create_table(TableDef::new(
+                "labels",
+                vec![("tag", ColumnType::Text), ("pretty", ColumnType::Text)],
+            ))
+            .unwrap();
+        for (n, tag) in [(1, "odd"), (2, "even")] {
+            storage
+                .insert("nums", vec![SqlValue::Int(n), SqlValue::str(tag)])
+                .unwrap();
+        }
+        for (tag, pretty) in [("odd", "Odd"), ("even", "Even")] {
+            storage
+                .insert("labels", vec![SqlValue::str(tag), SqlValue::str(pretty)])
+                .unwrap();
+        }
+        let engine = Engine::with_storage(storage);
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("a", "n"), "n")
+                .item(Expr::col("b", "pretty"), "pretty")
+                .from_named("nums", "a")
+                .from_named("labels", "b")
+                .filter(Expr::eq(Expr::col("a", "tag"), Expr::col("b", "tag"))),
+        );
+        let batch = WriteBatch::new().insert("nums", vec![SqlValue::Int(3), SqlValue::str("odd")]);
+        maintain_and_check(&engine, &q, batch);
+    }
+
+    #[test]
+    fn a_net_zero_batch_emits_an_empty_root_delta() {
+        let engine = engine();
+        let q = Query::select(
+            Select::new()
+                .item(Expr::col("x", "n"), "n")
+                .from_named("nums", "x"),
+        );
+        let plan = engine.prepare(&q).unwrap();
+        let params = ParamValues::new();
+        let mut dx = DeltaExec::new(&plan);
+        dx.seed(&plan, &engine.storage(), &params).unwrap();
+        let batch = WriteBatch::new()
+            .delete("nums", vec![SqlValue::Int(1), SqlValue::str("odd")])
+            .insert("nums", vec![SqlValue::Int(1), SqlValue::str("odd")]);
+        let delta = engine.apply_batch(&batch).unwrap();
+        assert!(delta.is_empty());
+        let storage = engine.storage();
+        let emitted = dx.apply(&plan, &storage, &params, &delta).unwrap().unwrap();
+        assert!(emitted.is_empty());
+    }
+
+    /// Reference ranker: stable sort per spec over plain key columns, ranks
+    /// appended in input order — the col-spec fragment of `rank_rows`.
+    fn reference_rank(input: &[Row], specs: &[Vec<usize>]) -> Vec<Row> {
+        let mut rows = input.to_vec();
+        for cols in specs {
+            let mut order: Vec<usize> = (0..rows.len()).collect();
+            order.sort_by(|&a, &b| cmp_keys(&input[a], &input[b], cols));
+            let mut rn = vec![0i64; rows.len()];
+            for (number, row_idx) in order.into_iter().enumerate() {
+                rn[row_idx] = (number + 1) as i64;
+            }
+            for (row, n) in rows.iter_mut().zip(rn) {
+                row.push(SqlValue::Int(n));
+            }
+        }
+        rows
+    }
+
+    fn bag(rows: &[Row]) -> std::collections::HashMap<Row, i64> {
+        let mut m = std::collections::HashMap::new();
+        for r in rows {
+            *m.entry(r.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn incremental_rank_matches_reference_under_random_edits() {
+        // Deterministic LCG so the mixed retract/insert batches replay.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        let specs: Vec<Vec<usize>> = vec![vec![0], vec![1, 0]];
+        // Small key domains force ties, the hard case for rank maintenance.
+        let mut input: Vec<Row> = (0..40)
+            .map(|_| {
+                vec![
+                    SqlValue::Int(next().rem_euclid(5)),
+                    SqlValue::Int(next().rem_euclid(3)),
+                ]
+            })
+            .collect();
+        let mut cache = reference_rank(&input, &specs);
+        for round in 0..60 {
+            let mut din: DeltaRows = Vec::new();
+            // Retract up to 3 existing rows (first occurrence, like
+            // update_cache) and insert up to 3 new ones at the end.
+            for _ in 0..next().rem_euclid(4) {
+                if input.is_empty() {
+                    break;
+                }
+                let victim = input[next().rem_euclid(input.len() as i64) as usize].clone();
+                let pos = input.iter().position(|r| *r == victim).unwrap();
+                input.remove(pos);
+                din.push((victim, -1));
+            }
+            for _ in 0..next().rem_euclid(4) {
+                let row = vec![
+                    SqlValue::Int(next().rem_euclid(5)),
+                    SqlValue::Int(next().rem_euclid(3)),
+                ];
+                input.push(row.clone());
+                din.push((row, 1));
+            }
+            let before = cache.clone();
+            let delta = match incremental_rank(&mut cache, &specs, &din) {
+                Ok(d) => d,
+                Err(_) => panic!("in fragment (round {round})"),
+            };
+            let expect = reference_rank(&input, &specs);
+            assert_eq!(
+                cache, expect,
+                "cache must equal a fresh re-rank (round {round})"
+            );
+            // The emitted delta must carry the old output to the new one.
+            let mut b = bag(&before);
+            for (row, sign) in &delta {
+                *b.entry(row.clone()).or_insert(0) += sign;
+            }
+            b.retain(|_, n| *n != 0);
+            assert_eq!(b, bag(&expect), "delta must be exact (round {round})");
+        }
     }
 }

@@ -47,7 +47,7 @@ pub use sqlengine;
 /// the only entry point.
 pub mod prelude {
     pub use baselines::{FlatDefaultBackend, LoopLiftBackend, VandenBusscheBackend};
-    pub use datagen::{generate, organisation_schema, OrgConfig};
+    pub use datagen::{generate, organisation_schema, MutationConfig, MutationStream, OrgConfig};
     pub use nrc::builder::*;
     pub use nrc::{Database, Schema, TableSchema, Value};
     pub use shredding::semantics::IndexScheme;
@@ -55,4 +55,5 @@ pub mod prelude {
         NestedOracleBackend, ParamSpec, Params, PreparedQuery, ShreddedMemoryBackend, Shredder,
         ShredderBuilder, SqlBackend, SqlEngineBackend,
     };
+    pub use shredding::{StorageDelta, Subscription, WriteBatch, WriteOp};
 }

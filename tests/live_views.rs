@@ -1,0 +1,163 @@
+//! Integration tests of live nested views: `Shredder::subscribe` keeps a
+//! prepared query's nested result maintained across `apply_batch` writes,
+//! and after every committed batch the subscription's value must be
+//! identical to recomputing the query from scratch on the post-write
+//! storage — across the full benchmark suite (QF1–QF6 and Q1–Q6) and all
+//! three indexing schemes.
+
+use query_shredding::prelude::*;
+
+fn small_db() -> Database {
+    generate(&OrgConfig {
+        departments: 3,
+        employees_per_department: 5,
+        contacts_per_department: 2,
+        seed: 11,
+        ..OrgConfig::default()
+    })
+}
+
+fn all_benchmark_queries() -> Vec<(&'static str, nrc::Term)> {
+    let mut queries = datagen::queries::flat_queries();
+    queries.extend(datagen::queries::nested_queries());
+    queries
+}
+
+/// The acceptance bar of the delta subsystem: for every benchmark query,
+/// under every indexing scheme, a subscription's value after each of a
+/// stream of committed write batches is multiset-identical to a fresh
+/// execution of the same prepared query (the differential oracle). Reseeds
+/// are allowed — a query outside the incremental fragment falls back to
+/// recompute-from-scratch — but divergence never is.
+#[test]
+fn subscriptions_match_recompute_after_every_write_batch_under_every_scheme() {
+    let db = small_db();
+    for scheme in IndexScheme::ALL {
+        for (name, q) in all_benchmark_queries() {
+            let session = Shredder::builder()
+                .database(db.clone())
+                .index_scheme(scheme)
+                .build()
+                .unwrap();
+            let prepared = session.prepare(&q).unwrap();
+            let sub = session.subscribe(&prepared).unwrap();
+            let mut stream = MutationStream::over(
+                &db,
+                MutationConfig {
+                    ops_per_batch: 3,
+                    seed: 7,
+                    ..MutationConfig::default()
+                },
+            );
+            for round in 0..6 {
+                let batch = stream.next_batch();
+                session.apply_batch(&batch).unwrap();
+                let live = sub.value().unwrap();
+                let recomputed = session.execute(&prepared).unwrap();
+                assert!(
+                    live.multiset_eq(&recomputed),
+                    "{name} under {scheme} indexes diverged from recompute \
+                     after batch {round}"
+                );
+            }
+            assert_eq!(sub.generation(), 6, "every batch maintains the view");
+        }
+    }
+}
+
+/// A subscription taken *after* some writes starts from the current
+/// storage, not the session's load-time database.
+#[test]
+fn a_late_subscription_sees_previous_writes() {
+    let db = small_db();
+    let session = Shredder::over(db.clone()).unwrap();
+    let (_, q) = datagen::queries::nested_queries().remove(0);
+    let prepared = session.prepare(&q).unwrap();
+
+    let mut stream = MutationStream::over(
+        &db,
+        MutationConfig {
+            ops_per_batch: 4,
+            seed: 3,
+            ..MutationConfig::default()
+        },
+    );
+    session.apply_batch(&stream.next_batch()).unwrap();
+
+    let sub = session.subscribe(&prepared).unwrap();
+    assert!(sub
+        .value()
+        .unwrap()
+        .multiset_eq(&session.execute(&prepared).unwrap()));
+    assert_eq!(sub.generation(), 0, "no batch maintained it yet");
+
+    session.apply_batch(&stream.next_batch()).unwrap();
+    assert!(sub
+        .value()
+        .unwrap()
+        .multiset_eq(&session.execute(&prepared).unwrap()));
+    assert_eq!(sub.generation(), 1);
+}
+
+/// Two subscriptions to different queries are maintained independently by
+/// the same committed batches, and cloned handles share one live view.
+#[test]
+fn multiple_subscriptions_are_maintained_by_the_same_writes() {
+    let db = small_db();
+    let session = Shredder::over(db.clone()).unwrap();
+    let queries = datagen::queries::nested_queries();
+    let p1 = session.prepare(&queries[0].1).unwrap();
+    let p2 = session.prepare(&queries[3].1).unwrap();
+    let s1 = session.subscribe(&p1).unwrap();
+    let s2 = session.subscribe(&p2).unwrap();
+    let s1_clone = s1.clone();
+
+    let mut stream = MutationStream::over(
+        &db,
+        MutationConfig {
+            ops_per_batch: 2,
+            seed: 19,
+            ..MutationConfig::default()
+        },
+    );
+    for _ in 0..4 {
+        session.apply_batch(&stream.next_batch()).unwrap();
+        assert!(s1
+            .value()
+            .unwrap()
+            .multiset_eq(&session.execute(&p1).unwrap()));
+        assert!(s2
+            .value()
+            .unwrap()
+            .multiset_eq(&session.execute(&p2).unwrap()));
+    }
+    assert_eq!(s1.generation(), 4);
+    assert_eq!(s1_clone.generation(), 4, "clones share the live view");
+    assert_eq!(s2.generation(), 4);
+}
+
+/// `maintain_nanos` accumulates only across maintained batches — it is the
+/// maintenance-only cost a benchmark compares against full recompute.
+#[test]
+fn maintain_nanos_accumulates_per_maintained_batch() {
+    let db = small_db();
+    let session = Shredder::over(db.clone()).unwrap();
+    let (_, q) = datagen::queries::nested_queries().remove(0);
+    let prepared = session.prepare(&q).unwrap();
+    let sub = session.subscribe(&prepared).unwrap();
+    assert_eq!(sub.maintain_nanos(), 0, "nothing maintained yet");
+
+    let mut stream = MutationStream::over(
+        &db,
+        MutationConfig {
+            ops_per_batch: 1,
+            seed: 5,
+            ..MutationConfig::default()
+        },
+    );
+    session.apply_batch(&stream.next_batch()).unwrap();
+    let after_one = sub.maintain_nanos();
+    assert!(after_one > 0, "a maintained batch costs measurable time");
+    session.apply_batch(&stream.next_batch()).unwrap();
+    assert!(sub.maintain_nanos() > after_one, "the counter accumulates");
+}

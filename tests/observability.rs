@@ -300,3 +300,70 @@ fn a_custom_sink_receives_every_profile_with_all_pipeline_stages() {
     // Installing a custom sink replaces the in-memory ring.
     assert!(session.recent_profiles().is_empty());
 }
+
+// ---------------------------------------------------------------------------
+// Write-path observability: apply_batch counters and maintenance histogram
+// ---------------------------------------------------------------------------
+
+#[test]
+fn committed_writes_bump_the_write_counters_and_maintain_histogram() {
+    let db = small_db();
+    let session = Shredder::over(db.clone()).unwrap();
+    let queries = datagen::queries::nested_queries();
+    let p1 = session.prepare(&queries[0].1).unwrap();
+    let p2 = session.prepare(&queries[3].1).unwrap();
+    let _s1 = session.subscribe(&p1).unwrap();
+    let _s2 = session.subscribe(&p2).unwrap();
+
+    let mut stream = MutationStream::over(
+        &db,
+        MutationConfig {
+            ops_per_batch: 2,
+            seed: 31,
+            ..MutationConfig::default()
+        },
+    );
+    let mut delta_rows = 0u64;
+    const BATCHES: u64 = 5;
+    for _ in 0..BATCHES {
+        let delta = session.apply_batch(&stream.next_batch()).unwrap();
+        delta_rows += delta.row_count() as u64;
+    }
+
+    let snapshot = session.metrics_snapshot();
+    assert_eq!(snapshot.counter("writes.applied"), Some(BATCHES));
+    assert_eq!(snapshot.counter("delta.rows"), Some(delta_rows));
+    // One maintenance sample per live subscription per committed batch.
+    let maintain = snapshot.histogram("stage.maintain").unwrap();
+    assert_eq!(maintain.count, BATCHES * 2);
+    assert!(maintain.min <= maintain.p50 && maintain.p50 <= maintain.max);
+}
+
+#[test]
+fn a_dropped_subscription_stops_contributing_maintenance_samples() {
+    let db = small_db();
+    let session = Shredder::over(db.clone()).unwrap();
+    let (_, q) = datagen::queries::nested_queries().remove(0);
+    let prepared = session.prepare(&q).unwrap();
+    let sub = session.subscribe(&prepared).unwrap();
+
+    let mut stream = MutationStream::over(
+        &db,
+        MutationConfig {
+            ops_per_batch: 2,
+            seed: 37,
+            ..MutationConfig::default()
+        },
+    );
+    session.apply_batch(&stream.next_batch()).unwrap();
+    drop(sub);
+    session.apply_batch(&stream.next_batch()).unwrap();
+
+    let snapshot = session.metrics_snapshot();
+    assert_eq!(snapshot.counter("writes.applied"), Some(2));
+    let maintain = snapshot.histogram("stage.maintain").unwrap();
+    assert_eq!(
+        maintain.count, 1,
+        "only the batch committed while the subscription was alive maintains it"
+    );
+}
