@@ -20,6 +20,16 @@
 //!   ([`codes::PROJECTION_ARITY`], [`codes::UNION_ARITY`]);
 //! * operator operand types fit ([`codes::EXPR_TYPE_MISMATCH`]), with
 //!   `NULL` and param slots typed as ⊤ (compatible with everything).
+//!
+//! All of these invariants are **cardinality-independent**: they constrain
+//! schemas, positions and types, never row counts. A plan the validator
+//! accepts is therefore equally sound when the executor feeds operators
+//! bounded morsels instead of whole batches — each morsel carries the same
+//! schema as the full input, so nothing here needs re-checking per morsel
+//! or per worker. Pipeline breakers (see
+//! [`PhysicalPlan::is_pipeline_breaker`]) differ from streaming operators
+//! only in *when* they may emit, which is likewise invisible to these
+//! checks.
 
 use crate::{codes, Diagnostic, Stage};
 use sqlengine::ast::BinOp;
@@ -585,6 +595,68 @@ mod tests {
     #[test]
     fn well_formed_plans_validate_clean() {
         assert!(codes_of(&join_plan()).is_empty());
+    }
+
+    /// The breaker classification the morsel-parallel executor relies on:
+    /// exactly the operators that must see their whole input before
+    /// emitting (sort, numbering, dedup, set ops) are pipeline breakers;
+    /// streaming operators — including hash join, whose build side is
+    /// partitioned rather than accumulated per worker — are not. The
+    /// validator's checks are cardinality-independent either way, so a
+    /// clean plan stays clean regardless of how it is morselised.
+    #[test]
+    fn pipeline_breaker_classification_is_exactly_the_blocking_operators() {
+        fn scan() -> Box<PhysicalPlan> {
+            Box::new(PhysicalPlan::TableScan {
+                table: "employees".to_string(),
+                alias: "e".to_string(),
+                columns: vec!["id".to_string()],
+                estimated_rows: None,
+            })
+        }
+        let breakers = [
+            PhysicalPlan::Sort {
+                input: scan(),
+                keys: vec![VExpr::Col {
+                    index: 0,
+                    alias: None,
+                    column: "id".to_string(),
+                }],
+            },
+            PhysicalPlan::RowNumber {
+                input: scan(),
+                specs: vec![vec![]],
+            },
+            PhysicalPlan::Distinct { input: scan() },
+            PhysicalPlan::UnionAll(vec![*scan(), *scan()]),
+            PhysicalPlan::ExceptAll {
+                left: scan(),
+                right: scan(),
+            },
+        ];
+        for plan in &breakers {
+            assert!(plan.is_pipeline_breaker(), "{:?}", plan);
+        }
+        let streaming = [
+            PhysicalPlan::UnitRow,
+            *scan(),
+            PhysicalPlan::Filter {
+                input: scan(),
+                predicate: VExpr::Col {
+                    index: 0,
+                    alias: None,
+                    column: "id".to_string(),
+                },
+            },
+            PhysicalPlan::NestedLoopJoin {
+                left: scan(),
+                right: scan(),
+            },
+            join_plan(),
+        ];
+        for plan in &streaming {
+            assert!(!plan.is_pipeline_breaker(), "{:?}", plan);
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! experiments --figure 11                 # nested queries Q1–Q6 (Figure 11)
 //! experiments --appendix-a               # Van den Bussche blow-up (Appendix A)
 //! experiments --all                      # everything
-//! experiments --max-departments 64      # extend the scaling sweep
+//! experiments --departments 64          # extend the scaling sweep
+//! experiments --max-departments 64      # (alias of --departments)
 //! experiments --check                    # verify every result against N⟦−⟧
 //! experiments --vexec-json BENCH_pr2.json  # interpreter vs. vectorized engine
 //! experiments --stitch-json BENCH_pr5.json # row-path vs. columnar result assembly
@@ -14,6 +15,7 @@
 //! experiments --concurrency-json BENCH_pr4.json # shared-session thread scaling
 //! experiments --profile-json BENCH_pr7.json # stage tracing + operator profiling overhead
 //! experiments --delta-json BENCH_pr8.json  # incremental maintenance vs. full recompute
+//! experiments --morsel-json BENCH_pr9.json # morsel-parallel vs. sequential execution
 //! ```
 //!
 //! Output layout mirrors the paper: one row per query and system, one column
@@ -38,6 +40,7 @@ struct Options {
     analyze_json: Option<String>,
     profile_json: Option<String>,
     delta_json: Option<String>,
+    morsel_json: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -58,6 +61,7 @@ fn parse_args() -> Options {
         analyze_json: None,
         profile_json: None,
         delta_json: None,
+        morsel_json: None,
     };
     let mut i = 0;
     let mut any = false;
@@ -85,11 +89,13 @@ fn parse_args() -> Options {
                 opts.appendix_a = true;
                 any = true;
             }
-            "--max-departments" => {
+            // `--departments` is the uniform scale knob across every bench
+            // gate; `--max-departments` stays as an alias for older scripts.
+            "--departments" | "--max-departments" => {
                 i += 1;
                 opts.max_departments =
                     args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                        eprintln!("--max-departments expects a number");
+                        eprintln!("--departments expects a number");
                         std::process::exit(2);
                     });
             }
@@ -169,6 +175,15 @@ fn parse_args() -> Options {
                 opts.delta_json = Some(path);
                 any = true;
             }
+            "--morsel-json" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--morsel-json expects a file path");
+                    std::process::exit(2);
+                });
+                opts.morsel_json = Some(path);
+                any = true;
+            }
             "--concurrency-execs" => {
                 i += 1;
                 opts.concurrency_execs =
@@ -180,11 +195,11 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--figure 10|11] [--appendix-a] [--all] \
-                     [--max-departments N] [--runs N] [--check] [--vexec-json PATH] \
+                     [--departments N] [--runs N] [--check] [--vexec-json PATH] \
                      [--params-json PATH] [--param-bindings N] \
                      [--concurrency-json PATH] [--concurrency-execs N] \
                      [--stitch-json PATH] [--analyze-json PATH] [--profile-json PATH] \
-                     [--delta-json PATH]"
+                     [--delta-json PATH] [--morsel-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -760,6 +775,112 @@ fn delta_report(path: &str, opts: &Options) {
     );
 }
 
+/// The PR 9 morsel-parallelism smoke gate: every benchmark query's compiled
+/// stages executed sequentially and morsel-parallel, with the parallel
+/// results differentially checked at morsel sizes 1/7/4096 against the
+/// `workers = 1` baseline (strict, order included) and against the
+/// row-at-a-time interpreter (as a bag). Writes the machine-readable report
+/// and fails the process on any divergence, on any morsel-size-dependent
+/// answer, or — on hosts with at least 4 cores — if the heavy queries (Q2,
+/// QF6) speed up by less than cores/2. On smaller hosts the scaling
+/// assertion relaxes to a no-collapse check and the host's parallelism is
+/// recorded in the report.
+fn morsel_report(path: &str, opts: &Options) {
+    let instance = Instance::at_scale(opts.max_departments);
+    println!(
+        "\n=== Morsel-parallel vs. sequential execution ({} departments, median of {}) ===",
+        instance.departments, opts.runs
+    );
+    let report = bench::compare_morsel(&instance, opts.runs);
+    println!(
+        "{:<6} {:<7} {:>7} {:>12} {:>12} {:>9} {:>11} {:>8}",
+        "query", "kind", "stages", "1-worker ms", "parallel ms", "speedup", "consistent", "oracle"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<6} {:<7} {:>7} {:>12.4} {:>12.4} {:>8.2}x {:>11} {:>8}",
+            row.query,
+            row.kind,
+            row.stages,
+            row.single_ms,
+            row.parallel_ms,
+            row.speedup(),
+            if row.consistent { "yes" } else { "NO" },
+            if row.matches_oracle { "yes" } else { "NO" },
+        );
+    }
+    println!(
+        "workers: {}, host parallelism: {}, morsel sizes checked: {:?}",
+        report.workers, report.available_parallelism, report.morsel_sizes
+    );
+    let json = bench::morsel_report_json(&report, opts.runs);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {}: {}", path, e);
+        std::process::exit(1);
+    }
+    println!("wrote {}", path);
+
+    let mut failed = false;
+    for row in &report.rows {
+        if !row.consistent {
+            eprintln!(
+                "FAIL: query {} returns a morsel-size-dependent answer",
+                row.query
+            );
+            failed = true;
+        }
+        if !row.matches_oracle {
+            eprintln!(
+                "FAIL: query {} diverges from the interpreter oracle under parallelism",
+                row.query
+            );
+            failed = true;
+        }
+    }
+    // The scaling gate watches the two heaviest single queries of the suite.
+    const HEAVY: [&str; 2] = ["Q2", "QF6"];
+    for name in HEAVY {
+        let Some(row) = report.rows.iter().find(|r| r.query == name) else {
+            eprintln!("FAIL: heavy query {} missing from the sweep", name);
+            failed = true;
+            continue;
+        };
+        let speedup = row.speedup();
+        if report.available_parallelism >= 4 {
+            let floor = report.available_parallelism as f64 / 2.0;
+            if speedup < floor {
+                eprintln!(
+                    "FAIL: {} speeds up only {:.2}x under {} workers on a {}-way host \
+                     (expected >= {:.1}x)",
+                    name, speedup, report.workers, report.available_parallelism, floor
+                );
+                failed = true;
+            }
+        } else if speedup <= 0.5 {
+            // An under-provisioned host cannot scale; still refuse outright
+            // collapse (parallel execution must not lose to sequential by 2x).
+            eprintln!(
+                "FAIL: {} collapsed to {:.2}x under {} workers on a {}-way host",
+                name, speedup, report.workers, report.available_parallelism
+            );
+            failed = true;
+        } else {
+            println!(
+                "note: host has {} core(s); morsel scaling assertion for {} relaxed to \
+                 a no-collapse check ({:.2}x)",
+                report.available_parallelism, name, speedup
+            );
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "morsel-parallel execution verified: identical answers at every morsel size \
+         and worker count"
+    );
+}
+
 fn main() {
     let opts = parse_args();
     let scales = department_scales(opts.max_departments);
@@ -828,5 +949,8 @@ fn main() {
     }
     if let Some(path) = &opts.delta_json {
         delta_report(path, &opts);
+    }
+    if let Some(path) = &opts.morsel_json {
+        morsel_report(path, &opts);
     }
 }

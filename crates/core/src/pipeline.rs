@@ -178,39 +178,166 @@ pub fn execute_bound_obs(
     params: &sqlengine::ParamValues,
     obs: Option<&obs::QueryObs>,
 ) -> Result<Value, ShredError> {
+    execute_bound_obs_opts(
+        compiled,
+        engine,
+        params,
+        obs,
+        sqlengine::ExecOptions::default(),
+    )
+}
+
+/// [`execute_bound_obs`] with explicit execution options. With
+/// `opts.workers > 1` the package's stages — independent by construction
+/// (each is one self-contained flat query; only the final stitch joins
+/// them) — are executed **and decoded** concurrently on scoped threads
+/// handed out from an atomic cursor, and each stage's own plan execution
+/// fans morsels across its share of the same worker budget
+/// (`workers / stage_count`, so a single-stage package gets the full pool
+/// at operator level while a 4-stage package overlaps whole stages).
+/// Results are reassembled in the package's canonical depth-first stage
+/// order, so the stitched value is identical to the sequential path's.
+pub fn execute_bound_obs_opts(
+    compiled: &CompiledQuery,
+    engine: &Engine,
+    params: &sqlengine::ParamValues,
+    obs: Option<&obs::QueryObs>,
+    opts: sqlengine::ExecOptions,
+) -> Result<Value, ShredError> {
     let profile_ops = obs.is_some_and(|o| o.profile_operators());
-    let mut stage_idx = 0usize;
-    let stages: Package<ColumnarStage> = compiled.stages.try_map(&mut |stage: &QueryStage| {
-        let i = stage_idx;
-        stage_idx += 1;
-        let result =
-            if profile_ops {
-                let (result, prof) = obs::time_maybe(obs, obs::Stage::Execute, || {
-                    engine.execute_plan_profiled(&stage.plan, params)
-                })?;
-                if let Some(o) = obs {
-                    let nodes = stage.plan.nodes();
-                    o.push_operators(prof.ops.iter().enumerate().map(|(n, a)| {
-                        obs::OperatorProfile {
-                            stage: i,
-                            node: n,
-                            op: nodes[n].kind().to_string(),
-                            batches: a.batches,
-                            rows_in: a.rows_in,
-                            rows_out: a.rows_out,
-                            nanos: a.nanos,
-                        }
-                    }));
+    let stage_refs: Vec<&QueryStage> = compiled.stages.annotations();
+    let n = stage_refs.len();
+
+    let decoded: Vec<ColumnarStage> = if opts.workers > 1 && n > 1 {
+        let stage_opts = sqlengine::ExecOptions {
+            workers: (opts.workers / n.min(opts.workers)).max(1),
+            ..opts
+        };
+        let threads = opts.workers.min(n);
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let run = || {
+            let mut local: Vec<(usize, Result<ColumnarStage, ShredError>)> = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
-                result
-            } else {
-                obs::time_maybe(obs, obs::Stage::Execute, || {
-                    engine.execute_plan_bound(&stage.plan, params)
-                })?
-            };
-        ColumnarStage::decode_obs(stage.layout.clone(), result, obs)
+                local.push((
+                    i,
+                    run_stage(
+                        stage_refs[i],
+                        i,
+                        engine,
+                        params,
+                        obs,
+                        profile_ops,
+                        stage_opts,
+                    ),
+                ));
+            }
+            local
+        };
+        let collected: Vec<Vec<(usize, Result<ColumnarStage, ShredError>)>> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (1..threads).map(|_| s.spawn(run)).collect();
+                let mine = run();
+                let mut all = vec![mine];
+                for h in handles {
+                    match h.join() {
+                        Ok(v) => all.push(v),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+                all
+            });
+        let mut slots: Vec<Option<Result<ColumnarStage, ShredError>>> =
+            (0..n).map(|_| None).collect();
+        for (i, r) in collected.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.unwrap_or_else(|| {
+                    Err(ShredError::Internal(
+                        "stage result missing after join".to_string(),
+                    ))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        stage_refs
+            .iter()
+            .enumerate()
+            .map(|(i, stage)| run_stage(stage, i, engine, params, obs, profile_ops, opts))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+
+    // Reassemble in the package's canonical depth-first order — the same
+    // order `annotations()` listed the stages in, so stage `i` lands back
+    // on the constructor it came from.
+    let mut results = decoded.into_iter();
+    let stages: Package<ColumnarStage> = compiled.stages.try_map(&mut |_: &QueryStage| {
+        results.next().ok_or_else(|| {
+            ShredError::Internal("stage count mismatch during reassembly".to_string())
+        })
     })?;
     crate::stitch::stitch_obs(stages, obs)
+}
+
+/// Execute and decode one shredded stage: the per-stage body of
+/// [`execute_bound_obs_opts`], shared by its sequential and stage-parallel
+/// paths.
+fn run_stage(
+    stage: &QueryStage,
+    i: usize,
+    engine: &Engine,
+    params: &sqlengine::ParamValues,
+    obs: Option<&obs::QueryObs>,
+    profile_ops: bool,
+    opts: sqlengine::ExecOptions,
+) -> Result<ColumnarStage, ShredError> {
+    let result = if profile_ops {
+        let (result, prof, stats) = obs::time_maybe(obs, obs::Stage::Execute, || {
+            engine.execute_plan_profiled_opts(&stage.plan, params, opts)
+        })?;
+        if let Some(o) = obs {
+            let nodes = stage.plan.nodes();
+            o.push_operators(
+                prof.ops
+                    .iter()
+                    .enumerate()
+                    .map(|(n, a)| obs::OperatorProfile {
+                        stage: i,
+                        node: n,
+                        op: nodes[n].kind().to_string(),
+                        batches: a.batches,
+                        rows_in: a.rows_in,
+                        rows_out: a.rows_out,
+                        nanos: a.nanos,
+                    }),
+            );
+            o.record_morsels(&obs::MorselStats {
+                dispatched: stats.morsels_dispatched,
+                peak_workers: stats.peak_workers,
+                morsel_nanos: stats.morsel_nanos,
+            });
+        }
+        result
+    } else {
+        let (result, stats) = obs::time_maybe(obs, obs::Stage::Execute, || {
+            engine.execute_plan_bound_opts(&stage.plan, params, opts)
+        })?;
+        if let Some(o) = obs {
+            o.record_morsels(&obs::MorselStats {
+                dispatched: stats.morsels_dispatched,
+                peak_workers: stats.peak_workers,
+                morsel_nanos: stats.morsel_nanos,
+            });
+        }
+        result
+    };
+    ColumnarStage::decode_obs(stage.layout.clone(), result, obs)
 }
 
 /// Execute a compiled query over the row-major result path: transpose each

@@ -243,9 +243,19 @@ pub struct ExecContext<'a> {
     engine: &'a OnceLock<Arc<Engine>>,
     engine_init: &'a Mutex<()>,
     obs: Option<&'a QueryObs>,
+    exec_opts: sqlengine::ExecOptions,
 }
 
 impl<'a> ExecContext<'a> {
+    /// The session's execution options: worker count and morsel size for
+    /// the morsel-parallel executor ([`ShredderBuilder::workers`],
+    /// [`ShredderBuilder::morsel_rows`]). Backends that execute physical
+    /// plans pass these through to the engine's `_opts` entry points;
+    /// `workers == 1` is the sequential executor.
+    pub fn exec_opts(&self) -> sqlengine::ExecOptions {
+        self.exec_opts
+    }
+
     /// The session's per-call span collector, when stage tracing is active
     /// for this execute call. Backends record `Execute`/`Decode`/`Stitch`
     /// spans into it (conveniently via [`obs::time_maybe`]); when it also
@@ -843,6 +853,8 @@ pub struct ShredderBuilder {
     profile: bool,
     metrics: Option<Arc<MetricsRegistry>>,
     obs_sink: Option<Arc<dyn ObsSink>>,
+    workers: Option<usize>,
+    morsel_rows: Option<usize>,
 }
 
 impl fmt::Debug for ShredderBuilder {
@@ -852,6 +864,7 @@ impl fmt::Debug for ShredderBuilder {
             .field("backend", &self.backend)
             .field("cache_capacity", &self.cache_capacity)
             .field("cache_disabled", &self.cache_disabled)
+            .field("workers", &self.workers)
             .finish_non_exhaustive()
     }
 }
@@ -871,6 +884,8 @@ impl Default for ShredderBuilder {
             profile: false,
             metrics: None,
             obs_sink: None,
+            workers: None,
+            morsel_rows: None,
         }
     }
 }
@@ -958,6 +973,28 @@ impl ShredderBuilder {
         self
     }
 
+    /// Worker threads for executing one query: morsels (bounded columnar
+    /// row ranges) of each operator's input fan out across this many
+    /// threads, and a multi-stage shredded package additionally runs its
+    /// independent stages concurrently on the same budget. Defaults to
+    /// [`std::thread::available_parallelism`]. `workers(1)` is the
+    /// sequential executor — the degenerate case the interpreter oracle
+    /// and the live-view delta path are differentially tested against.
+    /// Values are clamped to at least 1.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Upper bound on rows per morsel for the parallel executor (default
+    /// [`sqlengine::DEFAULT_MORSEL_ROWS`]). Answers are identical at every
+    /// morsel size; this only trades scheduling overhead against load
+    /// balance and per-operator working-set size. Clamped to at least 1.
+    pub fn morsel_rows(mut self, rows: usize) -> Self {
+        self.morsel_rows = Some(rows.max(1));
+        self
+    }
+
     /// Use an existing metrics registry instead of a fresh one, so several
     /// sessions (e.g. over different databases) aggregate into one set of
     /// counters and histograms.
@@ -1042,6 +1079,14 @@ impl ShredderBuilder {
                 sink,
                 write_lock: Mutex::new(()),
                 subs: Mutex::new(Vec::new()),
+                exec_opts: sqlengine::ExecOptions {
+                    workers: self.workers.unwrap_or_else(|| {
+                        std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(1)
+                    }),
+                    morsel_rows: self.morsel_rows.unwrap_or(sqlengine::DEFAULT_MORSEL_ROWS),
+                },
             }),
         })
     }
@@ -1152,6 +1197,10 @@ struct ShredderCore {
     /// [`Subscription`] unsubscribes it; dead entries are pruned on the next
     /// committed batch.
     subs: Mutex<Vec<Weak<LiveView>>>,
+    /// Worker count and morsel size for the morsel-parallel executor (see
+    /// [`ShredderBuilder::workers`]). Live-view maintenance ignores these:
+    /// the delta path is row-at-a-time by design.
+    exec_opts: sqlengine::ExecOptions,
 }
 
 impl Shredder {
@@ -1481,6 +1530,22 @@ impl Shredder {
         for span in &spans {
             metrics.record(span.stage.metric_name(), span.nanos);
         }
+        let morsels = obs.take_morsels();
+        if !morsels.is_empty() {
+            metrics
+                .counter("morsels.dispatched")
+                .add(morsels.dispatched);
+            // Peak simultaneously busy workers of the most parallel
+            // execution seen so far (gauges are monotonic-max here: a
+            // sequential query leaves the high-water mark alone).
+            let gauge = metrics.gauge("workers.active");
+            if (morsels.peak_workers as i64) > gauge.get() {
+                gauge.set(morsels.peak_workers as i64);
+            }
+            for nanos in &morsels.morsel_nanos {
+                metrics.record("morsel", *nanos);
+            }
+        }
         if profile {
             let mut per_stage: Vec<Vec<sqlengine::OpActuals>> =
                 vec![Vec::new(); prepared.plan.stages.len().max(1)];
@@ -1761,6 +1826,7 @@ impl Shredder {
             engine: &self.core.engine,
             engine_init: &self.core.engine_init,
             obs,
+            exec_opts: self.core.exec_opts,
         }
     }
 }
@@ -1971,7 +2037,7 @@ impl SqlBackend for SqlEngineBackend {
     ) -> Result<Value, ShredError> {
         let compiled: &CompiledQuery = plan.downcast()?;
         let params = bindings.to_sql_params()?;
-        pipeline::execute_bound_obs(compiled, cx.engine()?, &params, cx.obs())
+        pipeline::execute_bound_obs_opts(compiled, cx.engine()?, &params, cx.obs(), cx.exec_opts())
     }
 }
 

@@ -123,6 +123,11 @@ pub fn organisation_schema() -> Schema {
 }
 
 /// Generate an organisation database according to the configuration.
+///
+/// Generation is linear in the total row count: rows are buffered per table
+/// and loaded with [`Database::insert_bulk`], which validates the whole
+/// batch against one precomputed row type — so scaling to 256+ departments
+/// costs proportionally more rows, not proportionally more per-row setup.
 pub fn generate(config: &OrgConfig) -> Database {
     let mut rng = Rng::seed_from_u64(config.seed);
     let mut db = Database::new(organisation_schema());
@@ -130,16 +135,19 @@ pub fn generate(config: &OrgConfig) -> Database {
     let mut task_id = 0i64;
     let mut contact_id = 0i64;
 
+    let mut departments: Vec<Value> = Vec::with_capacity(config.departments);
+    let mut employees: Vec<Value> =
+        Vec::with_capacity(config.departments * config.employees_per_department);
+    let mut tasks: Vec<Value> = Vec::new();
+    let mut contacts: Vec<Value> =
+        Vec::with_capacity(config.departments * config.contacts_per_department);
+
     for d in 0..config.departments {
         let dept_name = format!("dept_{:05}", d);
-        db.insert_row(
-            "departments",
-            vec![
-                ("id", Value::Int(d as i64 + 1)),
-                ("name", Value::string(dept_name.clone())),
-            ],
-        )
-        .expect("department row matches schema");
+        departments.push(Value::record(vec![
+            ("id", Value::Int(d as i64 + 1)),
+            ("name", Value::string(dept_name.clone())),
+        ]));
 
         // Employee count fluctuates around the configured average, as in the
         // paper ("each department has on average 100 employees").
@@ -156,49 +164,45 @@ pub fn generate(config: &OrgConfig) -> Database {
             employee_id += 1;
             let name = format!("emp_{:07}", employee_id);
             let salary = sample_salary(&mut rng, config);
-            db.insert_row(
-                "employees",
-                vec![
-                    ("id", Value::Int(employee_id)),
-                    ("dept", Value::string(dept_name.clone())),
-                    ("name", Value::string(name.clone())),
-                    ("salary", Value::Int(salary)),
-                ],
-            )
-            .expect("employee row matches schema");
+            employees.push(Value::record(vec![
+                ("id", Value::Int(employee_id)),
+                ("dept", Value::string(dept_name.clone())),
+                ("name", Value::string(name.clone())),
+                ("salary", Value::Int(salary)),
+            ]));
 
             let task_count = rng.range_usize(0, config.max_tasks_per_employee);
             for t in 0..task_count {
                 task_id += 1;
                 let task =
                     TASK_NAMES[(rng.range_usize(0, TASK_NAMES.len() - 1) + t) % TASK_NAMES.len()];
-                db.insert_row(
-                    "tasks",
-                    vec![
-                        ("id", Value::Int(task_id)),
-                        ("employee", Value::string(name.clone())),
-                        ("task", Value::string(task)),
-                    ],
-                )
-                .expect("task row matches schema");
+                tasks.push(Value::record(vec![
+                    ("id", Value::Int(task_id)),
+                    ("employee", Value::string(name.clone())),
+                    ("task", Value::string(task)),
+                ]));
             }
         }
 
         for _ in 0..config.contacts_per_department {
             contact_id += 1;
             let client = rng.chance(config.client_probability);
-            db.insert_row(
-                "contacts",
-                vec![
-                    ("id", Value::Int(contact_id)),
-                    ("dept", Value::string(dept_name.clone())),
-                    ("name", Value::string(format!("contact_{:06}", contact_id))),
-                    ("client", Value::Bool(client)),
-                ],
-            )
-            .expect("contact row matches schema");
+            contacts.push(Value::record(vec![
+                ("id", Value::Int(contact_id)),
+                ("dept", Value::string(dept_name.clone())),
+                ("name", Value::string(format!("contact_{:06}", contact_id))),
+                ("client", Value::Bool(client)),
+            ]));
         }
     }
+    db.insert_bulk("departments", departments)
+        .expect("department rows match schema");
+    db.insert_bulk("employees", employees)
+        .expect("employee rows match schema");
+    db.insert_bulk("tasks", tasks)
+        .expect("task rows match schema");
+    db.insert_bulk("contacts", contacts)
+        .expect("contact rows match schema");
     db
 }
 
@@ -280,6 +284,40 @@ mod tests {
             let emp = task.field("employee").unwrap().as_str().unwrap();
             assert!(employee_names.iter().any(|n| n == emp));
         }
+    }
+
+    #[test]
+    fn scales_to_256_departments() {
+        // The morsel-parallel bench gate generates at 256+ departments; this
+        // pins the row-count shape at that scale (generation itself is
+        // linear — rows are bulk-loaded against one precomputed row type).
+        let config = OrgConfig {
+            departments: 256,
+            employees_per_department: 20,
+            contacts_per_department: 5,
+            ..OrgConfig::default()
+        };
+        let db = generate(&config);
+        assert_eq!(db.row_count("departments"), 256);
+        assert_eq!(db.row_count("contacts"), 256 * 5);
+        let employees = db.row_count("employees");
+        // Average 20 per department, fluctuating ±25%.
+        assert!((256 * 15..=256 * 25).contains(&employees), "{employees}");
+        assert!(db.row_count("tasks") <= employees * config.max_tasks_per_employee);
+    }
+
+    #[test]
+    fn bulk_load_matches_per_row_insert() {
+        let config = OrgConfig::small();
+        let bulk = generate(&config);
+        // Reference: the same rows loaded one `insert` call at a time.
+        let mut per_row = Database::new(organisation_schema());
+        for table in ["departments", "employees", "tasks", "contacts"] {
+            for row in bulk.table_rows_unordered(table).unwrap() {
+                per_row.insert(table, row.clone()).unwrap();
+            }
+        }
+        assert_eq!(bulk, per_row);
     }
 
     #[test]

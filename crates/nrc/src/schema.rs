@@ -178,6 +178,37 @@ impl Database {
         self.insert(table, Value::record(fields))
     }
 
+    /// Insert many rows into one table, checking each against the table
+    /// schema. Equivalent to calling [`insert`](Self::insert) per row but
+    /// with constant per-batch setup: the expected row type is computed
+    /// once for the whole batch instead of being rebuilt per row, which is
+    /// what keeps bulk data generation (e.g. `datagen` at 256+ departments)
+    /// linear with a small constant rather than paying a per-row type
+    /// construction. On a type mismatch, rows before the offending one stay
+    /// inserted (same granularity as repeated `insert` calls).
+    pub fn insert_bulk(
+        &mut self,
+        table: &str,
+        rows: impl IntoIterator<Item = Value>,
+    ) -> Result<(), DatabaseError> {
+        let schema = self
+            .schema
+            .table(table)
+            .ok_or_else(|| DatabaseError::NoSuchTable(table.to_string()))?;
+        let row_type = schema.row_type();
+        let data = self.data.get_mut(table).expect("data map tracks schema");
+        for row in rows {
+            if !row.has_type(&row_type) {
+                return Err(DatabaseError::RowTypeMismatch {
+                    table: table.to_string(),
+                    row: format!("{}", row),
+                });
+            }
+            data.push(row);
+        }
+        Ok(())
+    }
+
     /// The rows of a table in *canonical order* (ordered by all columns in
     /// lexicographic order of field names), which is the list interpretation
     /// ⟦t⟧ the paper assumes.

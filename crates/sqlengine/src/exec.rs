@@ -132,6 +132,40 @@ impl Engine {
         crate::vexec::execute_plan_profiled(plan, &self.storage(), params)
     }
 
+    /// Like [`execute_plan_bound`](Engine::execute_plan_bound), but with
+    /// explicit [`ExecOptions`]: `workers > 1` fans bounded morsels across
+    /// a scoped worker pool (see [`crate::par`]), returning the same result
+    /// the sequential path produces plus per-morsel [`ExecStats`].
+    /// `workers == 1` is exactly the sequential executor.
+    pub fn execute_plan_bound_opts(
+        &self,
+        plan: &PhysicalPlan,
+        params: &ParamValues,
+        opts: crate::par::ExecOptions,
+    ) -> Result<(ColumnarResult, crate::par::ExecStats), EngineError> {
+        crate::par::execute_plan_bound_opts(plan, &self.storage(), params, opts)
+    }
+
+    /// Like [`execute_plan_profiled`](Engine::execute_plan_profiled), but
+    /// with explicit [`ExecOptions`]. Under parallelism the per-operator
+    /// actuals are aggregated atomically across workers, so `rows_out` and
+    /// batch counts stay exact.
+    pub fn execute_plan_profiled_opts(
+        &self,
+        plan: &PhysicalPlan,
+        params: &ParamValues,
+        opts: crate::par::ExecOptions,
+    ) -> Result<
+        (
+            ColumnarResult,
+            crate::vexec::PlanProfile,
+            crate::par::ExecStats,
+        ),
+        EngineError,
+    > {
+        crate::par::execute_plan_profiled_opts(plan, &self.storage(), params, opts)
+    }
+
     /// Execute a query AST: plan it and run the plan on the vectorized
     /// executor (the default path). Callers that execute the same query
     /// repeatedly should [`prepare`](Engine::prepare) once instead.

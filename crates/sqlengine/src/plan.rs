@@ -344,6 +344,30 @@ impl PhysicalPlan {
         }
     }
 
+    /// Is this operator a **pipeline breaker** — one that must observe its
+    /// whole input before emitting its first output row? Breakers are the
+    /// operators the morsel-parallel executor ([`crate::par`]) cannot
+    /// stream: they accumulate per-worker partial state (sorted runs, row
+    /// materialisations) and merge it, instead of emitting per-morsel
+    /// results in morsel order. Everything else (scans, filters, joins,
+    /// projections, exists-semijoins) is streaming: its output for a morsel
+    /// depends only on that morsel's rows, so per-morsel intermediate
+    /// memory is bounded by the morsel size.
+    ///
+    /// `HashJoin` is deliberately *not* classified as a breaker: only its
+    /// build side is blocking, and the build table is partitioned across
+    /// workers rather than accumulated per-worker (see `crate::par`).
+    pub fn is_pipeline_breaker(&self) -> bool {
+        matches!(
+            self,
+            PhysicalPlan::Sort { .. }
+                | PhysicalPlan::RowNumber { .. }
+                | PhysicalPlan::Distinct { .. }
+                | PhysicalPlan::UnionAll(_)
+                | PhysicalPlan::ExceptAll { .. }
+        )
+    }
+
     /// The node's direct structural children (its inputs), in render order.
     pub fn children(&self) -> Vec<&PhysicalPlan> {
         match self {

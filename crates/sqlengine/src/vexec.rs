@@ -26,9 +26,9 @@ use crate::exec::eval_binop;
 use crate::plan::{BuildSide, OpActuals, PhysicalPlan, VExpr};
 use crate::storage::{ColumnarResult, Storage};
 use crate::value::{compare_rows, ParamValues, Row, SqlValue};
-use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -75,15 +75,7 @@ pub fn execute_plan_profiled(
     storage: &Storage,
     params: &ParamValues,
 ) -> Result<(ColumnarResult, PlanProfile), EngineError> {
-    let nodes = plan.nodes();
-    let prof = Profiler {
-        ids: nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (*n as *const PhysicalPlan as usize, i))
-            .collect(),
-        cells: (0..nodes.len()).map(|_| ProfCell::default()).collect(),
-    };
+    let prof = Profiler::new(plan);
     let ctx = VecCtx {
         storage,
         params,
@@ -91,56 +83,94 @@ pub fn execute_plan_profiled(
     };
     let batch = exec(plan, &ctx, &CteEnv::default(), &ScopeStack::default())?;
     let result = batch.into_columnar();
-
-    let rows_out: Vec<u64> = prof.cells.iter().map(|c| c.rows_out.get()).collect();
-    let ops = nodes
-        .iter()
-        .enumerate()
-        .map(|(i, node)| OpActuals {
-            batches: prof.cells[i].batches.get(),
-            // Actual input rows = what the direct children actually produced
-            // (every child execution is triggered by this node).
-            rows_in: node
-                .children()
-                .iter()
-                .map(|ch| rows_out[prof.ids[&(*ch as *const PhysicalPlan as usize)]])
-                .sum(),
-            rows_out: rows_out[i],
-            nanos: prof.cells[i].nanos.get(),
-        })
-        .collect();
+    let ops = prof.actuals(plan);
     Ok((result, PlanProfile { ops }))
 }
 
 /// Accumulator for per-node actuals, keyed by node address (unique within
-/// one plan tree). `Cell`s, not atomics: one profiler belongs to exactly one
-/// single-threaded plan execution.
-struct Profiler {
+/// one plan tree). The cells are atomics (relaxed ordering — the counters
+/// are independent tallies, reconciled after all workers join) so one
+/// profiler can be shared by every worker of a morsel-parallel execution
+/// (`crate::par`): concurrent batches aggregate their counts instead of
+/// racing on a per-node accumulator.
+pub(crate) struct Profiler {
     ids: HashMap<usize, usize>,
     cells: Vec<ProfCell>,
 }
 
 #[derive(Default)]
 struct ProfCell {
-    batches: Cell<u64>,
-    rows_out: Cell<u64>,
-    nanos: Cell<u64>,
+    batches: AtomicU64,
+    rows_out: AtomicU64,
+    nanos: AtomicU64,
+}
+
+impl Profiler {
+    pub(crate) fn new(plan: &PhysicalPlan) -> Profiler {
+        let nodes = plan.nodes();
+        Profiler {
+            ids: nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (*n as *const PhysicalPlan as usize, i))
+                .collect(),
+            cells: (0..nodes.len()).map(|_| ProfCell::default()).collect(),
+        }
+    }
+
+    /// Record one execution of `plan` producing `rows_out` rows in `nanos`
+    /// inclusive wall time. Safe to call from any worker thread.
+    pub(crate) fn record(&self, plan: &PhysicalPlan, rows_out: u64, nanos: u64) {
+        if let Some(&id) = self.ids.get(&(plan as *const PhysicalPlan as usize)) {
+            let cell = &self.cells[id];
+            cell.batches.fetch_add(1, AtomicOrdering::Relaxed);
+            cell.rows_out.fetch_add(rows_out, AtomicOrdering::Relaxed);
+            cell.nanos.fetch_add(nanos, AtomicOrdering::Relaxed);
+        }
+    }
+
+    /// Assemble the per-node [`OpActuals`] for the plan this profiler was
+    /// built from, in pre-order node index order.
+    pub(crate) fn actuals(&self, plan: &PhysicalPlan) -> Vec<OpActuals> {
+        let nodes = plan.nodes();
+        let rows_out: Vec<u64> = self
+            .cells
+            .iter()
+            .map(|c| c.rows_out.load(AtomicOrdering::Relaxed))
+            .collect();
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| OpActuals {
+                batches: self.cells[i].batches.load(AtomicOrdering::Relaxed),
+                // Actual input rows = what the direct children actually
+                // produced (every child execution is triggered by this node).
+                rows_in: node
+                    .children()
+                    .iter()
+                    .map(|ch| rows_out[self.ids[&(*ch as *const PhysicalPlan as usize)]])
+                    .sum(),
+                rows_out: rows_out[i],
+                nanos: self.cells[i].nanos.load(AtomicOrdering::Relaxed),
+            })
+            .collect()
+    }
 }
 
 /// One column of a batch schema: binding alias (absent after projection) and
 /// column name.
-type SchemaCol = (Option<String>, String);
+pub(crate) type SchemaCol = (Option<String>, String);
 
 /// A columnar batch: a schema, shared column vectors and an optional
 /// selection vector picking the live rows.
 #[derive(Debug, Clone)]
 pub struct Batch {
-    schema: Arc<Vec<SchemaCol>>,
-    columns: Vec<Arc<Vec<SqlValue>>>,
-    sel: Option<Arc<Vec<usize>>>,
+    pub(crate) schema: Arc<Vec<SchemaCol>>,
+    pub(crate) columns: Vec<Arc<Vec<SqlValue>>>,
+    pub(crate) sel: Option<Arc<Vec<usize>>>,
     /// Number of physical rows in `columns` (needed explicitly because a
     /// batch may have zero columns but a positive row count).
-    base_rows: usize,
+    pub(crate) base_rows: usize,
 }
 
 impl Batch {
@@ -158,7 +188,7 @@ impl Batch {
     }
 
     /// Physical row index of logical row `i`.
-    fn phys(&self, i: usize) -> usize {
+    pub(crate) fn phys(&self, i: usize) -> usize {
         match &self.sel {
             Some(sel) => sel[i],
             None => i,
@@ -166,13 +196,13 @@ impl Batch {
     }
 
     /// The values of logical row `i`, gathered across columns.
-    fn row(&self, i: usize) -> Row {
+    pub(crate) fn row(&self, i: usize) -> Row {
         let p = self.phys(i);
         self.columns.iter().map(|c| c[p].clone()).collect()
     }
 
     /// Gather one column into a dense vector (respecting the selection).
-    fn gather(&self, col: usize) -> Vec<SqlValue> {
+    pub(crate) fn gather(&self, col: usize) -> Vec<SqlValue> {
         let data = &self.columns[col];
         match &self.sel {
             None => data.as_ref().clone(),
@@ -181,7 +211,7 @@ impl Batch {
     }
 
     /// Compact the selection away so columns can be extended or shared.
-    fn materialised(&self) -> Batch {
+    pub(crate) fn materialised(&self) -> Batch {
         match &self.sel {
             None => self.clone(),
             Some(_) => Batch {
@@ -196,7 +226,7 @@ impl Batch {
     }
 
     /// Rebuild a batch from explicit rows (used by the set operations).
-    fn from_rows(schema: Arc<Vec<SchemaCol>>, rows: Vec<Row>) -> Batch {
+    pub(crate) fn from_rows(schema: Arc<Vec<SchemaCol>>, rows: Vec<Row>) -> Batch {
         let width = schema.len();
         let base_rows = rows.len();
         let mut columns: Vec<Vec<SqlValue>> =
@@ -217,7 +247,7 @@ impl Batch {
     /// Hand the batch over as a [`ColumnarResult`]: compact the selection
     /// if there is one, then move the `Arc`-shared columns out. When the
     /// batch is already dense (no selection vector) this is zero-copy.
-    fn into_columnar(self) -> ColumnarResult {
+    pub(crate) fn into_columnar(self) -> ColumnarResult {
         let compact = match self.sel {
             None => self,
             Some(_) => self.materialised(),
@@ -228,23 +258,23 @@ impl Batch {
 }
 
 /// Execution context shared by every node.
-struct VecCtx<'a> {
-    storage: &'a Storage,
-    params: &'a ParamValues,
+pub(crate) struct VecCtx<'a> {
+    pub(crate) storage: &'a Storage,
+    pub(crate) params: &'a ParamValues,
     /// Per-operator profiler; `None` keeps execution on the unprofiled path
     /// (the only cost is this `Option` check per node execution).
-    prof: Option<&'a Profiler>,
+    pub(crate) prof: Option<&'a Profiler>,
 }
 
 /// Runtime environment of `WITH`-bound batches, innermost last. Cloning is
 /// cheap: batches share their columns by `Arc`.
 #[derive(Default, Clone)]
-struct CteEnv {
+pub(crate) struct CteEnv {
     bindings: Vec<(String, Batch)>,
 }
 
 impl CteEnv {
-    fn lookup(&self, name: &str) -> Option<&Batch> {
+    pub(crate) fn lookup(&self, name: &str) -> Option<&Batch> {
         self.bindings
             .iter()
             .rev()
@@ -252,7 +282,7 @@ impl CteEnv {
             .map(|(_, b)| b)
     }
 
-    fn extended(&self, name: &str, batch: Batch) -> CteEnv {
+    pub(crate) fn extended(&self, name: &str, batch: Batch) -> CteEnv {
         let mut bindings = self.bindings.clone();
         bindings.push((name.to_string(), batch));
         CteEnv { bindings }
@@ -262,24 +292,28 @@ impl CteEnv {
 /// The scope stack for correlated subqueries: one frame per enclosing row,
 /// innermost last.
 #[derive(Default, Clone)]
-struct ScopeStack {
+pub(crate) struct ScopeStack {
     frames: Vec<ScopeFrame>,
 }
 
 #[derive(Clone)]
-struct ScopeFrame {
-    schema: Arc<Vec<SchemaCol>>,
-    values: Row,
+pub(crate) struct ScopeFrame {
+    pub(crate) schema: Arc<Vec<SchemaCol>>,
+    pub(crate) values: Row,
 }
 
 impl ScopeStack {
-    fn pushed(&self, frame: ScopeFrame) -> ScopeStack {
+    pub(crate) fn pushed(&self, frame: ScopeFrame) -> ScopeStack {
         let mut frames = self.frames.clone();
         frames.push(frame);
         ScopeStack { frames }
     }
 
-    fn lookup(&self, table: &Option<String>, column: &str) -> Result<SqlValue, EngineError> {
+    pub(crate) fn lookup(
+        &self,
+        table: &Option<String>,
+        column: &str,
+    ) -> Result<SqlValue, EngineError> {
         match table {
             Some(alias) => {
                 for frame in self.frames.iter().rev() {
@@ -327,7 +361,7 @@ impl ScopeStack {
 /// column count matches the node's declared `output_columns()` arity, the
 /// schema is as wide as the data, and every selection-vector entry is in
 /// bounds of the physical rows.
-fn exec(
+pub(crate) fn exec(
     plan: &PhysicalPlan,
     ctx: &VecCtx<'_>,
     ctes: &CteEnv,
@@ -336,13 +370,11 @@ fn exec(
     let timer = ctx.prof.map(|p| (p, Instant::now()));
     let batch = exec_node(plan, ctx, ctes, scope)?;
     if let Some((prof, start)) = timer {
-        if let Some(&id) = prof.ids.get(&(plan as *const PhysicalPlan as usize)) {
-            let cell = &prof.cells[id];
-            cell.batches.set(cell.batches.get() + 1);
-            cell.rows_out.set(cell.rows_out.get() + batch.len() as u64);
-            cell.nanos
-                .set(cell.nanos.get() + start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-        }
+        prof.record(
+            plan,
+            batch.len() as u64,
+            start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+        );
     }
     debug_assert_eq!(
         batch.columns.len(),
@@ -643,7 +675,7 @@ fn exec_node(
 }
 
 /// Rebind a batch's columns under a new `FROM` alias (zero-copy).
-fn realias(batch: &Batch, alias: &str) -> Batch {
+pub(crate) fn realias(batch: &Batch, alias: &str) -> Batch {
     let schema: Vec<SchemaCol> = batch
         .schema
         .iter()
@@ -657,7 +689,7 @@ fn realias(batch: &Batch, alias: &str) -> Batch {
 }
 
 /// Materialise the concatenation of two batches at the given row pairs.
-fn join_gather(left: &Batch, right: &Batch, pairs: &[(usize, usize)]) -> Batch {
+pub(crate) fn join_gather(left: &Batch, right: &Batch, pairs: &[(usize, usize)]) -> Batch {
     let mut schema = left.schema.as_ref().clone();
     schema.extend(right.schema.iter().cloned());
     let mut columns: Vec<Arc<Vec<SqlValue>>> =
@@ -690,7 +722,7 @@ fn join_gather(left: &Batch, right: &Batch, pairs: &[(usize, usize)]) -> Batch {
 
 /// Evaluate a list of key expressions, transposed to one key row per batch
 /// row.
-fn eval_keys(
+pub(crate) fn eval_keys(
     keys: &[VExpr],
     batch: &Batch,
     ctx: &VecCtx<'_>,
@@ -708,7 +740,7 @@ fn eval_keys(
 }
 
 /// Column-at-a-time expression evaluation: one output value per live row.
-fn eval(
+pub(crate) fn eval(
     expr: &VExpr,
     batch: &Batch,
     ctx: &VecCtx<'_>,

@@ -247,6 +247,57 @@ fn explain_renders_cache_stats_and_engine_plan_count() {
 }
 
 // ---------------------------------------------------------------------------
+// Morsel-parallel execution metrics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn parallel_execution_records_morsel_metrics_in_the_snapshot() {
+    // Morsel size 1 forces every operator down its parallel arm even on the
+    // tiny test database, so a single query dispatches many morsels.
+    let session = Shredder::builder()
+        .database(small_db())
+        .workers(4)
+        .morsel_rows(1)
+        .build()
+        .unwrap();
+    let q = datagen::queries::q4();
+    session.execute(&session.prepare(&q).unwrap()).unwrap();
+
+    let snapshot = session.metrics_snapshot();
+    let dispatched = snapshot
+        .counter("morsels.dispatched")
+        .expect("parallel execution registers the morsel counter");
+    assert!(dispatched > 0, "no morsels dispatched: {dispatched}");
+    let active = snapshot
+        .gauge("workers.active")
+        .expect("parallel execution registers the worker high-water mark");
+    assert!(
+        (1..=4).contains(&active),
+        "workers.active high-water mark out of range: {active}"
+    );
+    let morsel = snapshot
+        .histogram("morsel")
+        .expect("parallel execution records per-morsel latencies");
+    assert_eq!(morsel.count, dispatched, "one latency sample per morsel");
+    assert!(morsel.min <= morsel.p50 && morsel.p50 <= morsel.max);
+}
+
+#[test]
+fn a_single_worker_session_records_no_morsel_metrics() {
+    let session = Shredder::builder()
+        .database(small_db())
+        .workers(1)
+        .build()
+        .unwrap();
+    let q = datagen::queries::q4();
+    session.execute(&session.prepare(&q).unwrap()).unwrap();
+    let snapshot = session.metrics_snapshot();
+    assert_eq!(snapshot.counter("morsels.dispatched"), None);
+    assert_eq!(snapshot.gauge("workers.active"), None);
+    assert!(snapshot.histogram("morsel").is_none());
+}
+
+// ---------------------------------------------------------------------------
 // Sinks and stage tracing
 // ---------------------------------------------------------------------------
 
