@@ -249,6 +249,7 @@ impl IntoIterator for Diagnostics {
 /// * `L…` — λNRC term lints (warnings).
 /// * `S…` — shredded-package invariants (errors).
 /// * `P…` — physical-plan invariants (errors).
+/// * `O…` — logical-optimizer findings (warnings).
 /// * `D…` — decode/stitch runtime invariants (errors, raised as
 ///   `ShredError::Decode { code, .. }`).
 pub mod codes {
@@ -316,6 +317,11 @@ pub mod codes {
     pub const DECODE_MISSING_FIELD: &str = "D005";
     /// A decoded value does not match the package shape.
     pub const DECODE_SHAPE_MISMATCH: &str = "D006";
+
+    /// A plan retains a correlated subquery the decorrelator could not
+    /// rewrite into a hash semi/anti join; the reason is in the
+    /// diagnostic's `help`.
+    pub const RETAINED_CORRELATED_SUBQUERY: &str = "O001";
 
     /// One line of documentation per registered code.
     pub const ALL: &[(&str, &str)] = &[
@@ -394,6 +400,10 @@ pub mod codes {
         (
             DECODE_SHAPE_MISMATCH,
             "decoded value does not match the package shape",
+        ),
+        (
+            RETAINED_CORRELATED_SUBQUERY,
+            "correlated subquery the decorrelator could not rewrite",
         ),
     ];
 

@@ -277,6 +277,50 @@ impl Checker<'_> {
                 self.outer.pop();
                 schema
             }
+            PhysicalPlan::HashSemiJoin {
+                input,
+                build,
+                probe_keys,
+                build_keys,
+                ..
+            } => {
+                let schema = self.check(input, &format!("{}/hash-semi-join.input", path));
+                // The build side is uncorrelated by construction: it is
+                // checked under the *enclosing* scopes, without the input's
+                // frame — a leaked correlated reference surfaces as
+                // UNRESOLVED_OUTER_REF here.
+                let build_schema = self.check(build, &format!("{}/hash-semi-join.build", path));
+                if probe_keys.len() != build_keys.len() {
+                    self.error(
+                        codes::JOIN_KEY_ARITY,
+                        path,
+                        format!(
+                            "hash semi join has {} probe keys but {} build keys",
+                            probe_keys.len(),
+                            build_keys.len()
+                        ),
+                    );
+                }
+                for (i, (pk, bk)) in probe_keys.iter().zip(build_keys).enumerate() {
+                    let key_path = format!("{}/hash-semi-join.key{}", path, i);
+                    let pt = self.check_expr(pk, &schema, &key_path);
+                    let bt = self.check_expr(bk, &build_schema, &key_path);
+                    if !pt.compatible(bt) {
+                        self.error(
+                            codes::JOIN_KEY_TYPE_MISMATCH,
+                            &key_path,
+                            format!(
+                                "semi-join key pair {} = {} disagrees in type: {} vs {}",
+                                pk,
+                                bk,
+                                pt.name(),
+                                bt.name()
+                            ),
+                        );
+                    }
+                }
+                schema
+            }
             PhysicalPlan::RowNumber { input, specs } => {
                 let mut schema = self.check(input, &format!("{}/row-number.input", path));
                 for (i, keys) in specs.iter().enumerate() {

@@ -44,6 +44,7 @@ impl SqlBackend for LoopLiftBackend {
                 sql: Some(sqlengine::print_query(&stage.sql)),
                 physical: None,
                 columns: stage.layout.columns().to_vec(),
+                rewrites: Vec::new(),
             })
             .collect();
         Ok(BackendPlan::new(stages, compiled))
@@ -84,6 +85,7 @@ impl SqlBackend for FlatDefaultBackend {
             sql: Some(sqlengine::print_query(&compiled.sql)),
             physical: None,
             columns: compiled.column_names(),
+            rewrites: Vec::new(),
         }];
         Ok(BackendPlan::new(stages, compiled))
     }
@@ -155,12 +157,14 @@ impl SqlBackend for VandenBusscheBackend {
                 sql: None,
                 physical: None,
                 columns: vec!["A".into(), "id".into(), "id1".into(), "id2".into()],
+                rewrites: Vec::new(),
             },
             StageExplain {
                 path: "B".to_string(),
                 sql: None,
                 physical: None,
                 columns: vec!["id".into(), "id1".into(), "id2".into(), "B".into()],
+                rewrites: Vec::new(),
             },
         ];
         Ok(BackendPlan::new(stages, req.term.clone()))

@@ -16,6 +16,7 @@
 //! experiments --profile-json BENCH_pr7.json # stage tracing + operator profiling overhead
 //! experiments --delta-json BENCH_pr8.json  # incremental maintenance vs. full recompute
 //! experiments --morsel-json BENCH_pr9.json # morsel-parallel vs. sequential execution
+//! experiments --opt-json BENCH_pr10.json   # logical optimizer on vs. off
 //! ```
 //!
 //! Output layout mirrors the paper: one row per query and system, one column
@@ -41,6 +42,7 @@ struct Options {
     profile_json: Option<String>,
     delta_json: Option<String>,
     morsel_json: Option<String>,
+    opt_json: Option<String>,
 }
 
 fn parse_args() -> Options {
@@ -62,6 +64,7 @@ fn parse_args() -> Options {
         profile_json: None,
         delta_json: None,
         morsel_json: None,
+        opt_json: None,
     };
     let mut i = 0;
     let mut any = false;
@@ -184,6 +187,15 @@ fn parse_args() -> Options {
                 opts.morsel_json = Some(path);
                 any = true;
             }
+            "--opt-json" => {
+                i += 1;
+                let path = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--opt-json expects a file path");
+                    std::process::exit(2);
+                });
+                opts.opt_json = Some(path);
+                any = true;
+            }
             "--concurrency-execs" => {
                 i += 1;
                 opts.concurrency_execs =
@@ -199,7 +211,7 @@ fn parse_args() -> Options {
                      [--params-json PATH] [--param-bindings N] \
                      [--concurrency-json PATH] [--concurrency-execs N] \
                      [--stitch-json PATH] [--analyze-json PATH] [--profile-json PATH] \
-                     [--delta-json PATH] [--morsel-json PATH]"
+                     [--delta-json PATH] [--morsel-json PATH] [--opt-json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -881,6 +893,114 @@ fn morsel_report(path: &str, opts: &Options) {
     );
 }
 
+/// The PR 10 logical-optimizer gate: every benchmark query executed through
+/// an optimizing and a non-optimizing session over the same loaded engine,
+/// answers differentially checked against each other and — per stage —
+/// against the engine's row-at-a-time SQL interpreter (which never sees the
+/// rewrites), median execution times compared per query. Writes the
+/// machine-readable report and fails the process on any divergence, if —
+/// at the committed scale (256+ departments) — decorrelation does not make
+/// the doubly-correlated queries (Q2, QF6) at least 5× faster, or if the
+/// rewrites cost more than 10% anywhere (sub-quarter-millisecond medians
+/// are timer noise at smoke scales and exempt from the regression bar).
+fn opt_report(path: &str, opts: &Options) {
+    println!(
+        "\n=== Logical optimizer: optimized vs. unoptimized plans ({} departments, median of {}) ===",
+        opts.max_departments, opts.runs
+    );
+    let rows = bench::compare_opt(opts.max_departments, opts.runs);
+    println!(
+        "{:<6} {:<7} {:>7} {:>9} {:>15} {:>13} {:>9} {:>6} {:>8}",
+        "query",
+        "kind",
+        "stages",
+        "rewrites",
+        "unoptimized ms",
+        "optimized ms",
+        "speedup",
+        "agree",
+        "oracle"
+    );
+    for row in &rows {
+        println!(
+            "{:<6} {:<7} {:>7} {:>9} {:>15.4} {:>13.4} {:>8.2}x {:>6} {:>8}",
+            row.query,
+            row.kind,
+            row.stages,
+            row.rewrites,
+            row.unoptimized_ms,
+            row.optimized_ms,
+            row.speedup(),
+            if row.agree { "yes" } else { "NO" },
+            if row.matches_oracle { "yes" } else { "NO" },
+        );
+    }
+    let json = bench::opt_report_json(opts.max_departments, opts.runs, &rows);
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {}: {}", path, e);
+        std::process::exit(1);
+    }
+    println!("wrote {}", path);
+
+    let mut failed = false;
+    for row in &rows {
+        if !row.matches_oracle {
+            eprintln!(
+                "FAIL: the optimized plan for {} diverges from the interpreter oracle",
+                row.query
+            );
+            failed = true;
+        }
+        if !row.agree {
+            eprintln!(
+                "FAIL: optimized and unoptimized plans for {} return different bags",
+                row.query
+            );
+            failed = true;
+        }
+    }
+    // The payoff gate watches the doubly-correlated queries, where
+    // decorrelation turns O(n·m) nested-loop EXISTS probing into a hash
+    // build + probe; the asymptotic gap needs real data to dominate.
+    if opts.max_departments >= 256 {
+        for name in ["Q2", "QF6"] {
+            let Some(row) = rows.iter().find(|r| r.query == name) else {
+                eprintln!("FAIL: heavy query {} missing from the sweep", name);
+                failed = true;
+                continue;
+            };
+            if row.speedup() < 5.0 {
+                eprintln!(
+                    "FAIL: decorrelating {} wins only {:.2}x at {} departments \
+                     (expected >= 5x)",
+                    name,
+                    row.speedup(),
+                    opts.max_departments
+                );
+                failed = true;
+            }
+        }
+    }
+    // The no-regression bar: rewrites must never lose more than 10%
+    // anywhere. Medians under a quarter millisecond are timer noise.
+    for row in &rows {
+        if row.unoptimized_ms >= 0.25 && row.optimized_ms > row.unoptimized_ms * 1.1 {
+            eprintln!(
+                "FAIL: the optimizer regresses {} from {:.4} ms to {:.4} ms (> 1.1x)",
+                row.query, row.unoptimized_ms, row.optimized_ms
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "logical optimizer verified: rewritten plans match the unoptimized plans and \
+         the oracle on every query"
+    );
+}
+
 fn main() {
     let opts = parse_args();
     let scales = department_scales(opts.max_departments);
@@ -952,5 +1072,8 @@ fn main() {
     }
     if let Some(path) = &opts.morsel_json {
         morsel_report(path, &opts);
+    }
+    if let Some(path) = &opts.opt_json {
+        opt_report(path, &opts);
     }
 }

@@ -1643,9 +1643,13 @@ pub fn compare_morsel(instance: &Instance, runs: usize) -> MorselReport {
         .map(|n| n.get())
         .unwrap_or(1);
     let timed_workers = available.max(2);
+    // `min_parallel_rows: 0` disables the adaptive-parallelism gate: this
+    // sweep exists to prove fan-out determinism, so it must actually fan
+    // out even at smoke-test scales where the gate would stay sequential.
     let check_opts = |morsel_rows: usize| ExecOptions {
         workers: 4,
         morsel_rows,
+        min_parallel_rows: 0,
     };
     let sorted = |rs: &ResultSet| -> Vec<Row> {
         let mut rows = rs.rows.clone();
@@ -1693,7 +1697,12 @@ pub fn compare_morsel(instance: &Instance, runs: usize) -> MorselReport {
             // Timing arm: sequential vs. the host's default worker count at
             // the default morsel size.
             let single_ms = median_ms(runs, || run_all(ExecOptions::default()));
-            let parallel_ms = median_ms(runs, || run_all(ExecOptions::with_workers(timed_workers)));
+            let parallel_ms = median_ms(runs, || {
+                run_all(ExecOptions {
+                    min_parallel_rows: 0,
+                    ..ExecOptions::with_workers(timed_workers)
+                })
+            });
             rows.push(MorselComparison {
                 query: name.to_string(),
                 kind,
@@ -1748,6 +1757,218 @@ pub fn morsel_report_json(report: &MorselReport, runs: usize) -> String {
             row.consistent,
             row.matches_oracle,
             if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Logical optimizer: optimized vs. unoptimized plans (the PR 10 comparison)
+// ---------------------------------------------------------------------------
+
+/// One optimizer comparison: a benchmark query executed through two sessions
+/// over the same loaded engine — one with the logical rewrite phase
+/// (decorrelation, predicate pushdown, constant folding, build-side
+/// re-choice, cross-stage subplan sharing) and one compiling the planner's
+/// raw output. Both answers are differentially checked against each other,
+/// and every optimized stage plan is checked per stage against the engine's
+/// row-at-a-time SQL interpreter — an oracle that never sees the rewrites
+/// (the λNRC oracle would be the natural alternative, but its strict `AND`
+/// makes Q2 at committed scale take hours; the SQL interpreter is the same
+/// engine-level oracle the morsel gate uses at 256 departments). Timing
+/// covers `execute` of the prepared handles (the rewrite itself is a
+/// prepare-time cost the plan cache amortises away).
+#[derive(Debug, Clone)]
+pub struct OptComparison {
+    pub query: String,
+    /// `"flat"` (QF1–QF6) or `"nested"` (Q1–Q6).
+    pub kind: &'static str,
+    /// Number of flat SQL stages the query shreds into.
+    pub stages: usize,
+    /// Total rewrite annotations across all stages (0 means the optimizer
+    /// left the plans untouched, so both arms time the same plan).
+    pub rewrites: usize,
+    /// Median execution time of the unoptimized plans.
+    pub unoptimized_ms: f64,
+    /// Median execution time of the rewritten plans.
+    pub optimized_ms: f64,
+    /// Whether both arms return the same bag.
+    pub agree: bool,
+    /// Whether every optimized stage plan matches the row-at-a-time SQL
+    /// interpreter on the stage's original (pre-rewrite) SQL.
+    pub matches_oracle: bool,
+}
+
+impl OptComparison {
+    /// Unoptimized time over optimized time (>1 means the rewrites win).
+    pub fn speedup(&self) -> f64 {
+        if self.optimized_ms > 0.0 {
+            self.unoptimized_ms / self.optimized_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Run every benchmark query through an optimizing and a non-optimizing
+/// session over the same generated database and loaded engine, check the
+/// answers differentially and against the engine-level interpreter oracle,
+/// and report median execution times for both arms.
+pub fn compare_opt(departments: usize, runs: usize) -> Vec<OptComparison> {
+    use sqlengine::value::compare_rows;
+    use sqlengine::{ExecOptions, ParamValues, ResultSet, Row};
+
+    let config = OrgConfig {
+        departments,
+        employees_per_department: 20,
+        contacts_per_department: 5,
+        ..OrgConfig::default()
+    };
+    let db = generate(&config);
+    let optimized = Shredder::builder()
+        .database(db)
+        .optimize(true)
+        .build()
+        .expect("generated data always configures a session");
+    // The unoptimized session shares the loaded engine (not a copy) so both
+    // arms scan identical storage; only the plans differ.
+    let engine = optimized
+        .shared_engine()
+        .expect("generated data always loads into the engine");
+    let unoptimized = Shredder::builder()
+        .schema(organisation_schema())
+        .engine(engine)
+        .optimize(false)
+        .build()
+        .expect("a schema-plus-engine session is valid");
+
+    let schema = organisation_schema();
+    let no_params = ParamValues::new();
+    let sorted = |rs: &ResultSet| -> Vec<Row> {
+        let mut rows = rs.rows.clone();
+        rows.sort_by(|a, b| compare_rows(a, b));
+        rows
+    };
+
+    let suites: [(&'static str, Vec<(&'static str, Term)>); 2] = [
+        ("flat", datagen::queries::flat_queries()),
+        ("nested", datagen::queries::nested_queries()),
+    ];
+    let mut out = Vec::new();
+    for (kind, queries) in suites {
+        for (name, q) in queries {
+            let p_opt = optimized.prepare(&q).expect("benchmark queries prepare");
+            let p_un = unoptimized.prepare(&q).expect("benchmark queries prepare");
+            // Warm-up doubles as the differential check (untimed).
+            let v_opt = optimized.execute(&p_opt).expect("optimized plans execute");
+            let v_un = unoptimized
+                .execute(&p_un)
+                .expect("unoptimized plans execute");
+            let agree = v_opt.multiset_eq(&v_un);
+            // Engine-level oracle: every optimized stage plan, executed as
+            // compiled (rewrites included), must agree as a bag with the
+            // row-at-a-time interpretation of the stage's original SQL.
+            let compiled = shredding::pipeline::compile(&q, &schema)
+                .expect("benchmark queries always compile");
+            let matches_oracle = compiled.stages.annotations().into_iter().all(|s| {
+                let planned = optimized
+                    .engine()
+                    .expect("the engine was built eagerly")
+                    .execute_plan_bound_opts(&s.plan, &no_params, ExecOptions::default())
+                    .expect("stage plans always execute")
+                    .0
+                    .into_result_set();
+                let interpreted = optimized
+                    .engine()
+                    .expect("the engine was built eagerly")
+                    .execute_interpreted(&s.sql)
+                    .expect("stage SQL always executes");
+                sorted(&interpreted) == sorted(&planned)
+            });
+            let explain = p_opt.explain();
+            let rewrites = explain.stages.iter().map(|s| s.rewrites.len()).sum();
+
+            // Interleave the timed runs with alternating order: timing one
+            // arm to completion before the other hands the second arm warmer
+            // caches, which reads as a phantom regression on queries whose
+            // plans are identical in both arms.
+            let mut opt_samples = Vec::with_capacity(runs.max(1));
+            let mut un_samples = Vec::with_capacity(runs.max(1));
+            for i in 0..runs.max(1) {
+                let mut time_opt = || {
+                    let start = Instant::now();
+                    std::hint::black_box(
+                        optimized.execute(&p_opt).expect("optimized plans execute"),
+                    );
+                    opt_samples.push(start.elapsed());
+                };
+                let mut time_un = || {
+                    let start = Instant::now();
+                    std::hint::black_box(
+                        unoptimized
+                            .execute(&p_un)
+                            .expect("unoptimized plans execute"),
+                    );
+                    un_samples.push(start.elapsed());
+                };
+                if i % 2 == 0 {
+                    time_un();
+                    time_opt();
+                } else {
+                    time_opt();
+                    time_un();
+                }
+            }
+            let optimized_ms = median_of(opt_samples);
+            let unoptimized_ms = median_of(un_samples);
+            out.push(OptComparison {
+                query: name.to_string(),
+                kind,
+                stages: explain.stages.len(),
+                rewrites,
+                unoptimized_ms,
+                optimized_ms,
+                agree,
+                matches_oracle,
+            });
+        }
+    }
+    out
+}
+
+/// Render the optimizer comparison as the machine-readable `BENCH_pr10.json`
+/// document (hand-rolled: the workspace has no serde).
+pub fn opt_report_json(departments: usize, runs: usize, rows: &[OptComparison]) -> String {
+    fn f(ms: f64) -> String {
+        if ms.is_finite() {
+            format!("{:.4}", ms)
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"logical-optimizer\",\n");
+    out.push_str(&format!(
+        "  \"departments\": {},\n  \"runs\": {},\n",
+        departments, runs
+    ));
+    out.push_str("  \"queries\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{}\", \"kind\": \"{}\", \"stages\": {}, \
+             \"rewrites\": {}, \"unoptimized_ms\": {}, \"optimized_ms\": {}, \
+             \"speedup\": {}, \"agree\": {}, \"matches_oracle\": {}}}{}\n",
+            row.query,
+            row.kind,
+            row.stages,
+            row.rewrites,
+            f(row.unoptimized_ms),
+            f(row.optimized_ms),
+            f(row.speedup()),
+            row.agree,
+            row.matches_oracle,
+            if i + 1 == rows.len() { "" } else { "," }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -1888,6 +2109,33 @@ mod tests {
         let json = morsel_report_json(&report, 1);
         assert!(json.contains("\"morsel-parallel-execution\""));
         assert!(json.contains("\"available_parallelism\""));
+        assert_eq!(json.matches("\"query\"").count(), 12);
+    }
+
+    #[test]
+    fn the_opt_comparison_agrees_everywhere_and_rewrites_the_heavy_queries() {
+        let rows = compare_opt(2, 1);
+        assert_eq!(rows.len(), 12, "QF1–QF6 and Q1–Q6");
+        for row in &rows {
+            assert!(
+                row.agree,
+                "{}: optimized and unoptimized answers differ",
+                row.query
+            );
+            assert!(
+                row.matches_oracle,
+                "{}: optimized answer off the oracle",
+                row.query
+            );
+        }
+        // The doubly-correlated queries must actually get rewritten.
+        for name in ["Q2", "QF6"] {
+            let row = rows.iter().find(|r| r.query == name).unwrap();
+            assert!(row.rewrites > 0, "{} saw no rewrites", name);
+        }
+        let json = opt_report_json(2, 1, &rows);
+        assert!(json.contains("\"logical-optimizer\""));
+        assert!(json.contains("\"speedup\""));
         assert_eq!(json.matches("\"query\"").count(), 12);
     }
 

@@ -1,0 +1,270 @@
+//! Differential suite for the logical optimizer phase (PR 10).
+//!
+//! Every benchmark query the paper evaluates (Q1–Q6 nested, QF1–QF6 flat)
+//! runs three ways — optimized shredded pipeline, unoptimized shredded
+//! pipeline, and the λNRC interpreter oracle — across all three
+//! [`IndexScheme`]s and worker counts {1, 4}. The three answers must agree
+//! as multisets. On top of the differential sweep, golden `explain()`
+//! snapshots pin down that each rewrite family actually fires: EXISTS
+//! lifting + decorrelation on Q2, predicate pushdown on Q6, and
+//! package-level common-subplan sharing on Q1.
+
+use datagen::{generate, OrgConfig};
+use nrc::builder::*;
+use nrc::Term;
+use shredding::semantics::IndexScheme;
+use shredding::session::Shredder;
+
+/// A small but non-degenerate organisation: every table non-empty, tasks
+/// sparse enough that EXISTS/NOT-EXISTS queries have both matching and
+/// non-matching outer rows.
+fn org_db() -> nrc::schema::Database {
+    generate(&OrgConfig {
+        departments: 6,
+        employees_per_department: 6,
+        contacts_per_department: 3,
+        seed: 97,
+        ..OrgConfig::default()
+    })
+}
+
+/// All twelve benchmark queries: Q1–Q6 (nested) then QF1–QF6 (flat).
+fn all_queries() -> Vec<(&'static str, Term)> {
+    datagen::queries::nested_queries()
+        .into_iter()
+        .chain(datagen::queries::flat_queries())
+        .collect()
+}
+
+fn session(
+    db: &nrc::schema::Database,
+    scheme: IndexScheme,
+    workers: usize,
+    optimize: bool,
+) -> Shredder {
+    Shredder::builder()
+        .database(db.clone())
+        .index_scheme(scheme)
+        .workers(workers)
+        // Disable the adaptive sequential gate so workers=4 genuinely
+        // exercises the morsel path at test scale.
+        .min_parallel_rows(0)
+        .optimize(optimize)
+        .build()
+        .unwrap()
+}
+
+/// The tentpole guarantee: rewritten plans are observationally identical to
+/// the plans they replace, under every index scheme and worker count.
+#[test]
+fn optimized_plans_agree_with_unoptimized_plans_and_the_oracle() {
+    let db = org_db();
+    let oracle_session = Shredder::builder().database(db.clone()).build().unwrap();
+    for (name, q) in all_queries() {
+        let reference = oracle_session.oracle(&q).unwrap();
+        for scheme in IndexScheme::ALL {
+            for workers in [1usize, 4] {
+                let optimized = session(&db, scheme, workers, true).run(&q).unwrap();
+                let unoptimized = session(&db, scheme, workers, false).run(&q).unwrap();
+                assert!(
+                    optimized.multiset_eq(&reference),
+                    "{} optimized vs oracle (scheme {}, workers {})",
+                    name,
+                    scheme,
+                    workers
+                );
+                assert!(
+                    optimized.multiset_eq(&unoptimized),
+                    "{} optimized vs unoptimized (scheme {}, workers {})",
+                    name,
+                    scheme,
+                    workers
+                );
+            }
+        }
+    }
+}
+
+/// Renders the explain output for one query under the default (Flat) scheme.
+fn explain_for(q: &Term, optimize: bool) -> String {
+    let db = org_db();
+    let shredder = Shredder::builder()
+        .database(db)
+        .optimize(optimize)
+        .build()
+        .unwrap();
+    let prepared = shredder.prepare(q).unwrap();
+    prepared.explain().to_string()
+}
+
+/// Q2 (departments with no employee lacking an "abstract" task) is the
+/// doubly-correlated NOT-EXISTS query: both nesting levels must decorrelate
+/// into hash anti-joins, which requires the double-negation fold and the
+/// EXISTS-lift pass to fire first.
+#[test]
+fn q2_explain_shows_exists_lift_and_double_decorrelation() {
+    let rendered = explain_for(&datagen::queries::q2(), true);
+    assert!(
+        rendered.contains("lifted 2 EXISTS conjunct(s) into semi-join nodes"),
+        "missing EXISTS lift in:\n{}",
+        rendered
+    );
+    assert_eq!(
+        rendered
+            .matches("decorrelated ExistsSemiJoin anti into HashSemiJoin")
+            .count(),
+        2,
+        "expected both nesting levels decorrelated in:\n{}",
+        rendered
+    );
+    // The rewritten plan itself: two stacked hash anti-joins, no
+    // row-at-a-time EXISTS evaluation left anywhere. (Only the `> `-prefixed
+    // physical-plan lines count — the SQL text above them renders the
+    // pre-rewrite query, and the rewrite annotations name the old node.)
+    let plan = physical_plan_lines(&rendered);
+    assert_eq!(plan.matches("HashSemiJoin anti").count(), 2);
+    assert!(
+        !plan.contains("ExistsSemiJoin"),
+        "plan kept a correlated node:\n{}",
+        plan
+    );
+}
+
+/// Just the rendered physical-plan lines (prefixed `  > `) of an explain.
+fn physical_plan_lines(rendered: &str) -> String {
+    rendered
+        .lines()
+        .filter(|l| l.trim_start().starts_with('>'))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// QF6 ("employees with no tasks or a salary over 50k") unions two branches
+/// inside a NOT EXISTS; both must decorrelate.
+#[test]
+fn qf6_explain_shows_decorrelation_over_a_union_build() {
+    let rendered = explain_for(&datagen::queries::qf6(), true);
+    assert_eq!(
+        rendered
+            .matches("decorrelated ExistsSemiJoin anti into HashSemiJoin")
+            .count(),
+        2,
+        "expected both anti-joins decorrelated in:\n{}",
+        rendered
+    );
+    let plan = physical_plan_lines(&rendered);
+    assert!(
+        !plan.contains("ExistsSemiJoin"),
+        "plan kept a correlated node:\n{}",
+        plan
+    );
+}
+
+/// Q6's per-department salary predicates must migrate below the joins.
+#[test]
+fn q6_explain_shows_predicate_pushdown() {
+    let rendered = explain_for(&datagen::queries::q6(), true);
+    assert!(
+        rendered.contains("predicate(s) toward scans"),
+        "missing pushdown rewrite in:\n{}",
+        rendered
+    );
+}
+
+/// Q1's four stages share the same outer `WITH q AS (...)` definition; the
+/// package-level CSE pass must hoist it into a shared subplan executed once.
+#[test]
+fn q1_explain_shows_cross_stage_subplan_sharing() {
+    let rendered = explain_for(&datagen::queries::q1(), true);
+    assert!(
+        rendered.contains("bound `q` to package-shared subplan #0 (cross-stage CSE)"),
+        "missing cross-stage CSE in:\n{}",
+        rendered
+    );
+    assert!(
+        rendered
+            .matches("bound `q` to package-shared subplan #0 (cross-stage CSE)")
+            .count()
+            >= 2,
+        "a shared subplan needs at least two consuming stages:\n{}",
+        rendered
+    );
+}
+
+/// With the optimizer off, no rewrite annotations appear anywhere.
+#[test]
+fn unoptimized_sessions_report_no_rewrites() {
+    for q in [
+        datagen::queries::q1(),
+        datagen::queries::q2(),
+        datagen::queries::q6(),
+    ] {
+        let rendered = explain_for(&q, false);
+        assert!(
+            !rendered.contains("rewrites:"),
+            "optimize(false) still rewrote:\n{}",
+            rendered
+        );
+    }
+}
+
+/// The golden snapshot: the full explain() rendering of Q2 under the default
+/// scheme, pinned byte-for-byte so plan-shape regressions are loud. Refresh
+/// with `UPDATE_GOLDEN=1 cargo test -p bench --test optimizer`.
+#[test]
+fn q2_explain_matches_the_golden_snapshot() {
+    let rendered = explain_for(&datagen::queries::q2(), true);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/q2_explain.golden"
+    );
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("golden snapshot exists");
+    assert_eq!(
+        rendered, golden,
+        "Q2 explain drifted from the golden snapshot; \
+         rerun with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+/// A correlation the decorrelator cannot turn into hash keys (`<` instead of
+/// `=`): the plan must keep the correlated semi-join, the analysis pass must
+/// surface the O001 warning with the skip reason, and the un-rewritten plan
+/// must still agree with the oracle.
+#[test]
+fn non_equality_correlation_is_skipped_and_diagnosed() {
+    // Departments with an employee whose name sorts strictly below the
+    // department's own name — correlated through `<`.
+    let q = for_where(
+        "d",
+        table("departments"),
+        not(is_empty(for_where(
+            "e",
+            table("employees"),
+            lt(project(var("e"), "name"), project(var("d"), "name")),
+            singleton(project(var("e"), "name")),
+        ))),
+        singleton(project(var("d"), "name")),
+    );
+    let db = org_db();
+    let shredder = Shredder::builder()
+        .database(db)
+        .verify(true)
+        .optimize(true)
+        .build()
+        .unwrap();
+    let prepared = shredder.prepare(&q).unwrap();
+    assert!(
+        prepared
+            .check()
+            .has_code(shredding::analysis::codes::RETAINED_CORRELATED_SUBQUERY),
+        "expected an O001 warning, got: {}",
+        prepared.check()
+    );
+    let via_plan = shredder.execute(&prepared).unwrap();
+    let reference = shredder.oracle(&q).unwrap();
+    assert!(via_plan.multiset_eq(&reference));
+}

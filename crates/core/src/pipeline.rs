@@ -49,6 +49,31 @@ pub struct QueryStage {
     /// The stage's column layout, resolved once at compile time and shared
     /// by `Arc` with every per-execution [`ColumnarStage`] decoded from it.
     pub layout: Arc<ResultLayout>,
+    /// What the logical optimizer did to `plan` — rewrites applied and
+    /// correlated subqueries it had to leave in place (surfaced as `O001`
+    /// diagnostics by [`crate::verify`]). Empty when the query was compiled
+    /// with optimization disabled.
+    pub opt: sqlengine::OptReport,
+    /// Package-level common-subplan sharing: when set, `plan`'s top-level
+    /// `WITH` definition is structurally identical to the shared subplan at
+    /// this slot of [`CompiledQuery::shared`], and executors may run `body`
+    /// with the shared result bound under `name` instead of recomputing the
+    /// definition. `plan` itself stays fully self-contained — the profiled,
+    /// incremental and text paths keep using it unchanged.
+    pub shared: Option<SharedSlot>,
+}
+
+/// A stage's binding into the package's shared-subplan table (see
+/// [`QueryStage::shared`]).
+#[derive(Debug, Clone)]
+pub struct SharedSlot {
+    /// Index into [`CompiledQuery::shared`].
+    pub index: usize,
+    /// The CTE name the stage's plan binds the definition under.
+    pub name: String,
+    /// The stage's plan with the top-level `With` node stripped; its free
+    /// `CteScan`s of `name` resolve against the shared result.
+    pub body: PhysicalPlan,
 }
 
 /// A fully compiled nested query: the normal form plus one [`QueryStage`] per
@@ -58,6 +83,12 @@ pub struct CompiledQuery {
     pub normalised: NormQuery,
     pub result_type: Type,
     pub stages: Package<QueryStage>,
+    /// Subplans shared by two or more stages (package-level CSE): each is a
+    /// top-level `WITH` definition, structurally equal across its consuming
+    /// stages and free of outside CTE references, hoisted so executors run
+    /// it once per package instead of once per stage. Empty when compiled
+    /// without optimization.
+    pub shared: Vec<PhysicalPlan>,
 }
 
 impl CompiledQuery {
@@ -77,13 +108,23 @@ impl CompiledQuery {
 }
 
 /// Compile a nested λNRC query down to SQL: normalise, shred at every path of
-/// the result type, let-insert and generate SQL.
+/// the result type, let-insert, generate SQL and run the logical optimizer
+/// over every stage plan.
 pub fn compile(term: &Term, schema: &Schema) -> Result<CompiledQuery, ShredError> {
     let (normalised, result_type) = normalise_with_type(term, schema)?;
     compile_normalised(normalised, result_type, schema)
 }
 
-/// Compile an already-normalised query.
+/// [`compile`] with the logical optimizer switched off: stage plans come out
+/// of the planner exactly as `sqlgen` shaped them (correlated `EXISTS`
+/// subqueries, no pushdown, no cross-stage sharing). This is the
+/// differential baseline the optimizer is tested and benchmarked against.
+pub fn compile_unoptimized(term: &Term, schema: &Schema) -> Result<CompiledQuery, ShredError> {
+    let (normalised, result_type) = normalise_with_type(term, schema)?;
+    compile_normalised_opts(normalised, result_type, schema, None, false)
+}
+
+/// Compile an already-normalised query (optimized).
 pub fn compile_normalised(
     normalised: NormQuery,
     result_type: Type,
@@ -102,6 +143,23 @@ pub fn compile_normalised_obs(
     schema: &Schema,
     obs: Option<&obs::QueryObs>,
 ) -> Result<CompiledQuery, ShredError> {
+    compile_normalised_opts(normalised, result_type, schema, obs, true)
+}
+
+/// [`compile_normalised_obs`] with an explicit optimizer switch. With
+/// `optimize` set, every stage plan runs through [`sqlengine::optimize`]
+/// (constant folding, `EXISTS` decorrelation, predicate pushdown,
+/// estimate-driven build-side choice) inside its `Stage::Plan` span, and the
+/// package is scanned for stages whose top-level `WITH` definitions are
+/// structurally equal — those are hoisted into [`CompiledQuery::shared`] so
+/// executors run each once per package (cross-stage CSE).
+pub fn compile_normalised_opts(
+    normalised: NormQuery,
+    result_type: Type,
+    schema: &Schema,
+    obs: Option<&obs::QueryObs>,
+    optimize: bool,
+) -> Result<CompiledQuery, ShredError> {
     if !matches!(result_type, Type::Bag(_)) {
         return Err(ShredError::NotAQuery(result_type.to_string()));
     }
@@ -118,8 +176,13 @@ pub fn compile_normalised_obs(
         let sql = obs::time_maybe(obs, obs::Stage::Sqlgen, || {
             crate::sqlgen::sql_of_let_query(&let_inserted, &layout, schema)
         })?;
-        let plan = obs::time_maybe(obs, obs::Stage::Plan, || {
-            plan_query(&sql, &catalog).map_err(ShredError::Engine)
+        let (plan, opt) = obs::time_maybe(obs, obs::Stage::Plan, || {
+            let plan = plan_query(&sql, &catalog).map_err(ShredError::Engine)?;
+            Ok::<_, ShredError>(if optimize {
+                sqlengine::optimize(plan, &catalog)
+            } else {
+                (plan, sqlengine::OptReport::default())
+            })
         })?;
         Ok::<QueryStage, ShredError>(QueryStage {
             path: path.clone(),
@@ -128,13 +191,77 @@ pub fn compile_normalised_obs(
             sql,
             plan,
             layout,
+            opt,
+            shared: None,
         })
     })?;
+    let (stages, shared) = if optimize {
+        share_subplans(stages)?
+    } else {
+        (stages, Vec::new())
+    };
     Ok(CompiledQuery {
         normalised,
         result_type,
         stages,
+        shared,
     })
+}
+
+/// Package-level common-subplan elimination: find top-level `WITH`
+/// definitions that are structurally equal across two or more stages and
+/// self-contained (no free CTE references), hoist each distinct one into a
+/// shared slot, and record on every consuming stage the slot plus its
+/// `With`-stripped body. Sharing is only sound at package level — a single
+/// stage's plan already evaluates its `WITH` definition exactly once, so
+/// the duplicated work the paper's shredding scheme introduces is *across*
+/// the flat queries of one package, where every inner stage re-derives the
+/// same outer comprehension under its CTE.
+fn share_subplans(
+    stages: Package<QueryStage>,
+) -> Result<(Package<QueryStage>, Vec<PhysicalPlan>), ShredError> {
+    let mut uses: Vec<(PhysicalPlan, usize)> = Vec::new();
+    for stage in stages.annotations() {
+        if let PhysicalPlan::With { definition, .. } = &stage.plan {
+            if definition.free_ctes().is_empty() {
+                match uses.iter_mut().find(|(d, _)| d == definition.as_ref()) {
+                    Some((_, n)) => *n += 1,
+                    None => uses.push((definition.as_ref().clone(), 1)),
+                }
+            }
+        }
+    }
+    let shared: Vec<PhysicalPlan> = uses
+        .iter()
+        .filter(|(_, n)| *n >= 2)
+        .map(|(d, _)| d.clone())
+        .collect();
+    if shared.is_empty() {
+        return Ok((stages, Vec::new()));
+    }
+    let stages = stages.try_map(&mut |stage: &QueryStage| {
+        let mut stage = stage.clone();
+        if let PhysicalPlan::With {
+            name,
+            definition,
+            body,
+        } = &stage.plan
+        {
+            if let Some(index) = shared.iter().position(|d| d == definition.as_ref()) {
+                stage.opt.rewrites.push(format!(
+                    "bound `{}` to package-shared subplan #{} (cross-stage CSE)",
+                    name, index
+                ));
+                stage.shared = Some(SharedSlot {
+                    index,
+                    name: name.clone(),
+                    body: (**body).clone(),
+                });
+            }
+        }
+        Ok::<_, ShredError>(stage)
+    })?;
+    Ok((stages, shared))
 }
 
 /// Execute a compiled query on a SQL engine and stitch the shredded results
@@ -208,6 +335,33 @@ pub fn execute_bound_obs_opts(
     let stage_refs: Vec<&QueryStage> = compiled.stages.annotations();
     let n = stage_refs.len();
 
+    // Run each package-shared subplan once; stages carrying a shared slot
+    // bind the columnar result under their CTE name instead of recomputing
+    // the definition. The profiled path skips sharing — its per-operator
+    // actuals are defined over the stage's self-contained plan.
+    let shared: Vec<sqlengine::ColumnarResult> = if profile_ops {
+        Vec::new()
+    } else {
+        compiled
+            .shared
+            .iter()
+            .map(|plan| {
+                let (result, stats) = obs::time_maybe(obs, obs::Stage::Execute, || {
+                    engine.execute_plan_bound_opts(plan, params, opts)
+                })?;
+                if let Some(o) = obs {
+                    o.record_morsels(&obs::MorselStats {
+                        dispatched: stats.morsels_dispatched,
+                        peak_workers: stats.peak_workers,
+                        morsel_nanos: stats.morsel_nanos,
+                    });
+                }
+                Ok(result)
+            })
+            .collect::<Result<_, ShredError>>()?
+    };
+    let shared = &shared[..];
+
     let decoded: Vec<ColumnarStage> = if opts.workers > 1 && n > 1 {
         let stage_opts = sqlengine::ExecOptions {
             workers: (opts.workers / n.min(opts.workers)).max(1),
@@ -232,6 +386,7 @@ pub fn execute_bound_obs_opts(
                         obs,
                         profile_ops,
                         stage_opts,
+                        shared,
                     ),
                 ));
             }
@@ -269,7 +424,7 @@ pub fn execute_bound_obs_opts(
         stage_refs
             .iter()
             .enumerate()
-            .map(|(i, stage)| run_stage(stage, i, engine, params, obs, profile_ops, opts))
+            .map(|(i, stage)| run_stage(stage, i, engine, params, obs, profile_ops, opts, shared))
             .collect::<Result<Vec<_>, _>>()?
     };
 
@@ -288,6 +443,7 @@ pub fn execute_bound_obs_opts(
 /// Execute and decode one shredded stage: the per-stage body of
 /// [`execute_bound_obs_opts`], shared by its sequential and stage-parallel
 /// paths.
+#[allow(clippy::too_many_arguments)]
 fn run_stage(
     stage: &QueryStage,
     i: usize,
@@ -296,6 +452,7 @@ fn run_stage(
     obs: Option<&obs::QueryObs>,
     profile_ops: bool,
     opts: sqlengine::ExecOptions,
+    shared: &[sqlengine::ColumnarResult],
 ) -> Result<ColumnarStage, ShredError> {
     let result = if profile_ops {
         let (result, prof, stats) = obs::time_maybe(obs, obs::Stage::Execute, || {
@@ -326,7 +483,17 @@ fn run_stage(
         result
     } else {
         let (result, stats) = obs::time_maybe(obs, obs::Stage::Execute, || {
-            engine.execute_plan_bound_opts(&stage.plan, params, opts)
+            match &stage.shared {
+                // CSE path: execute the With-stripped body against the
+                // pre-computed shared definition (column `Arc`s shared).
+                Some(slot) if slot.index < shared.len() => engine.execute_plan_bound_ctes_opts(
+                    &slot.body,
+                    params,
+                    &[(slot.name.clone(), shared[slot.index].clone())],
+                    opts,
+                ),
+                _ => engine.execute_plan_bound_opts(&stage.plan, params, opts),
+            }
         })?;
         if let Some(o) = obs {
             o.record_morsels(&obs::MorselStats {

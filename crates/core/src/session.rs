@@ -233,6 +233,10 @@ pub struct PlanRequest<'a> {
     /// (e.g. via [`pipeline::compile_normalised_obs`]); backends that ignore
     /// it simply produce plans without compile-phase spans.
     pub obs: Option<&'a QueryObs>,
+    /// Whether plan-producing backends should run the logical optimizer
+    /// over their compiled plans (see [`ShredderBuilder::optimize`]).
+    /// Backends without an optimizer ignore it.
+    pub optimize: bool,
 }
 
 /// Execution-time context handed to a backend: the session's database, index
@@ -353,6 +357,11 @@ pub struct StageExplain {
     pub physical: Option<String>,
     /// The flat columns of the stage's result (indexes first, then data).
     pub columns: Vec<String>,
+    /// What the logical optimizer did to this stage's plan, one line per
+    /// rewrite (constant folding, `EXISTS` decorrelation, predicate
+    /// pushdown, build-side re-choice, cross-stage CSE). Empty when the
+    /// backend does not optimize or nothing fired.
+    pub rewrites: Vec<String>,
 }
 
 /// A backend-specific plan: human-readable per-stage information plus an
@@ -678,6 +687,12 @@ impl fmt::Display for Explain {
                     writeln!(f, "  > {}", line)?;
                 }
             }
+            if !stage.rewrites.is_empty() {
+                writeln!(f, "  rewrites:")?;
+                for rewrite in &stage.rewrites {
+                    writeln!(f, "  * {}", rewrite)?;
+                }
+            }
         }
         if !self.diagnostics.is_empty() {
             writeln!(f, "diagnostics:")?;
@@ -855,6 +870,8 @@ pub struct ShredderBuilder {
     obs_sink: Option<Arc<dyn ObsSink>>,
     workers: Option<usize>,
     morsel_rows: Option<usize>,
+    min_parallel_rows: Option<usize>,
+    optimize: Option<bool>,
 }
 
 impl fmt::Debug for ShredderBuilder {
@@ -886,6 +903,8 @@ impl Default for ShredderBuilder {
             obs_sink: None,
             workers: None,
             morsel_rows: None,
+            min_parallel_rows: None,
+            optimize: None,
         }
     }
 }
@@ -995,6 +1014,27 @@ impl ShredderBuilder {
         self
     }
 
+    /// Estimated-row threshold below which a stage's plan runs on the
+    /// sequential executor even when `workers > 1` (default
+    /// [`sqlengine::DEFAULT_MIN_PARALLEL_ROWS`]): small pipelines lose more
+    /// to thread hand-off than they gain from fan-out. `0` disables the
+    /// gate. Answers are identical either way by the parallel executor's
+    /// determinism guarantee.
+    pub fn min_parallel_rows(mut self, rows: usize) -> Self {
+        self.min_parallel_rows = Some(rows);
+        self
+    }
+
+    /// Enable or disable the logical optimizer (on by default): constant
+    /// folding, EXISTS decorrelation into hash semi/anti joins, predicate
+    /// pushdown, package-level common-subplan sharing and estimate-driven
+    /// build sides. Optimized and unoptimized plans compute identical
+    /// results; disabling is for differential testing and benchmarking.
+    pub fn optimize(mut self, enabled: bool) -> Self {
+        self.optimize = Some(enabled);
+        self
+    }
+
     /// Use an existing metrics registry instead of a fresh one, so several
     /// sessions (e.g. over different databases) aggregate into one set of
     /// counters and histograms.
@@ -1086,7 +1126,11 @@ impl ShredderBuilder {
                             .unwrap_or(1)
                     }),
                     morsel_rows: self.morsel_rows.unwrap_or(sqlengine::DEFAULT_MORSEL_ROWS),
+                    min_parallel_rows: self
+                        .min_parallel_rows
+                        .unwrap_or(sqlengine::DEFAULT_MIN_PARALLEL_ROWS),
                 },
+                optimize: self.optimize.unwrap_or(true),
             }),
         })
     }
@@ -1201,6 +1245,9 @@ struct ShredderCore {
     /// [`ShredderBuilder::workers`]). Live-view maintenance ignores these:
     /// the delta path is row-at-a-time by design.
     exec_opts: sqlengine::ExecOptions,
+    /// Run the logical optimizer over compiled stage plans (see
+    /// [`ShredderBuilder::optimize`]).
+    optimize: bool,
 }
 
 impl Shredder {
@@ -1367,6 +1414,7 @@ impl Shredder {
             params: &params,
             defaults: &defaults,
             obs: Some(obs),
+            optimize: self.core.optimize,
         };
         let plan = self.core.backend.prepare(&req)?;
         let prepared = PreparedQuery {
@@ -2009,11 +2057,12 @@ impl SqlBackend for SqlEngineBackend {
     }
 
     fn prepare(&self, req: &PlanRequest<'_>) -> Result<BackendPlan, ShredError> {
-        let compiled = pipeline::compile_normalised_obs(
+        let compiled = pipeline::compile_normalised_opts(
             req.normalised.clone(),
             req.result_type.clone(),
             req.schema,
             req.obs,
+            req.optimize,
         )?;
         let stages = compiled
             .stages
@@ -2024,6 +2073,7 @@ impl SqlBackend for SqlEngineBackend {
                 sql: Some(sqlengine::print_query(&s.sql)),
                 physical: Some(s.plan.to_string()),
                 columns: s.layout.columns().to_vec(),
+                rewrites: s.opt.rewrites.clone(),
             })
             .collect();
         Ok(BackendPlan::new(stages, compiled))
@@ -2072,6 +2122,7 @@ impl SqlBackend for ShreddedMemoryBackend {
                 sql: None,
                 physical: None,
                 columns: ResultLayout::new(&shredded_type.inner).columns().to_vec(),
+                rewrites: Vec::new(),
             });
             Ok::<ShreddedQuery, ShredError>(shredded)
         })?;

@@ -72,6 +72,24 @@ pub fn check_compiled(
             d.path = format!("{}/{}", path, d.path);
         }
         out.extend(plan_diags);
+        // Correlated subqueries the logical optimizer had to leave in place:
+        // these still execute (nested-loop, once per outer row), so they are
+        // warnings, with the decorrelator's reason as the help text.
+        for skip in &stage.opt.skipped {
+            out.push(
+                Diagnostic::warning(
+                    Stage::Plan,
+                    codes::RETAINED_CORRELATED_SUBQUERY,
+                    path.to_string(),
+                    format!(
+                        "plan retains a correlated subquery ({}) the optimizer could not \
+                         rewrite into a hash semi-join",
+                        skip.node
+                    ),
+                )
+                .with_help(skip.reason.clone()),
+            );
+        }
     });
     // The layout's Index leaves must line up with the stage's child bags.
     check_shapes(&compiled.stages, "package", &mut out);

@@ -146,6 +146,22 @@ impl Engine {
         crate::par::execute_plan_bound_opts(plan, &self.storage(), params, opts)
     }
 
+    /// Like [`execute_plan_bound_opts`](Engine::execute_plan_bound_opts),
+    /// but with pre-bound `WITH` results: each `(name, result)` pair is
+    /// visible to free `CteScan`s of that name inside the plan. This is the
+    /// execution path for package-level shared subplans (cross-stage CSE) —
+    /// the shared definition runs once and its columnar result is re-bound,
+    /// zero-copy, under each consuming stage's CTE name.
+    pub fn execute_plan_bound_ctes_opts(
+        &self,
+        plan: &PhysicalPlan,
+        params: &ParamValues,
+        ctes: &[(String, ColumnarResult)],
+        opts: crate::par::ExecOptions,
+    ) -> Result<(ColumnarResult, crate::par::ExecStats), EngineError> {
+        crate::par::execute_plan_bound_ctes_opts(plan, &self.storage(), params, ctes, opts)
+    }
+
     /// Like [`execute_plan_profiled`](Engine::execute_plan_profiled), but
     /// with explicit [`ExecOptions`]. Under parallelism the per-operator
     /// actuals are aggregated atomically across workers, so `rows_out` and

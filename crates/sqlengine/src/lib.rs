@@ -58,6 +58,7 @@ pub mod ast;
 pub mod delta;
 pub mod error;
 pub mod exec;
+pub mod opt;
 pub mod par;
 pub mod parser;
 pub mod plan;
@@ -70,7 +71,8 @@ pub use ast::{BinOp, Expr, FromItem, Query, Select, SelectItem, TableSource};
 pub use delta::{StorageDelta, TableDelta, WriteBatch, WriteOp};
 pub use error::EngineError;
 pub use exec::Engine;
-pub use par::{ExecOptions, ExecStats, DEFAULT_MORSEL_ROWS};
+pub use opt::{live_estimate, optimize, OptReport, OptSkip};
+pub use par::{ExecOptions, ExecStats, DEFAULT_MIN_PARALLEL_ROWS, DEFAULT_MORSEL_ROWS};
 pub use parser::{parse_expr, parse_query};
 pub use plan::{Catalog, OpActuals, PhysicalPlan, SchemaCatalog};
 pub use printer::{print_expr, print_query};

@@ -1,0 +1,1881 @@
+//! The logical optimizer: plan-to-plan rewrites between [`crate::plan`] and
+//! execution.
+//!
+//! [`optimize`] applies five passes, in order:
+//!
+//! 1. **Constant folding** — evaluates [`VExpr`] subtrees whose operands are
+//!    literals, simplifies boolean identities (`TRUE AND p` → `p`,
+//!    `FALSE OR p` → `p`, `NOT TRUE` → `FALSE`, `NOT NOT x` → `x`) and
+//!    elides filters whose predicate folded to `TRUE`. Folding never
+//!    evaluates an expression the executor would not have evaluated (a
+//!    folding step that would error — division by zero, type mismatch — is
+//!    left in place so the runtime error is preserved).
+//! 2. **EXISTS lift** — hoists `[NOT] EXISTS` conjuncts out of filter
+//!    predicates into [`PhysicalPlan::ExistsSemiJoin`] nodes, the form the
+//!    decorrelator rewrites. Nested emptiness tests compile to negation
+//!    chains over `EXISTS` expressions that the planner leaves inside
+//!    filter predicates; without the lift they would execute as per-row
+//!    subqueries forever.
+//! 3. **Decorrelation** — rewrites a correlated
+//!    [`PhysicalPlan::ExistsSemiJoin`] whose correlation is a conjunction of
+//!    `outer = local` equalities into a [`PhysicalPlan::HashSemiJoin`]: the
+//!    subquery is executed **once** with the correlated equalities removed,
+//!    its local key expressions are hashed, and each input row probes with
+//!    its outer key expressions. This turns an O(n·m) nested loop into one
+//!    build and one probe, and (because `HashSemiJoin` has an incremental
+//!    delta rule) moves such stages out of `DeltaExec`'s reseed path.
+//!    Subqueries the pass cannot prove safe are left untouched and recorded
+//!    in [`OptReport::skipped`] (surfaced as `analysis` code O001).
+//! 4. **Predicate pushdown** — moves filter conjuncts as close to the scans
+//!    as they can soundly go: through projects (by substituting projection
+//!    expressions), sorts, distincts, semi-join inputs, `WITH` bodies and
+//!    `UNION ALL` branches, and routed to one side of a join when every
+//!    column it references lives there. Conjuncts are never pushed below
+//!    `RowNumber` (filtering changes the numbering) and never into a `WITH`
+//!    definition (the definition may have other consumers).
+//! 5. **Build-side re-choice** — recomputes hash-join build sides from
+//!    catalog row counts, with `WITH`-definition estimates propagated to the
+//!    `CteScan`s that read them (the planner chose sides from shape-only
+//!    defaults; see [`estimate`](PhysicalPlan::estimate)).
+//!
+//! Every pass is a pure function from plan to plan: rewritten plans flow
+//! through the interpreter oracle, the vectorized executor, `DeltaExec` and
+//! the morsel-parallel executor unchanged.
+
+use crate::ast::BinOp;
+use crate::exec::eval_binop;
+use crate::plan::{BuildSide, Catalog, PhysicalPlan, VExpr, DEFAULT_ROWS, FILTER_SELECTIVITY};
+use crate::value::SqlValue;
+
+/// One column of a node's output as the runtime scope sees it: the defining
+/// alias (if any) and the column name. Mirrors the vectorized executor's
+/// batch schema so decorrelation resolves outer references exactly as the
+/// scope stack would.
+type SchemaCol = (Option<String>, String);
+
+/// A correlated subquery the decorrelator had to leave in place, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptSkip {
+    /// The node that keeps its correlated subplan (e.g. `"ExistsSemiJoin anti"`).
+    pub node: String,
+    /// Why the rewrite was unsafe or out of scope for the current rules.
+    pub reason: String,
+}
+
+/// What [`optimize`] did to a plan: one line per rewrite applied, plus the
+/// correlated subqueries it could not rewrite. Rendered by `explain()` and
+/// turned into `analysis` diagnostics (code O001) by the pipeline verifier.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptReport {
+    /// Human-readable descriptions of the rewrites that fired.
+    pub rewrites: Vec<String>,
+    /// Correlated subqueries left in place, with reasons.
+    pub skipped: Vec<OptSkip>,
+}
+
+impl OptReport {
+    /// True when no rewrite fired and nothing was skipped.
+    pub fn is_empty(&self) -> bool {
+        self.rewrites.is_empty() && self.skipped.is_empty()
+    }
+}
+
+/// Optimize a physical plan. Returns the rewritten plan and a report of the
+/// rewrites applied; the output plan computes exactly the same bag of rows
+/// as the input plan on every database and parameter binding.
+pub fn optimize(plan: PhysicalPlan, catalog: &dyn Catalog) -> (PhysicalPlan, OptReport) {
+    let mut report = OptReport::default();
+
+    let mut folds = 0usize;
+    let plan = fold_plan(plan, &mut folds);
+    if folds > 0 {
+        report
+            .rewrites
+            .push(format!("folded {} constant subexpression(s)", folds));
+    }
+
+    let mut lifted = 0usize;
+    let plan = lift_exists_plan(plan, &mut lifted);
+    if lifted > 0 {
+        report.rewrites.push(format!(
+            "lifted {} EXISTS conjunct(s) into semi-join nodes",
+            lifted
+        ));
+    }
+
+    let plan = decorrelate_plan(plan, &mut report);
+
+    let mut pushed = 0usize;
+    let plan = pushdown_plan(plan, &mut pushed);
+    if pushed > 0 {
+        report
+            .rewrites
+            .push(format!("pushed {} predicate(s) toward scans", pushed));
+    }
+
+    let mut flips = 0usize;
+    let plan = rechoose_plan(plan, catalog, &mut Vec::new(), &mut flips);
+    if flips > 0 {
+        report.rewrites.push(format!(
+            "re-chose {} hash-join build side(s) from catalog estimates",
+            flips
+        ));
+    }
+
+    (plan, report)
+}
+
+/// Catalog-aware cardinality estimate of a plan, with `WITH` definitions
+/// bound so `CteScan`s inherit their definition's estimate. This is what
+/// the morsel executor's `min_parallel_rows` gate consults.
+pub fn live_estimate(plan: &PhysicalPlan, catalog: &dyn Catalog) -> f64 {
+    estimate_env(plan, catalog, &mut Vec::new())
+}
+
+// ---------------------------------------------------------------------------
+// Generic traversal
+// ---------------------------------------------------------------------------
+
+/// Rebuild `plan` bottom-up, applying `f` to every node (children first,
+/// then the rebuilt node itself). Descends into `EXISTS` subplans embedded
+/// in expressions as well as structural children.
+fn map_plan(plan: PhysicalPlan, f: &mut dyn FnMut(PhysicalPlan) -> PhysicalPlan) -> PhysicalPlan {
+    let mapped = match plan {
+        PhysicalPlan::UnitRow | PhysicalPlan::TableScan { .. } | PhysicalPlan::CteScan { .. } => {
+            plan
+        }
+        PhysicalPlan::SubqueryScan { input, alias } => PhysicalPlan::SubqueryScan {
+            input: Box::new(map_plan(*input, f)),
+            alias,
+        },
+        PhysicalPlan::NestedLoopJoin { left, right } => PhysicalPlan::NestedLoopJoin {
+            left: Box::new(map_plan(*left, f)),
+            right: Box::new(map_plan(*right, f)),
+        },
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            build,
+        } => PhysicalPlan::HashJoin {
+            left: Box::new(map_plan(*left, f)),
+            right: Box::new(map_plan(*right, f)),
+            left_keys: left_keys
+                .into_iter()
+                .map(|e| map_expr_plans(e, f))
+                .collect(),
+            right_keys: right_keys
+                .into_iter()
+                .map(|e| map_expr_plans(e, f))
+                .collect(),
+            build,
+        },
+        PhysicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
+            input: Box::new(map_plan(*input, f)),
+            predicate: map_expr_plans(predicate, f),
+        },
+        PhysicalPlan::ExistsSemiJoin {
+            input,
+            subplan,
+            anti,
+        } => PhysicalPlan::ExistsSemiJoin {
+            input: Box::new(map_plan(*input, f)),
+            subplan: Box::new(map_plan(*subplan, f)),
+            anti,
+        },
+        PhysicalPlan::HashSemiJoin {
+            input,
+            build,
+            probe_keys,
+            build_keys,
+            anti,
+        } => PhysicalPlan::HashSemiJoin {
+            input: Box::new(map_plan(*input, f)),
+            build: Box::new(map_plan(*build, f)),
+            probe_keys: probe_keys
+                .into_iter()
+                .map(|e| map_expr_plans(e, f))
+                .collect(),
+            build_keys: build_keys
+                .into_iter()
+                .map(|e| map_expr_plans(e, f))
+                .collect(),
+            anti,
+        },
+        PhysicalPlan::RowNumber { input, specs } => PhysicalPlan::RowNumber {
+            input: Box::new(map_plan(*input, f)),
+            specs: specs
+                .into_iter()
+                .map(|spec| spec.into_iter().map(|e| map_expr_plans(e, f)).collect())
+                .collect(),
+        },
+        PhysicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+            input: Box::new(map_plan(*input, f)),
+            keys: keys.into_iter().map(|e| map_expr_plans(e, f)).collect(),
+        },
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            columns,
+        } => PhysicalPlan::Project {
+            input: Box::new(map_plan(*input, f)),
+            exprs: exprs.into_iter().map(|e| map_expr_plans(e, f)).collect(),
+            columns,
+        },
+        PhysicalPlan::Distinct { input } => PhysicalPlan::Distinct {
+            input: Box::new(map_plan(*input, f)),
+        },
+        PhysicalPlan::UnionAll(branches) => {
+            PhysicalPlan::UnionAll(branches.into_iter().map(|b| map_plan(b, f)).collect())
+        }
+        PhysicalPlan::ExceptAll { left, right } => PhysicalPlan::ExceptAll {
+            left: Box::new(map_plan(*left, f)),
+            right: Box::new(map_plan(*right, f)),
+        },
+        PhysicalPlan::With {
+            name,
+            definition,
+            body,
+        } => PhysicalPlan::With {
+            name,
+            definition: Box::new(map_plan(*definition, f)),
+            body: Box::new(map_plan(*body, f)),
+        },
+    };
+    f(mapped)
+}
+
+/// Apply a plan mapper to every `EXISTS` subplan inside an expression.
+fn map_expr_plans(expr: VExpr, f: &mut dyn FnMut(PhysicalPlan) -> PhysicalPlan) -> VExpr {
+    match expr {
+        VExpr::BinOp { op, left, right } => VExpr::BinOp {
+            op,
+            left: Box::new(map_expr_plans(*left, f)),
+            right: Box::new(map_expr_plans(*right, f)),
+        },
+        VExpr::Not(inner) => VExpr::Not(Box::new(map_expr_plans(*inner, f))),
+        VExpr::Exists(subplan) => VExpr::Exists(Box::new(map_plan(*subplan, f))),
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: constant folding
+// ---------------------------------------------------------------------------
+
+fn fold_plan(plan: PhysicalPlan, count: &mut usize) -> PhysicalPlan {
+    map_plan(plan, &mut |node| match node {
+        PhysicalPlan::Filter { input, predicate } => {
+            match fold_expr(predicate, count) {
+                // `WHERE TRUE` keeps every row: drop the node.
+                VExpr::Lit(SqlValue::Bool(true)) => {
+                    *count += 1;
+                    *input
+                }
+                predicate => PhysicalPlan::Filter { input, predicate },
+            }
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            build,
+        } => PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys: left_keys.into_iter().map(|e| fold_expr(e, count)).collect(),
+            right_keys: right_keys
+                .into_iter()
+                .map(|e| fold_expr(e, count))
+                .collect(),
+            build,
+        },
+        PhysicalPlan::HashSemiJoin {
+            input,
+            build,
+            probe_keys,
+            build_keys,
+            anti,
+        } => PhysicalPlan::HashSemiJoin {
+            input,
+            build,
+            probe_keys: probe_keys
+                .into_iter()
+                .map(|e| fold_expr(e, count))
+                .collect(),
+            build_keys: build_keys
+                .into_iter()
+                .map(|e| fold_expr(e, count))
+                .collect(),
+            anti,
+        },
+        PhysicalPlan::RowNumber { input, specs } => PhysicalPlan::RowNumber {
+            input,
+            specs: specs
+                .into_iter()
+                .map(|spec| spec.into_iter().map(|e| fold_expr(e, count)).collect())
+                .collect(),
+        },
+        PhysicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+            input,
+            keys: keys.into_iter().map(|e| fold_expr(e, count)).collect(),
+        },
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            columns,
+        } => PhysicalPlan::Project {
+            input,
+            exprs: exprs.into_iter().map(|e| fold_expr(e, count)).collect(),
+            columns,
+        },
+        other => other,
+    })
+}
+
+fn fold_expr(expr: VExpr, count: &mut usize) -> VExpr {
+    match expr {
+        VExpr::BinOp { op, left, right } => {
+            let left = fold_expr(*left, count);
+            let right = fold_expr(*right, count);
+            if let (VExpr::Lit(l), VExpr::Lit(r)) = (&left, &right) {
+                // Only fold evaluations that succeed: a subtree that would
+                // error at runtime (division by zero, type mismatch) is
+                // kept so the executor still reports it.
+                if let Ok(v) = eval_binop(op, l.clone(), r.clone()) {
+                    *count += 1;
+                    return VExpr::Lit(v);
+                }
+            }
+            let lit_true = |e: &VExpr| matches!(e, VExpr::Lit(SqlValue::Bool(true)));
+            let lit_false = |e: &VExpr| matches!(e, VExpr::Lit(SqlValue::Bool(false)));
+            match op {
+                BinOp::And if lit_true(&left) => {
+                    *count += 1;
+                    return right;
+                }
+                BinOp::And if lit_true(&right) => {
+                    *count += 1;
+                    return left;
+                }
+                BinOp::Or if lit_false(&left) => {
+                    *count += 1;
+                    return right;
+                }
+                BinOp::Or if lit_false(&right) => {
+                    *count += 1;
+                    return left;
+                }
+                _ => {}
+            }
+            VExpr::BinOp {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            }
+        }
+        VExpr::Not(inner) => match fold_expr(*inner, count) {
+            VExpr::Lit(SqlValue::Bool(b)) => {
+                *count += 1;
+                VExpr::Lit(SqlValue::Bool(!b))
+            }
+            VExpr::Lit(SqlValue::Null) => {
+                *count += 1;
+                VExpr::Lit(SqlValue::Null)
+            }
+            // `NOT NOT x = x` in SQL's three-valued logic (`NOT NULL` is
+            // `NULL`). Negation chains arise from nested emptiness tests;
+            // collapsing them is what lets the EXISTS lift below see
+            // through them.
+            VExpr::Not(inner2) => {
+                *count += 1;
+                *inner2
+            }
+            inner => VExpr::Not(Box::new(inner)),
+        },
+        // Subplans inside expressions are folded by the surrounding
+        // `map_plan` traversal.
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: EXISTS lift
+// ---------------------------------------------------------------------------
+
+/// Lift `[NOT] EXISTS` conjuncts out of filter predicates into
+/// [`PhysicalPlan::ExistsSemiJoin`] nodes. The planner only forms semi-join
+/// nodes for whole-predicate `EXISTS` tests; anything else — negation
+/// chains from nested emptiness tests, an `EXISTS` among other conjuncts —
+/// reaches execution as a per-row filter expression, which the decorrelator
+/// cannot see. The node form is semantically identical: the vectorized
+/// executor pushes the same scope frame for an `ExistsSemiJoin` subplan as
+/// for a `VExpr::Exists` inside a filter predicate, and `EXISTS` never
+/// evaluates to `NULL`, so splitting it out of the conjunction cannot
+/// change the kept row set.
+fn lift_exists_plan(plan: PhysicalPlan, count: &mut usize) -> PhysicalPlan {
+    map_plan(plan, &mut |node| match node {
+        PhysicalPlan::Filter { input, predicate } => {
+            let mut semis: Vec<(Box<PhysicalPlan>, bool)> = Vec::new();
+            let mut kept = Vec::new();
+            for conj in split_conjuncts(predicate) {
+                match conj {
+                    VExpr::Exists(sub) => semis.push((sub, false)),
+                    VExpr::Not(inner) => match *inner {
+                        VExpr::Exists(sub) => semis.push((sub, true)),
+                        other => kept.push(VExpr::Not(Box::new(other))),
+                    },
+                    other => kept.push(other),
+                }
+            }
+            if semis.is_empty() {
+                let predicate = join_conjuncts(kept)
+                    .expect("a filter with no EXISTS conjuncts keeps its predicate");
+                return PhysicalPlan::Filter { input, predicate };
+            }
+            *count += semis.len();
+            // The remaining conjuncts filter *below* the semi-joins: both
+            // only drop rows, so the kept set is the same conjunction
+            // either way, and the cheap predicates run first.
+            let mut plan = match join_conjuncts(kept) {
+                Some(predicate) => PhysicalPlan::Filter { input, predicate },
+                None => *input,
+            };
+            for (subplan, anti) in semis {
+                plan = PhysicalPlan::ExistsSemiJoin {
+                    input: Box::new(plan),
+                    subplan,
+                    anti,
+                };
+            }
+            plan
+        }
+        other => other,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: decorrelation
+// ---------------------------------------------------------------------------
+
+fn decorrelate_plan(plan: PhysicalPlan, report: &mut OptReport) -> PhysicalPlan {
+    map_plan(plan, &mut |node| match node {
+        PhysicalPlan::ExistsSemiJoin {
+            input,
+            subplan,
+            anti,
+        } => match try_decorrelate(&input, *subplan.clone(), anti) {
+            Ok((rewritten, desc)) => {
+                report.rewrites.push(desc);
+                rewritten
+            }
+            Err(reason) => {
+                report.skipped.push(OptSkip {
+                    node: if anti {
+                        "ExistsSemiJoin anti".to_string()
+                    } else {
+                        "ExistsSemiJoin".to_string()
+                    },
+                    reason,
+                });
+                PhysicalPlan::ExistsSemiJoin {
+                    input,
+                    subplan,
+                    anti,
+                }
+            }
+        },
+        other => other,
+    })
+}
+
+/// One decorrelated `UNION ALL` branch: the de-correlated subquery body and
+/// its `(outer key, local key)` pairs.
+struct Ext {
+    plan: PhysicalPlan,
+    keys: Vec<(VExpr, VExpr)>,
+}
+
+fn try_decorrelate(
+    input: &PhysicalPlan,
+    subplan: PhysicalPlan,
+    anti: bool,
+) -> Result<(PhysicalPlan, String), String> {
+    let frame = plan_schema(input);
+
+    // EXISTS only observes emptiness, so order- and multiplicity-only root
+    // operators can be stripped before analysing the shape.
+    let stripped = strip_order(subplan);
+    let branches: Vec<PhysicalPlan> = match stripped {
+        PhysicalPlan::UnionAll(bs) => bs.into_iter().map(strip_order).collect(),
+        other => vec![other],
+    };
+
+    let mut exts = Vec::with_capacity(branches.len());
+    for branch in branches {
+        let PhysicalPlan::Project {
+            input: inner,
+            exprs,
+            ..
+        } = branch
+        else {
+            return Err("subquery root is not a projection".to_string());
+        };
+        // The projection itself is discarded (only emptiness matters), so
+        // it must not smuggle correlated or nested-subquery work away.
+        for e in &exprs {
+            if contains_exists(e) {
+                return Err("subquery projection contains a nested EXISTS".to_string());
+            }
+            if expr_refs_frame(e, &frame) {
+                return Err("subquery projection references the outer row".to_string());
+            }
+        }
+        exts.push(extract(*inner, &frame)?);
+    }
+
+    // Unify correlation keys across branches: branch 0's outer-key list is
+    // canonical; every other branch must provide the same outer keys (in
+    // any order), and its local keys are reordered to match.
+    let canonical: Vec<VExpr> = exts[0].keys.iter().map(|(o, _)| o.clone()).collect();
+    let mut branch_locals: Vec<Vec<VExpr>> = Vec::with_capacity(exts.len());
+    for ext in &exts {
+        if ext.keys.len() != canonical.len() {
+            return Err("correlation keys differ across UNION ALL branches".to_string());
+        }
+        let mut used = vec![false; ext.keys.len()];
+        let mut locals = Vec::with_capacity(canonical.len());
+        for outer in &canonical {
+            let Some(j) = ext
+                .keys
+                .iter()
+                .enumerate()
+                .position(|(j, (o, _))| !used[j] && o == outer)
+            else {
+                return Err("correlation keys differ across UNION ALL branches".to_string());
+            };
+            used[j] = true;
+            locals.push(ext.keys[j].1.clone());
+        }
+        branch_locals.push(locals);
+    }
+
+    // Build side: one `Project` of the local keys per branch. With no keys
+    // (an uncorrelated EXISTS) the bodies are used as-is — only emptiness
+    // matters and a zero-column projection buys nothing.
+    let n = canonical.len();
+    let bodies: Vec<PhysicalPlan> = if n == 0 {
+        exts.into_iter().map(|e| e.plan).collect()
+    } else {
+        let key_cols: Vec<String> = (0..n).map(|i| format!("#k{}", i)).collect();
+        exts.into_iter()
+            .zip(branch_locals)
+            .map(|(ext, locals)| PhysicalPlan::Project {
+                input: Box::new(ext.plan),
+                exprs: locals,
+                columns: key_cols.clone(),
+            })
+            .collect()
+    };
+    let build = if bodies.len() == 1 {
+        bodies.into_iter().next().unwrap()
+    } else {
+        PhysicalPlan::UnionAll(bodies)
+    };
+
+    // Soundness gate: the build side must now be completely uncorrelated —
+    // any remaining reference that would resolve to the input's row makes
+    // the once-executed build unsound.
+    if plan_refs_frame(&build, &frame) {
+        return Err(
+            "subquery retains a correlated reference that is not a simple equality".to_string(),
+        );
+    }
+
+    let probe_keys: Vec<VExpr> = canonical
+        .into_iter()
+        .map(|o| resolve_outer(o, &frame))
+        .collect::<Result<_, _>>()?;
+    let build_keys: Vec<VExpr> = (0..n)
+        .map(|i| VExpr::Col {
+            index: i,
+            alias: None,
+            column: format!("#k{}", i),
+        })
+        .collect();
+
+    let keys_desc = probe_keys
+        .iter()
+        .map(|k| k.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let desc = format!(
+        "decorrelated ExistsSemiJoin{} into HashSemiJoin on [{}]",
+        if anti { " anti" } else { "" },
+        keys_desc
+    );
+    Ok((
+        PhysicalPlan::HashSemiJoin {
+            input: Box::new(input.clone()),
+            build: Box::new(build),
+            probe_keys,
+            build_keys,
+            anti,
+        },
+        desc,
+    ))
+}
+
+/// Remove root operators that cannot affect whether the result is empty.
+fn strip_order(plan: PhysicalPlan) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::Sort { input, .. } | PhysicalPlan::Distinct { input } => strip_order(*input),
+        other => other,
+    }
+}
+
+/// Walk a subquery body collecting correlated equality conjuncts, removing
+/// them from the plan. Descends through filters, joins and subquery scans;
+/// every other operator is kept opaque (correlated references below it are
+/// caught by the caller's soundness gate).
+fn extract(plan: PhysicalPlan, frame: &[SchemaCol]) -> Result<Ext, String> {
+    match plan {
+        PhysicalPlan::Filter { input, predicate } => {
+            let mut ext = extract(*input, frame)?;
+            let mut kept = Vec::new();
+            for conj in split_conjuncts(predicate) {
+                if expr_refs_frame(&conj, frame) {
+                    ext.keys.push(as_correlation_eq(conj, frame)?);
+                } else {
+                    kept.push(conj);
+                }
+            }
+            let plan = match join_conjuncts(kept) {
+                Some(predicate) => PhysicalPlan::Filter {
+                    input: Box::new(ext.plan),
+                    predicate,
+                },
+                None => ext.plan,
+            };
+            Ok(Ext {
+                plan,
+                keys: ext.keys,
+            })
+        }
+        PhysicalPlan::SubqueryScan { input, alias } => {
+            // Re-aliasing preserves column positions, so local keys pass
+            // through unchanged.
+            let ext = extract(*input, frame)?;
+            Ok(Ext {
+                plan: PhysicalPlan::SubqueryScan {
+                    input: Box::new(ext.plan),
+                    alias,
+                },
+                keys: ext.keys,
+            })
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            build,
+        } => {
+            let left_width = left.output_columns().len();
+            let le = extract(*left, frame)?;
+            let re = extract(*right, frame)?;
+            let mut keys = le.keys;
+            keys.extend(
+                re.keys
+                    .into_iter()
+                    .map(|(o, l)| (o, shift_cols(l, left_width))),
+            );
+            Ok(Ext {
+                plan: PhysicalPlan::HashJoin {
+                    left: Box::new(le.plan),
+                    right: Box::new(re.plan),
+                    left_keys,
+                    right_keys,
+                    build,
+                },
+                keys,
+            })
+        }
+        PhysicalPlan::NestedLoopJoin { left, right } => {
+            let left_width = left.output_columns().len();
+            let le = extract(*left, frame)?;
+            let re = extract(*right, frame)?;
+            let mut keys = le.keys;
+            keys.extend(
+                re.keys
+                    .into_iter()
+                    .map(|(o, l)| (o, shift_cols(l, left_width))),
+            );
+            Ok(Ext {
+                plan: PhysicalPlan::NestedLoopJoin {
+                    left: Box::new(le.plan),
+                    right: Box::new(re.plan),
+                },
+                keys,
+            })
+        }
+        // Semi-joins pass their probe input's columns through unchanged, so
+        // correlated conjuncts below them extract with valid positions. The
+        // subplan/build side is untouched — if *it* holds outer references,
+        // the caller's soundness gate rejects the rewrite.
+        PhysicalPlan::ExistsSemiJoin {
+            input,
+            subplan,
+            anti,
+        } => {
+            let ext = extract(*input, frame)?;
+            Ok(Ext {
+                plan: PhysicalPlan::ExistsSemiJoin {
+                    input: Box::new(ext.plan),
+                    subplan,
+                    anti,
+                },
+                keys: ext.keys,
+            })
+        }
+        PhysicalPlan::HashSemiJoin {
+            input,
+            build,
+            probe_keys,
+            build_keys,
+            anti,
+        } => {
+            let ext = extract(*input, frame)?;
+            Ok(Ext {
+                plan: PhysicalPlan::HashSemiJoin {
+                    input: Box::new(ext.plan),
+                    build,
+                    probe_keys,
+                    build_keys,
+                    anti,
+                },
+                keys: ext.keys,
+            })
+        }
+        other => Ok(Ext {
+            plan: other,
+            keys: Vec::new(),
+        }),
+    }
+}
+
+/// Split a correlated conjunct into its `(outer, local)` equality sides, or
+/// explain why it cannot be decorrelated.
+fn as_correlation_eq(conj: VExpr, frame: &[SchemaCol]) -> Result<(VExpr, VExpr), String> {
+    if contains_exists(&conj) {
+        return Err("correlated conjunct contains a nested EXISTS".to_string());
+    }
+    let VExpr::BinOp {
+        op: BinOp::Eq,
+        left,
+        right,
+    } = conj
+    else {
+        return Err("correlated conjunct is not a simple equality".to_string());
+    };
+    let outer_pure = |e: &VExpr| !contains_col(e) && expr_refs_frame(e, frame);
+    let local_pure = |e: &VExpr| !expr_refs_frame(e, frame);
+    if outer_pure(&left) && local_pure(&right) {
+        Ok((*left, *right))
+    } else if outer_pure(&right) && local_pure(&left) {
+        Ok((*right, *left))
+    } else {
+        Err("correlated equality mixes outer and local columns on one side".to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scope/schema reasoning shared by the decorrelator
+// ---------------------------------------------------------------------------
+
+/// The `(alias, column)` schema a node presents to enclosing scopes —
+/// exactly what the vectorized executor pushes as the scope frame for a
+/// correlated subquery over this node's rows.
+fn plan_schema(plan: &PhysicalPlan) -> Vec<SchemaCol> {
+    match plan {
+        PhysicalPlan::UnitRow => Vec::new(),
+        PhysicalPlan::TableScan { alias, columns, .. }
+        | PhysicalPlan::CteScan { alias, columns, .. } => columns
+            .iter()
+            .map(|c| (Some(alias.clone()), c.clone()))
+            .collect(),
+        PhysicalPlan::SubqueryScan { input, alias } => plan_schema(input)
+            .into_iter()
+            .map(|(_, c)| (Some(alias.clone()), c))
+            .collect(),
+        PhysicalPlan::NestedLoopJoin { left, right }
+        | PhysicalPlan::HashJoin { left, right, .. } => {
+            let mut schema = plan_schema(left);
+            schema.extend(plan_schema(right));
+            schema
+        }
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::ExistsSemiJoin { input, .. }
+        | PhysicalPlan::HashSemiJoin { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Distinct { input } => plan_schema(input),
+        PhysicalPlan::RowNumber { input, specs } => {
+            let mut schema = plan_schema(input);
+            schema.extend((0..specs.len()).map(|i| (None, format!("#rn{}", i))));
+            schema
+        }
+        PhysicalPlan::Project { columns, .. } => {
+            columns.iter().map(|c| (None, c.clone())).collect()
+        }
+        PhysicalPlan::UnionAll(branches) => branches.first().map(plan_schema).unwrap_or_default(),
+        PhysicalPlan::ExceptAll { left, .. } => plan_schema(left),
+        PhysicalPlan::With { body, .. } => plan_schema(body),
+    }
+}
+
+/// Would this outer reference resolve against `frame` at runtime? The scope
+/// stack matches qualified references by alias and unqualified references by
+/// column name, innermost frame first — `frame` here is the innermost frame
+/// the subquery sees, so a hit means the reference is correlated to it.
+fn resolves_to_frame(table: &Option<String>, column: &str, frame: &[SchemaCol]) -> bool {
+    match table {
+        Some(alias) => frame
+            .iter()
+            .any(|(a, _)| a.as_deref() == Some(alias.as_str())),
+        None => frame.iter().any(|(_, c)| c == column),
+    }
+}
+
+/// Does the expression (deeply, including nested `EXISTS` subplans) contain
+/// an outer reference that resolves to `frame`?
+fn expr_refs_frame(expr: &VExpr, frame: &[SchemaCol]) -> bool {
+    match expr {
+        VExpr::Outer { table, column } => resolves_to_frame(table, column, frame),
+        VExpr::BinOp { left, right, .. } => {
+            expr_refs_frame(left, frame) || expr_refs_frame(right, frame)
+        }
+        VExpr::Not(inner) => expr_refs_frame(inner, frame),
+        VExpr::Exists(subplan) => plan_refs_frame(subplan, frame),
+        VExpr::Col { .. } | VExpr::Lit(_) | VExpr::Param(_) => false,
+    }
+}
+
+/// Does any expression anywhere in the plan reference `frame`? Conservative:
+/// a nested subquery whose own frame shadows an alias still counts as a
+/// reference, so shadowed-but-sound plans are skipped rather than miscompiled.
+fn plan_refs_frame(plan: &PhysicalPlan, frame: &[SchemaCol]) -> bool {
+    let exprs_ref = match plan {
+        PhysicalPlan::UnitRow
+        | PhysicalPlan::TableScan { .. }
+        | PhysicalPlan::CteScan { .. }
+        | PhysicalPlan::SubqueryScan { .. }
+        | PhysicalPlan::NestedLoopJoin { .. }
+        | PhysicalPlan::Distinct { .. }
+        | PhysicalPlan::UnionAll(_)
+        | PhysicalPlan::ExceptAll { .. }
+        | PhysicalPlan::With { .. } => false,
+        PhysicalPlan::HashJoin {
+            left_keys,
+            right_keys,
+            ..
+        } => left_keys
+            .iter()
+            .chain(right_keys)
+            .any(|e| expr_refs_frame(e, frame)),
+        PhysicalPlan::Filter { predicate, .. } => expr_refs_frame(predicate, frame),
+        PhysicalPlan::ExistsSemiJoin { subplan, .. } => plan_refs_frame(subplan, frame),
+        PhysicalPlan::HashSemiJoin {
+            probe_keys,
+            build_keys,
+            ..
+        } => probe_keys
+            .iter()
+            .chain(build_keys)
+            .any(|e| expr_refs_frame(e, frame)),
+        PhysicalPlan::RowNumber { specs, .. } => {
+            specs.iter().flatten().any(|e| expr_refs_frame(e, frame))
+        }
+        PhysicalPlan::Sort { keys, .. } => keys.iter().any(|e| expr_refs_frame(e, frame)),
+        PhysicalPlan::Project { exprs, .. } => exprs.iter().any(|e| expr_refs_frame(e, frame)),
+    };
+    exprs_ref || plan.children().iter().any(|c| plan_refs_frame(c, frame))
+}
+
+/// Rewrite frame-resolving outer references into positional columns over the
+/// probe input, mirroring the runtime scope lookup exactly: qualified
+/// references take the position of `(alias, column)` (an error if the alias
+/// is present but the column is not — the runtime would error too, so the
+/// rewrite is skipped to preserve it); unqualified references take the first
+/// column with that name. References to deeper scopes stay symbolic.
+fn resolve_outer(expr: VExpr, frame: &[SchemaCol]) -> Result<VExpr, String> {
+    match expr {
+        VExpr::Outer { table, column } => match &table {
+            Some(alias)
+                if frame
+                    .iter()
+                    .any(|(a, _)| a.as_deref() == Some(alias.as_str())) =>
+            {
+                let index = frame
+                    .iter()
+                    .position(|(a, c)| a.as_deref() == Some(alias.as_str()) && c == &column)
+                    .ok_or_else(|| {
+                        format!("outer reference {}.{} has no such column", alias, column)
+                    })?;
+                Ok(VExpr::Col {
+                    index,
+                    alias: table,
+                    column,
+                })
+            }
+            None if frame.iter().any(|(_, c)| c == &column) => {
+                let index = frame.iter().position(|(_, c)| c == &column).unwrap();
+                Ok(VExpr::Col {
+                    index,
+                    alias: frame[index].0.clone(),
+                    column,
+                })
+            }
+            _ => Ok(VExpr::Outer { table, column }),
+        },
+        VExpr::BinOp { op, left, right } => Ok(VExpr::BinOp {
+            op,
+            left: Box::new(resolve_outer(*left, frame)?),
+            right: Box::new(resolve_outer(*right, frame)?),
+        }),
+        VExpr::Not(inner) => Ok(VExpr::Not(Box::new(resolve_outer(*inner, frame)?))),
+        VExpr::Exists(_) => Err("outer key contains a nested EXISTS".to_string()),
+        other => Ok(other),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: predicate pushdown
+// ---------------------------------------------------------------------------
+
+fn pushdown_plan(plan: PhysicalPlan, count: &mut usize) -> PhysicalPlan {
+    map_plan(plan, &mut |node| match node {
+        PhysicalPlan::Filter { input, predicate } => {
+            let mut input = *input;
+            let mut kept = Vec::new();
+            for conj in split_conjuncts(predicate) {
+                match push_pred(input, conj) {
+                    Ok(absorbed) => {
+                        *count += 1;
+                        input = absorbed;
+                    }
+                    Err((back, conj)) => {
+                        input = back;
+                        kept.push(conj);
+                    }
+                }
+            }
+            match join_conjuncts(kept) {
+                Some(predicate) => PhysicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                },
+                None => input,
+            }
+        }
+        other => other,
+    })
+}
+
+/// Push one conjunct at least one operator further down, or hand both back.
+///
+/// `Err` is the ordinary "could not push" outcome returning ownership of
+/// both values, not a failure — boxing it would put an allocation on the
+/// common path of every pushdown attempt.
+#[allow(clippy::result_large_err)]
+fn push_pred(plan: PhysicalPlan, pred: VExpr) -> Result<PhysicalPlan, (PhysicalPlan, VExpr)> {
+    // Predicates with embedded subqueries stay put: relocating them would
+    // change the scope frames their outer references resolve against.
+    if contains_exists(&pred) {
+        return Err((plan, pred));
+    }
+    match plan {
+        PhysicalPlan::Filter { input, predicate } => match push_pred(*input, pred) {
+            Ok(input) => Ok(PhysicalPlan::Filter {
+                input: Box::new(input),
+                predicate,
+            }),
+            Err((input, pred)) => Err((
+                PhysicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                },
+                pred,
+            )),
+        },
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            columns,
+        } => {
+            // Substituting projection expressions is only done for column
+            // renames and constants; duplicating computed expressions could
+            // change evaluation counts (and thus error behaviour).
+            let simple = col_indexes(&pred).iter().all(|&i| {
+                matches!(
+                    exprs.get(i),
+                    Some(VExpr::Col { .. } | VExpr::Lit(_) | VExpr::Param(_) | VExpr::Outer { .. })
+                )
+            });
+            if !simple {
+                return Err((
+                    PhysicalPlan::Project {
+                        input,
+                        exprs,
+                        columns,
+                    },
+                    pred,
+                ));
+            }
+            let inner_pred = substitute_cols(pred, &exprs);
+            Ok(PhysicalPlan::Project {
+                input: Box::new(push_into(*input, inner_pred)),
+                exprs,
+                columns,
+            })
+        }
+        PhysicalPlan::SubqueryScan { input, alias } => Ok(PhysicalPlan::SubqueryScan {
+            input: Box::new(push_into(*input, pred)),
+            alias,
+        }),
+        PhysicalPlan::Sort { input, keys } => Ok(PhysicalPlan::Sort {
+            input: Box::new(push_into(*input, pred)),
+            keys,
+        }),
+        PhysicalPlan::Distinct { input } => Ok(PhysicalPlan::Distinct {
+            input: Box::new(push_into(*input, pred)),
+        }),
+        PhysicalPlan::ExistsSemiJoin {
+            input,
+            subplan,
+            anti,
+        } => Ok(PhysicalPlan::ExistsSemiJoin {
+            input: Box::new(push_into(*input, pred)),
+            subplan,
+            anti,
+        }),
+        PhysicalPlan::HashSemiJoin {
+            input,
+            build,
+            probe_keys,
+            build_keys,
+            anti,
+        } => Ok(PhysicalPlan::HashSemiJoin {
+            input: Box::new(push_into(*input, pred)),
+            build,
+            probe_keys,
+            build_keys,
+            anti,
+        }),
+        PhysicalPlan::UnionAll(branches) => Ok(PhysicalPlan::UnionAll(
+            branches
+                .into_iter()
+                .map(|b| push_into(b, pred.clone()))
+                .collect(),
+        )),
+        PhysicalPlan::With {
+            name,
+            definition,
+            body,
+        } => Ok(PhysicalPlan::With {
+            name,
+            definition,
+            body: Box::new(push_into(*body, pred)),
+        }),
+        PhysicalPlan::NestedLoopJoin { left, right } => {
+            let left_width = left.output_columns().len();
+            match route_join_pred(&pred, left_width) {
+                Some(JoinSide::Left) => Ok(PhysicalPlan::NestedLoopJoin {
+                    left: Box::new(push_into(*left, pred)),
+                    right,
+                }),
+                Some(JoinSide::Right) => {
+                    let shifted = unshift_cols(pred, left_width);
+                    Ok(PhysicalPlan::NestedLoopJoin {
+                        left,
+                        right: Box::new(push_into(*right, shifted)),
+                    })
+                }
+                None => Err((PhysicalPlan::NestedLoopJoin { left, right }, pred)),
+            }
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            build,
+        } => {
+            let left_width = left.output_columns().len();
+            match route_join_pred(&pred, left_width) {
+                Some(JoinSide::Left) => Ok(PhysicalPlan::HashJoin {
+                    left: Box::new(push_into(*left, pred)),
+                    right,
+                    left_keys,
+                    right_keys,
+                    build,
+                }),
+                Some(JoinSide::Right) => {
+                    let shifted = unshift_cols(pred, left_width);
+                    Ok(PhysicalPlan::HashJoin {
+                        left,
+                        right: Box::new(push_into(*right, shifted)),
+                        left_keys,
+                        right_keys,
+                        build,
+                    })
+                }
+                None => Err((
+                    PhysicalPlan::HashJoin {
+                        left,
+                        right,
+                        left_keys,
+                        right_keys,
+                        build,
+                    },
+                    pred,
+                )),
+            }
+        }
+        PhysicalPlan::ExceptAll { left, right } => {
+            // σ(L ∖ R) = σ(L) ∖ R: rows σ drops appear 0 times on the left
+            // either way; the right side is only ever subtracted.
+            Ok(PhysicalPlan::ExceptAll {
+                left: Box::new(push_into(*left, pred)),
+                right,
+            })
+        }
+        // Filtering before numbering would change the numbers; scans are the
+        // floor the predicate comes to rest on.
+        other @ (PhysicalPlan::RowNumber { .. }
+        | PhysicalPlan::TableScan { .. }
+        | PhysicalPlan::CteScan { .. }
+        | PhysicalPlan::UnitRow) => Err((other, pred)),
+    }
+}
+
+/// Push as deep as possible; wherever the conjunct stops, a filter holds it.
+fn push_into(plan: PhysicalPlan, pred: VExpr) -> PhysicalPlan {
+    match push_pred(plan, pred) {
+        Ok(plan) => plan,
+        Err((plan, pred)) => PhysicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: pred,
+        },
+    }
+}
+
+enum JoinSide {
+    Left,
+    Right,
+}
+
+/// Which join input can evaluate the predicate alone? `None` if it spans
+/// both (or we cannot tell).
+fn route_join_pred(pred: &VExpr, left_width: usize) -> Option<JoinSide> {
+    let cols = col_indexes(pred);
+    if cols.iter().all(|&i| i < left_width) {
+        Some(JoinSide::Left)
+    } else if cols.iter().all(|&i| i >= left_width) {
+        Some(JoinSide::Right)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: estimate-driven build sides
+// ---------------------------------------------------------------------------
+
+fn rechoose_plan(
+    plan: PhysicalPlan,
+    catalog: &dyn Catalog,
+    env: &mut Vec<(String, f64)>,
+    flips: &mut usize,
+) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::With {
+            name,
+            definition,
+            body,
+        } => {
+            let definition = rechoose_plan(*definition, catalog, env, flips);
+            let rows = estimate_env(&definition, catalog, env);
+            env.push((name.clone(), rows));
+            let body = rechoose_plan(*body, catalog, env, flips);
+            env.pop();
+            PhysicalPlan::With {
+                name,
+                definition: Box::new(definition),
+                body: Box::new(body),
+            }
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            build,
+        } => {
+            let left = rechoose_plan(*left, catalog, env, flips);
+            let right = rechoose_plan(*right, catalog, env, flips);
+            let (l, r) = (
+                estimate_env(&left, catalog, env),
+                estimate_env(&right, catalog, env),
+            );
+            // Ties build on the right (the incoming relation), matching the
+            // planner's and the interpreter's default.
+            let chosen = if r <= l {
+                BuildSide::Right
+            } else {
+                BuildSide::Left
+            };
+            if chosen != build {
+                *flips += 1;
+            }
+            PhysicalPlan::HashJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_keys,
+                right_keys,
+                build: chosen,
+            }
+        }
+        other => {
+            // `map_plan` would re-enter `With` nodes without the env
+            // bookkeeping, so recurse manually one level at a time.
+            map_children(other, &mut |c| rechoose_plan(c, catalog, env, flips))
+        }
+    }
+}
+
+/// Rebuild a node with `f` applied to each direct structural child and each
+/// `EXISTS` subplan embedded in its expressions (one level, not recursive).
+fn map_children(
+    plan: PhysicalPlan,
+    f: &mut dyn FnMut(PhysicalPlan) -> PhysicalPlan,
+) -> PhysicalPlan {
+    fn expr_f(e: VExpr, f: &mut dyn FnMut(PhysicalPlan) -> PhysicalPlan) -> VExpr {
+        match e {
+            VExpr::Exists(subplan) => VExpr::Exists(Box::new(f(*subplan))),
+            VExpr::BinOp { op, left, right } => VExpr::BinOp {
+                op,
+                left: Box::new(expr_f(*left, f)),
+                right: Box::new(expr_f(*right, f)),
+            },
+            VExpr::Not(inner) => VExpr::Not(Box::new(expr_f(*inner, f))),
+            other => other,
+        }
+    }
+    match plan {
+        PhysicalPlan::UnitRow | PhysicalPlan::TableScan { .. } | PhysicalPlan::CteScan { .. } => {
+            plan
+        }
+        PhysicalPlan::SubqueryScan { input, alias } => PhysicalPlan::SubqueryScan {
+            input: Box::new(f(*input)),
+            alias,
+        },
+        PhysicalPlan::NestedLoopJoin { left, right } => PhysicalPlan::NestedLoopJoin {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+        },
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            build,
+        } => PhysicalPlan::HashJoin {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            left_keys,
+            right_keys,
+            build,
+        },
+        PhysicalPlan::Filter { input, predicate } => {
+            let predicate = expr_f(predicate, f);
+            PhysicalPlan::Filter {
+                input: Box::new(f(*input)),
+                predicate,
+            }
+        }
+        PhysicalPlan::ExistsSemiJoin {
+            input,
+            subplan,
+            anti,
+        } => PhysicalPlan::ExistsSemiJoin {
+            input: Box::new(f(*input)),
+            subplan: Box::new(f(*subplan)),
+            anti,
+        },
+        PhysicalPlan::HashSemiJoin {
+            input,
+            build,
+            probe_keys,
+            build_keys,
+            anti,
+        } => PhysicalPlan::HashSemiJoin {
+            input: Box::new(f(*input)),
+            build: Box::new(f(*build)),
+            probe_keys,
+            build_keys,
+            anti,
+        },
+        PhysicalPlan::RowNumber { input, specs } => PhysicalPlan::RowNumber {
+            input: Box::new(f(*input)),
+            specs,
+        },
+        PhysicalPlan::Sort { input, keys } => PhysicalPlan::Sort {
+            input: Box::new(f(*input)),
+            keys,
+        },
+        PhysicalPlan::Project {
+            input,
+            exprs,
+            columns,
+        } => PhysicalPlan::Project {
+            input: Box::new(f(*input)),
+            exprs,
+            columns,
+        },
+        PhysicalPlan::Distinct { input } => PhysicalPlan::Distinct {
+            input: Box::new(f(*input)),
+        },
+        PhysicalPlan::UnionAll(branches) => {
+            PhysicalPlan::UnionAll(branches.into_iter().map(&mut *f).collect())
+        }
+        PhysicalPlan::ExceptAll { left, right } => PhysicalPlan::ExceptAll {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+        },
+        PhysicalPlan::With {
+            name,
+            definition,
+            body,
+        } => PhysicalPlan::With {
+            name,
+            definition: Box::new(f(*definition)),
+            body: Box::new(f(*body)),
+        },
+    }
+}
+
+/// [`PhysicalPlan::estimate`] refined with catalog row counts and bound
+/// `WITH`-definition cardinalities.
+fn estimate_env(plan: &PhysicalPlan, catalog: &dyn Catalog, env: &mut Vec<(String, f64)>) -> f64 {
+    match plan {
+        PhysicalPlan::UnitRow => 1.0,
+        PhysicalPlan::TableScan {
+            table,
+            estimated_rows,
+            ..
+        } => catalog
+            .table_rows(table)
+            .or(*estimated_rows)
+            .map(|n| n as f64)
+            .unwrap_or(DEFAULT_ROWS),
+        PhysicalPlan::CteScan { name, .. } => env
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, rows)| *rows)
+            .unwrap_or(DEFAULT_ROWS),
+        PhysicalPlan::SubqueryScan { input, .. } => estimate_env(input, catalog, env),
+        PhysicalPlan::NestedLoopJoin { left, right } => {
+            estimate_env(left, catalog, env) * estimate_env(right, catalog, env)
+        }
+        PhysicalPlan::HashJoin { left, right, .. } => {
+            estimate_env(left, catalog, env).max(estimate_env(right, catalog, env))
+        }
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::ExistsSemiJoin { input, .. }
+        | PhysicalPlan::HashSemiJoin { input, .. }
+        | PhysicalPlan::Distinct { input } => {
+            estimate_env(input, catalog, env) * FILTER_SELECTIVITY
+        }
+        PhysicalPlan::RowNumber { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::Project { input, .. } => estimate_env(input, catalog, env),
+        PhysicalPlan::UnionAll(branches) => {
+            branches.iter().map(|b| estimate_env(b, catalog, env)).sum()
+        }
+        PhysicalPlan::ExceptAll { left, .. } => estimate_env(left, catalog, env),
+        PhysicalPlan::With {
+            name,
+            definition,
+            body,
+        } => {
+            let rows = estimate_env(definition, catalog, env);
+            env.push((name.clone(), rows));
+            let out = estimate_env(body, catalog, env);
+            env.pop();
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Expression utilities
+// ---------------------------------------------------------------------------
+
+/// Flatten an `AND` chain into its conjuncts.
+fn split_conjuncts(expr: VExpr) -> Vec<VExpr> {
+    match expr {
+        VExpr::BinOp {
+            op: BinOp::And,
+            left,
+            right,
+        } => {
+            let mut out = split_conjuncts(*left);
+            out.extend(split_conjuncts(*right));
+            out
+        }
+        other => vec![other],
+    }
+}
+
+/// Rebuild an `AND` chain; `None` when there is nothing left.
+fn join_conjuncts(conjuncts: Vec<VExpr>) -> Option<VExpr> {
+    conjuncts.into_iter().reduce(|acc, next| VExpr::BinOp {
+        op: BinOp::And,
+        left: Box::new(acc),
+        right: Box::new(next),
+    })
+}
+
+/// Every positional column index the expression references (not descending
+/// into `EXISTS` subplans — their columns index a different batch).
+fn col_indexes(expr: &VExpr) -> Vec<usize> {
+    fn go(expr: &VExpr, out: &mut Vec<usize>) {
+        match expr {
+            VExpr::Col { index, .. } => out.push(*index),
+            VExpr::BinOp { left, right, .. } => {
+                go(left, out);
+                go(right, out);
+            }
+            VExpr::Not(inner) => go(inner, out),
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    go(expr, &mut out);
+    out
+}
+
+fn contains_col(expr: &VExpr) -> bool {
+    match expr {
+        VExpr::Col { .. } => true,
+        VExpr::BinOp { left, right, .. } => contains_col(left) || contains_col(right),
+        VExpr::Not(inner) => contains_col(inner),
+        _ => false,
+    }
+}
+
+fn contains_exists(expr: &VExpr) -> bool {
+    match expr {
+        VExpr::Exists(_) => true,
+        VExpr::BinOp { left, right, .. } => contains_exists(left) || contains_exists(right),
+        VExpr::Not(inner) => contains_exists(inner),
+        _ => false,
+    }
+}
+
+/// Shift every column index up by `by` (a relation moved right of a join).
+fn shift_cols(expr: VExpr, by: usize) -> VExpr {
+    match expr {
+        VExpr::Col {
+            index,
+            alias,
+            column,
+        } => VExpr::Col {
+            index: index + by,
+            alias,
+            column,
+        },
+        VExpr::BinOp { op, left, right } => VExpr::BinOp {
+            op,
+            left: Box::new(shift_cols(*left, by)),
+            right: Box::new(shift_cols(*right, by)),
+        },
+        VExpr::Not(inner) => VExpr::Not(Box::new(shift_cols(*inner, by))),
+        other => other,
+    }
+}
+
+/// Shift every column index down by `by` (a predicate routed to the right
+/// join input). Only called when every index is ≥ `by`.
+fn unshift_cols(expr: VExpr, by: usize) -> VExpr {
+    match expr {
+        VExpr::Col {
+            index,
+            alias,
+            column,
+        } => VExpr::Col {
+            index: index - by,
+            alias,
+            column,
+        },
+        VExpr::BinOp { op, left, right } => VExpr::BinOp {
+            op,
+            left: Box::new(unshift_cols(*left, by)),
+            right: Box::new(unshift_cols(*right, by)),
+        },
+        VExpr::Not(inner) => VExpr::Not(Box::new(unshift_cols(*inner, by))),
+        other => other,
+    }
+}
+
+/// Replace every `Col { index: i }` with the projection expression `exprs[i]`.
+/// Only called after checking each referenced expression is a rename or
+/// constant.
+fn substitute_cols(expr: VExpr, exprs: &[VExpr]) -> VExpr {
+    match expr {
+        VExpr::Col { index, .. } => exprs[index].clone(),
+        VExpr::BinOp { op, left, right } => VExpr::BinOp {
+            op,
+            left: Box::new(substitute_cols(*left, exprs)),
+            right: Box::new(substitute_cols(*right, exprs)),
+        },
+        VExpr::Not(inner) => VExpr::Not(Box::new(substitute_cols(*inner, exprs))),
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::SchemaCatalog;
+    use crate::storage::TableDef;
+
+    struct RowsCatalog(Vec<(&'static str, Vec<&'static str>, usize)>);
+
+    impl Catalog for RowsCatalog {
+        fn table_columns(&self, name: &str) -> Option<Vec<String>> {
+            self.0
+                .iter()
+                .find(|(n, _, _)| *n == name)
+                .map(|(_, cols, _)| cols.iter().map(|c| c.to_string()).collect())
+        }
+
+        fn table_rows(&self, name: &str) -> Option<usize> {
+            self.0
+                .iter()
+                .find(|(n, _, _)| *n == name)
+                .map(|(_, _, r)| *r)
+        }
+    }
+
+    fn scan(table: &str, alias: &str, columns: &[&str]) -> PhysicalPlan {
+        PhysicalPlan::TableScan {
+            table: table.to_string(),
+            alias: alias.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            estimated_rows: None,
+        }
+    }
+
+    fn col(index: usize, column: &str) -> VExpr {
+        VExpr::Col {
+            index,
+            alias: None,
+            column: column.to_string(),
+        }
+    }
+
+    fn acol(index: usize, alias: &str, column: &str) -> VExpr {
+        VExpr::Col {
+            index,
+            alias: Some(alias.to_string()),
+            column: column.to_string(),
+        }
+    }
+
+    fn lit_int(v: i64) -> VExpr {
+        VExpr::Lit(SqlValue::Int(v))
+    }
+
+    fn eq(l: VExpr, r: VExpr) -> VExpr {
+        VExpr::BinOp {
+            op: BinOp::Eq,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    fn and(l: VExpr, r: VExpr) -> VExpr {
+        VExpr::BinOp {
+            op: BinOp::And,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    fn empty_catalog() -> SchemaCatalog {
+        SchemaCatalog::new(Vec::<TableDef>::new())
+    }
+
+    #[test]
+    fn folds_literal_arithmetic_and_boolean_identities() {
+        let mut count = 0;
+        let folded = fold_expr(
+            and(
+                VExpr::Lit(SqlValue::Bool(true)),
+                eq(
+                    col(0, "a"),
+                    VExpr::BinOp {
+                        op: BinOp::Add,
+                        left: Box::new(lit_int(1)),
+                        right: Box::new(lit_int(2)),
+                    },
+                ),
+            ),
+            &mut count,
+        );
+        assert_eq!(folded, eq(col(0, "a"), lit_int(3)));
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn does_not_fold_erroring_subtrees() {
+        let mut count = 0;
+        let div = VExpr::BinOp {
+            op: BinOp::Div,
+            left: Box::new(lit_int(1)),
+            right: Box::new(lit_int(0)),
+        };
+        assert_eq!(fold_expr(div.clone(), &mut count), div);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn elides_filter_true() {
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(scan("t", "t", &["a"])),
+            predicate: eq(lit_int(1), lit_int(1)),
+        };
+        let (opt, report) = optimize(plan, &empty_catalog());
+        assert_eq!(opt, scan("t", "t", &["a"]));
+        assert!(report.rewrites.iter().any(|r| r.contains("folded")));
+    }
+
+    #[test]
+    fn decorrelates_simple_equality_exists() {
+        // SELECT … FROM t WHERE EXISTS (SELECT 1 FROM c WHERE c.x = t.a AND c.y = 7)
+        let subplan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(scan("c", "c", &["x", "y"])),
+                predicate: and(
+                    eq(
+                        col(0, "x"),
+                        VExpr::Outer {
+                            table: Some("t".to_string()),
+                            column: "a".to_string(),
+                        },
+                    ),
+                    eq(col(1, "y"), lit_int(7)),
+                ),
+            }),
+            exprs: vec![lit_int(1)],
+            columns: vec!["one".to_string()],
+        };
+        let plan = PhysicalPlan::ExistsSemiJoin {
+            input: Box::new(scan("t", "t", &["a", "b"])),
+            subplan: Box::new(subplan),
+            anti: false,
+        };
+        let (opt, report) = optimize(plan, &empty_catalog());
+        assert!(
+            report
+                .rewrites
+                .iter()
+                .any(|r| r.contains("decorrelated ExistsSemiJoin into HashSemiJoin")),
+            "rewrites: {:?}",
+            report.rewrites
+        );
+        assert!(report.skipped.is_empty(), "skipped: {:?}", report.skipped);
+        let PhysicalPlan::HashSemiJoin {
+            probe_keys,
+            build_keys,
+            build,
+            anti,
+            ..
+        } = opt
+        else {
+            panic!("expected HashSemiJoin, got {}", opt);
+        };
+        assert!(!anti);
+        assert_eq!(probe_keys, vec![acol(0, "t", "a")]);
+        assert_eq!(build_keys.len(), 1);
+        // The uncorrelated residue (c.y = 7) stays on the build side.
+        let rendered = build.to_string();
+        assert!(rendered.contains("Filter"), "build: {}", rendered);
+        assert!(rendered.contains("#k0"), "build: {}", rendered);
+    }
+
+    #[test]
+    fn skips_non_equality_correlation_with_reason() {
+        let subplan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(scan("c", "c", &["x"])),
+                predicate: VExpr::BinOp {
+                    op: BinOp::Lt,
+                    left: Box::new(col(0, "x")),
+                    right: Box::new(VExpr::Outer {
+                        table: Some("t".to_string()),
+                        column: "a".to_string(),
+                    }),
+                },
+            }),
+            exprs: vec![lit_int(1)],
+            columns: vec!["one".to_string()],
+        };
+        let plan = PhysicalPlan::ExistsSemiJoin {
+            input: Box::new(scan("t", "t", &["a"])),
+            subplan: Box::new(subplan),
+            anti: true,
+        };
+        let (opt, report) = optimize(plan, &empty_catalog());
+        assert!(matches!(
+            opt,
+            PhysicalPlan::ExistsSemiJoin { anti: true, .. }
+        ));
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].node, "ExistsSemiJoin anti");
+        assert!(report.skipped[0].reason.contains("not a simple equality"));
+    }
+
+    #[test]
+    fn decorrelates_union_all_branches_with_reordered_keys() {
+        let outer = |c: &str| VExpr::Outer {
+            table: Some("t".to_string()),
+            column: c.to_string(),
+        };
+        let branch = |first_a: bool| PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(scan("c", "c", &["x", "y"])),
+                predicate: if first_a {
+                    and(eq(outer("a"), col(0, "x")), eq(outer("b"), col(1, "y")))
+                } else {
+                    and(eq(outer("b"), col(1, "y")), eq(outer("a"), col(0, "x")))
+                },
+            }),
+            exprs: vec![lit_int(1)],
+            columns: vec!["one".to_string()],
+        };
+        let plan = PhysicalPlan::ExistsSemiJoin {
+            input: Box::new(scan("t", "t", &["a", "b"])),
+            subplan: Box::new(PhysicalPlan::UnionAll(vec![branch(true), branch(false)])),
+            anti: false,
+        };
+        let (opt, report) = optimize(plan, &empty_catalog());
+        assert!(report.skipped.is_empty(), "skipped: {:?}", report.skipped);
+        let PhysicalPlan::HashSemiJoin {
+            probe_keys, build, ..
+        } = opt
+        else {
+            panic!("expected HashSemiJoin, got {}", opt);
+        };
+        assert_eq!(probe_keys, vec![acol(0, "t", "a"), acol(1, "t", "b")]);
+        assert!(matches!(*build, PhysicalPlan::UnionAll(ref bs) if bs.len() == 2));
+    }
+
+    #[test]
+    fn pushes_predicate_through_project_and_join() {
+        // Filter(a = 1) over Project[a := t.a, z := u.z] over HashJoin(t, u)
+        let join = PhysicalPlan::HashJoin {
+            left: Box::new(scan("t", "t", &["a", "b"])),
+            right: Box::new(scan("u", "u", &["z"])),
+            left_keys: vec![col(1, "b")],
+            right_keys: vec![col(0, "z")],
+            build: BuildSide::Right,
+        };
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::Project {
+                input: Box::new(join),
+                exprs: vec![col(0, "a"), col(2, "z")],
+                columns: vec!["a".to_string(), "z".to_string()],
+            }),
+            predicate: eq(col(0, "a"), lit_int(1)),
+        };
+        let (opt, report) = optimize(plan, &empty_catalog());
+        assert!(
+            report
+                .rewrites
+                .iter()
+                .any(|r| r.contains("pushed 1 predicate")),
+            "rewrites: {:?}",
+            report.rewrites
+        );
+        // The filter now sits directly on the left scan, below project+join.
+        let rendered = opt.to_string();
+        let filter_pos = rendered.find("Filter").unwrap();
+        let join_pos = rendered.find("HashJoin").unwrap();
+        assert!(filter_pos > join_pos, "plan:\n{}", rendered);
+    }
+
+    #[test]
+    fn does_not_push_below_row_number() {
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::RowNumber {
+                input: Box::new(scan("t", "t", &["a"])),
+                specs: vec![vec![col(0, "a")]],
+            }),
+            predicate: eq(col(0, "a"), lit_int(1)),
+        };
+        let (opt, report) = optimize(plan.clone(), &empty_catalog());
+        assert_eq!(opt, plan);
+        assert!(
+            report.rewrites.is_empty(),
+            "rewrites: {:?}",
+            report.rewrites
+        );
+    }
+
+    #[test]
+    fn rechooses_build_side_from_catalog_rows() {
+        let catalog = RowsCatalog(vec![("big", vec!["a"], 100_000), ("small", vec!["z"], 10)]);
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(scan("small", "s", &["z"])),
+            right: Box::new(scan("big", "b", &["a"])),
+            left_keys: vec![col(0, "z")],
+            right_keys: vec![col(0, "a")],
+            // The planner's shape-only default would build on the right.
+            build: BuildSide::Right,
+        };
+        let (opt, report) = optimize(plan, &catalog);
+        let PhysicalPlan::HashJoin { build, .. } = opt else {
+            panic!("expected HashJoin");
+        };
+        assert_eq!(build, BuildSide::Left);
+        assert!(
+            report.rewrites.iter().any(|r| r.contains("build side")),
+            "rewrites: {:?}",
+            report.rewrites
+        );
+    }
+
+    #[test]
+    fn live_estimate_binds_with_definitions() {
+        let catalog = RowsCatalog(vec![("t", vec!["a"], 5000)]);
+        let plan = PhysicalPlan::With {
+            name: "q".to_string(),
+            definition: Box::new(scan("t", "t", &["a"])),
+            body: Box::new(PhysicalPlan::CteScan {
+                name: "q".to_string(),
+                alias: "q".to_string(),
+                columns: vec!["a".to_string()],
+            }),
+        };
+        assert_eq!(live_estimate(&plan, &catalog), 5000.0);
+    }
+}

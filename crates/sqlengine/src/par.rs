@@ -47,6 +47,7 @@
 //! ([`crate::vexec::DeltaExec`]) valid differential baselines.
 
 use crate::error::EngineError;
+use crate::opt::live_estimate;
 use crate::plan::{BuildSide, PhysicalPlan, VExpr};
 use crate::storage::{ColumnarResult, Storage};
 use crate::value::{compare_rows, ParamValues, Row, SqlValue};
@@ -70,6 +71,12 @@ pub const DEFAULT_MORSEL_ROWS: usize = 4096;
 /// parallelism pays for itself well below one morsel's worth of rows.
 const PAR_SUBPLAN_ROWS: usize = 16;
 
+/// Default estimated-row threshold below which a plan runs sequentially even
+/// when `workers > 1`: sub-10ms pipelines lose more to thread hand-off than
+/// they gain from fan-out (BENCH_pr9 measured 0.6–0.85× on every small
+/// query), and ~8k rows is where fan-out starts paying for itself.
+pub const DEFAULT_MIN_PARALLEL_ROWS: usize = 8192;
+
 /// Execution options for one plan run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecOptions {
@@ -78,6 +85,10 @@ pub struct ExecOptions {
     pub workers: usize,
     /// Upper bound on rows per morsel.
     pub morsel_rows: usize,
+    /// Plans whose catalog-informed row estimate ([`crate::opt::live_estimate`])
+    /// falls below this stay on the sequential executor regardless of
+    /// `workers`. `0` disables the gate (always fan out when `workers > 1`).
+    pub min_parallel_rows: usize,
 }
 
 impl Default for ExecOptions {
@@ -85,6 +96,7 @@ impl Default for ExecOptions {
         ExecOptions {
             workers: 1,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            min_parallel_rows: DEFAULT_MIN_PARALLEL_ROWS,
         }
     }
 }
@@ -178,7 +190,7 @@ pub fn execute_plan_bound_opts(
     params: &ParamValues,
     opts: ExecOptions,
 ) -> Result<(ColumnarResult, ExecStats), EngineError> {
-    if opts.workers <= 1 {
+    if opts.workers <= 1 || below_parallel_threshold(plan, storage, opts) {
         let result = vexec::execute_plan_bound(plan, storage, params)?;
         return Ok((result, ExecStats::default()));
     }
@@ -195,6 +207,40 @@ pub fn execute_plan_bound_opts(
     Ok((batch.into_columnar(), stats.snapshot()))
 }
 
+/// Like [`execute_plan_bound_opts`], but with pre-bound `WITH` results
+/// visible to free `CteScan`s of those names — the parallel entry point for
+/// package-level shared subplans (cross-stage CSE): a shared definition is
+/// executed once per package and its columnar result re-bound, zero-copy,
+/// under each consuming stage's CTE name. Falls back to the sequential
+/// bound-CTE executor under the same adaptive-parallelism gate.
+pub fn execute_plan_bound_ctes_opts(
+    plan: &PhysicalPlan,
+    storage: &Storage,
+    params: &ParamValues,
+    ctes: &[(String, ColumnarResult)],
+    opts: ExecOptions,
+) -> Result<(ColumnarResult, ExecStats), EngineError> {
+    if opts.workers <= 1 || below_parallel_threshold(plan, storage, opts) {
+        let result = vexec::execute_plan_bound_ctes(plan, storage, params, ctes)?;
+        return Ok((result, ExecStats::default()));
+    }
+    let stats = ParStats::default();
+    let ctx = ParCtx {
+        storage,
+        params,
+        prof: None,
+        workers: opts.workers,
+        morsel_rows: opts.morsel_rows.max(1),
+        stats: &stats,
+    };
+    let mut env = CteEnv::default();
+    for (name, result) in ctes {
+        env = env.extended(name, vexec::batch_from_columnar(result));
+    }
+    let batch = pexec(plan, &ctx, &env, &ScopeStack::default())?;
+    Ok((batch.into_columnar(), stats.snapshot()))
+}
+
 /// Like [`vexec::execute_plan_profiled`], but parallel: every worker
 /// aggregates its batches/rows/nanos into the shared atomic [`Profiler`],
 /// so `EXPLAIN ANALYZE` actuals stay exact under parallelism.
@@ -204,7 +250,7 @@ pub fn execute_plan_profiled_opts(
     params: &ParamValues,
     opts: ExecOptions,
 ) -> Result<(ColumnarResult, PlanProfile, ExecStats), EngineError> {
-    if opts.workers <= 1 {
+    if opts.workers <= 1 || below_parallel_threshold(plan, storage, opts) {
         let (result, prof) = vexec::execute_plan_profiled(plan, storage, params)?;
         return Ok((result, prof, ExecStats::default()));
     }
@@ -222,6 +268,14 @@ pub fn execute_plan_profiled_opts(
     let result = batch.into_columnar();
     let ops = prof.actuals(plan);
     Ok((result, PlanProfile { ops }, stats.snapshot()))
+}
+
+/// The adaptive-parallelism gate: true when the plan's estimated output (and
+/// therefore its likely working set) is too small for fan-out to pay for the
+/// thread hand-off. Both entry points fall back to the sequential executor
+/// in that case, which is byte-identical by the determinism guarantee.
+fn below_parallel_threshold(plan: &PhysicalPlan, storage: &Storage, opts: ExecOptions) -> bool {
+    opts.min_parallel_rows > 0 && live_estimate(plan, storage) < opts.min_parallel_rows as f64
 }
 
 // ---------------------------------------------------------------------------
@@ -504,6 +558,55 @@ fn pexec_node(
             })?;
             Ok(Batch {
                 sel: Some(Arc::new(chunks.concat())),
+                ..batch
+            })
+        }
+        PhysicalPlan::HashSemiJoin {
+            input,
+            build,
+            probe_keys,
+            build_keys,
+            anti,
+        } => {
+            let batch = pexec(input, ctx, ctes, scope)?;
+            // The build side runs exactly once, under the same scope as this
+            // node (decorrelation guarantees it holds no references to the
+            // input's rows), and its key set is shared read-only by every
+            // probe morsel.
+            let built = pexec(build, ctx, ctes, scope)?;
+            let mut table: HashSet<Row> = HashSet::new();
+            'build: for key in par_eval_keys(ctx, build_keys, &built, ctes, scope)? {
+                for v in &key {
+                    if v.is_null() {
+                        continue 'build;
+                    }
+                }
+                table.insert(key);
+            }
+            let probe = par_eval_keys(ctx, probe_keys, &batch, ctes, scope)?;
+            let len = batch.len();
+            let keep = |i: usize| {
+                let key = &probe[i];
+                (!key.iter().any(|v| v.is_null()) && table.contains(key)) != *anti
+            };
+            let sel: Vec<usize> = if !ctx.engage(len) {
+                (0..len)
+                    .filter(|&i| keep(i))
+                    .map(|i| batch.phys(i))
+                    .collect()
+            } else {
+                let ranges = morsel_ranges(ctx, len);
+                let chunks = par_map(ctx, &ranges, |_, range| {
+                    Ok(range
+                        .clone()
+                        .filter(|&i| keep(i))
+                        .map(|i| batch.phys(i))
+                        .collect::<Vec<usize>>())
+                })?;
+                chunks.concat()
+            };
+            Ok(Batch {
+                sel: Some(Arc::new(sel)),
                 ..batch
             })
         }

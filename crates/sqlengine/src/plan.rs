@@ -35,10 +35,10 @@ use std::fmt;
 
 /// Default row-count estimate for relations whose cardinality the catalog
 /// does not know (CTEs, subqueries, schema-only planning).
-const DEFAULT_ROWS: f64 = 1000.0;
+pub(crate) const DEFAULT_ROWS: f64 = 1000.0;
 
 /// Assumed selectivity of a filter or semi-join, for build-side estimation.
-const FILTER_SELECTIVITY: f64 = 0.5;
+pub(crate) const FILTER_SELECTIVITY: f64 = 0.5;
 
 // ---------------------------------------------------------------------------
 // The catalog
@@ -103,7 +103,10 @@ impl Catalog for SchemaCatalog {
 /// A scalar expression with column references resolved against the plan
 /// node's input batch (positional) or against the enclosing queries' scope
 /// stack (symbolic, for correlated subqueries).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is structural (indexes, names, literals), which is what the
+/// package-level common-subplan elimination in `shredding` keys on.
+#[derive(Debug, Clone, PartialEq)]
 pub enum VExpr {
     /// Column `index` of the input batch. `alias`/`column` are kept for
     /// rendering only.
@@ -179,8 +182,11 @@ impl fmt::Display for BuildSide {
 }
 
 /// An executable physical plan tree. Produced once by [`plan_query`] and run
-/// any number of times by [`crate::vexec`].
-#[derive(Debug, Clone)]
+/// any number of times by [`crate::vexec`]. `PartialEq` is structural —
+/// two plans compare equal iff they are the same operator tree with the
+/// same resolved expressions — which is what cross-stage subplan sharing
+/// keys on.
+#[derive(Debug, Clone, PartialEq)]
 pub enum PhysicalPlan {
     /// A single row with no columns — the join identity (a `SELECT` without
     /// `FROM` produces exactly one output row).
@@ -227,6 +233,24 @@ pub enum PhysicalPlan {
     ExistsSemiJoin {
         input: Box<PhysicalPlan>,
         subplan: Box<PhysicalPlan>,
+        anti: bool,
+    },
+    /// Decorrelated semi/anti join: execute `build` **once**, hash its
+    /// `build_keys`, and keep the input rows whose `probe_keys` hit the
+    /// table (`anti` inverts). Produced by the logical optimizer
+    /// ([`crate::opt`]) from a correlated [`PhysicalPlan::ExistsSemiJoin`]
+    /// whose correlation is a conjunction of equalities; `probe_keys[i]`
+    /// pairs with `build_keys[i]`. Build rows with a `NULL` key never
+    /// match; a probe row with a `NULL` key matches nothing (the semi join
+    /// drops it, the anti join keeps it) — exactly the three-valued
+    /// semantics of the equality filter it replaces. With empty key lists
+    /// the node is an uncorrelated `EXISTS`: the probe matches iff the
+    /// build is non-empty.
+    HashSemiJoin {
+        input: Box<PhysicalPlan>,
+        build: Box<PhysicalPlan>,
+        probe_keys: Vec<VExpr>,
+        build_keys: Vec<VExpr>,
         anti: bool,
     },
     /// Append one `#rn<i>` column per window specification, numbering rows
@@ -280,6 +304,7 @@ impl PhysicalPlan {
             }
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::ExistsSemiJoin { input, .. }
+            | PhysicalPlan::HashSemiJoin { input, .. }
             | PhysicalPlan::Sort { input, .. }
             | PhysicalPlan::Distinct { input } => input.output_columns(),
             PhysicalPlan::RowNumber { input, specs } => {
@@ -312,6 +337,9 @@ impl PhysicalPlan {
             PhysicalPlan::ExistsSemiJoin { input, subplan, .. } => {
                 input.node_count() + subplan.node_count()
             }
+            PhysicalPlan::HashSemiJoin { input, build, .. } => {
+                input.node_count() + build.node_count()
+            }
             PhysicalPlan::NestedLoopJoin { left, right }
             | PhysicalPlan::HashJoin { left, right, .. }
             | PhysicalPlan::ExceptAll { left, right } => left.node_count() + right.node_count(),
@@ -334,6 +362,7 @@ impl PhysicalPlan {
             PhysicalPlan::HashJoin { .. } => "HashJoin",
             PhysicalPlan::Filter { .. } => "Filter",
             PhysicalPlan::ExistsSemiJoin { .. } => "ExistsSemiJoin",
+            PhysicalPlan::HashSemiJoin { .. } => "HashSemiJoin",
             PhysicalPlan::RowNumber { .. } => "RowNumber",
             PhysicalPlan::Sort { .. } => "Sort",
             PhysicalPlan::Project { .. } => "Project",
@@ -381,6 +410,7 @@ impl PhysicalPlan {
             | PhysicalPlan::Project { input, .. }
             | PhysicalPlan::Distinct { input } => vec![input],
             PhysicalPlan::ExistsSemiJoin { input, subplan, .. } => vec![input, subplan],
+            PhysicalPlan::HashSemiJoin { input, build, .. } => vec![input, build],
             PhysicalPlan::NestedLoopJoin { left, right }
             | PhysicalPlan::HashJoin { left, right, .. }
             | PhysicalPlan::ExceptAll { left, right } => vec![left, right],
@@ -416,6 +446,14 @@ impl PhysicalPlan {
             } => {
                 left_keys.iter().for_each(|k| go(k, &mut acc));
                 right_keys.iter().for_each(|k| go(k, &mut acc));
+            }
+            PhysicalPlan::HashSemiJoin {
+                probe_keys,
+                build_keys,
+                ..
+            } => {
+                probe_keys.iter().for_each(|k| go(k, &mut acc));
+                build_keys.iter().for_each(|k| go(k, &mut acc));
             }
             PhysicalPlan::RowNumber { specs, .. } => specs
                 .iter()
@@ -552,6 +590,18 @@ impl PhysicalPlan {
                     go_plan(input, acc);
                     go_plan(subplan, acc);
                 }
+                PhysicalPlan::HashSemiJoin {
+                    input,
+                    build,
+                    probe_keys,
+                    build_keys,
+                    ..
+                } => {
+                    go_plan(input, acc);
+                    go_plan(build, acc);
+                    probe_keys.iter().for_each(|k| go_expr(k, acc));
+                    build_keys.iter().for_each(|k| go_expr(k, acc));
+                }
                 PhysicalPlan::RowNumber { input, specs } => {
                     go_plan(input, acc);
                     specs
@@ -581,8 +631,9 @@ impl PhysicalPlan {
     }
 
     /// Rough output-cardinality estimate, used to choose hash-join build
-    /// sides.
-    fn estimate(&self) -> f64 {
+    /// sides. The logical optimizer ([`crate::opt`]) refines these with
+    /// catalog row counts and `WITH`-definition cardinalities.
+    pub(crate) fn estimate(&self) -> f64 {
         match self {
             PhysicalPlan::UnitRow => 1.0,
             PhysicalPlan::TableScan { estimated_rows, .. } => {
@@ -592,9 +643,9 @@ impl PhysicalPlan {
             PhysicalPlan::SubqueryScan { input, .. } => input.estimate(),
             PhysicalPlan::NestedLoopJoin { left, right } => left.estimate() * right.estimate(),
             PhysicalPlan::HashJoin { left, right, .. } => left.estimate().max(right.estimate()),
-            PhysicalPlan::Filter { input, .. } | PhysicalPlan::ExistsSemiJoin { input, .. } => {
-                input.estimate() * FILTER_SELECTIVITY
-            }
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::ExistsSemiJoin { input, .. }
+            | PhysicalPlan::HashSemiJoin { input, .. } => input.estimate() * FILTER_SELECTIVITY,
             PhysicalPlan::RowNumber { input, .. } | PhysicalPlan::Sort { input, .. } => {
                 input.estimate()
             }
@@ -647,6 +698,23 @@ impl PhysicalPlan {
                 } else {
                     "ExistsSemiJoin".to_string()
                 }
+            }
+            PhysicalPlan::HashSemiJoin {
+                probe_keys,
+                build_keys,
+                anti,
+                ..
+            } => {
+                let keys: Vec<String> = probe_keys
+                    .iter()
+                    .zip(build_keys)
+                    .map(|(p, b)| format!("{} = {}", p, b))
+                    .collect();
+                format!(
+                    "HashSemiJoin{} keys=[{}]",
+                    if *anti { " anti" } else { "" },
+                    keys.join(", ")
+                )
             }
             PhysicalPlan::RowNumber { specs, .. } => {
                 let rendered: Vec<String> = specs

@@ -87,6 +87,46 @@ pub fn execute_plan_profiled(
     Ok((result, PlanProfile { ops }))
 }
 
+/// Like [`execute_plan_bound`], but with pre-bound `WITH` results: each
+/// `(name, result)` pair is visible to `CteScan`s of that free name inside
+/// the plan. This is the execution path for package-level shared subplans
+/// (`shredding`'s cross-stage CSE): a shared definition is executed once
+/// per package and its columnar result re-bound — zero-copy, the column
+/// `Arc`s are shared — under each consuming stage's CTE name.
+pub fn execute_plan_bound_ctes(
+    plan: &PhysicalPlan,
+    storage: &Storage,
+    params: &ParamValues,
+    ctes: &[(String, ColumnarResult)],
+) -> Result<ColumnarResult, EngineError> {
+    let ctx = VecCtx {
+        storage,
+        params,
+        prof: None,
+    };
+    let mut env = CteEnv::default();
+    for (name, result) in ctes {
+        env = env.extended(name, batch_from_columnar(result));
+    }
+    let batch = exec(plan, &ctx, &env, &ScopeStack::default())?;
+    Ok(batch.into_columnar())
+}
+
+/// Rewrap a columnar result as an executable batch (shared columns, no
+/// aliases — a `CteScan` re-aliases on use, exactly as for a `With`-bound
+/// batch).
+pub(crate) fn batch_from_columnar(result: &ColumnarResult) -> Batch {
+    let schema: Vec<SchemaCol> = result.columns.iter().map(|c| (None, c.clone())).collect();
+    Batch {
+        schema: Arc::new(schema),
+        columns: (0..result.width())
+            .map(|i| result.column(i).clone())
+            .collect(),
+        sel: None,
+        base_rows: result.len(),
+    }
+}
+
 /// Accumulator for per-node actuals, keyed by node address (unique within
 /// one plan tree). The cells are atomics (relaxed ordering — the counters
 /// are independent tallies, reconciled after all workers join) so one
@@ -534,6 +574,40 @@ fn exec_node(
                 };
                 let inner = exec(subplan, ctx, ctes, &scope.pushed(frame))?;
                 if inner.is_empty() == *anti {
+                    sel.push(batch.phys(i));
+                }
+            }
+            Ok(Batch {
+                sel: Some(Arc::new(sel)),
+                ..batch
+            })
+        }
+        PhysicalPlan::HashSemiJoin {
+            input,
+            build,
+            probe_keys,
+            build_keys,
+            anti,
+        } => {
+            let batch = exec(input, ctx, ctes, scope)?;
+            // The build side runs exactly once, under the *same* scope as
+            // this node (no frame is pushed: after decorrelation the build
+            // holds no references to the input's rows).
+            let built = exec(build, ctx, ctes, scope)?;
+            let mut table: HashSet<Row> = HashSet::new();
+            'build: for key in eval_keys(build_keys, &built, ctx, ctes, scope)? {
+                for v in &key {
+                    if v.is_null() {
+                        continue 'build;
+                    }
+                }
+                table.insert(key);
+            }
+            let probe = eval_keys(probe_keys, &batch, ctx, ctes, scope)?;
+            let mut sel = Vec::new();
+            for (i, key) in probe.into_iter().enumerate() {
+                let matched = !key.iter().any(|v| v.is_null()) && table.contains(&key);
+                if matched != *anti {
                     sel.push(batch.phys(i));
                 }
             }
@@ -1330,6 +1404,59 @@ impl DeltaExec {
                 }
                 Ok(out)
             }
+            PhysicalPlan::HashSemiJoin {
+                input,
+                build,
+                probe_keys,
+                build_keys,
+                anti,
+            } => {
+                // Fully incremental — this is what moves decorrelated
+                // Q2-shaped stages out of the reseed-on-every-write path.
+                // The node keeps a `JoinIndex`: `left` holds the input rows
+                // by probe key (NULL-keyed rows excluded — their membership
+                // never depends on the build side), `right` the build rows
+                // by build key. Δout decomposes as
+                //   Δout = Σ_{keys whose build membership toggled} ±I_old(k)
+                //        ⊎ ΔI probed against K_new,
+                // processing build toggles against the *pre-ΔI* input index
+                // and the input delta against the *post-ΔB* key set.
+                let build_idx = child_idx + self.info[child_idx].len;
+                let din = self.delta_node(input, child_idx, ctx, env)?;
+                let db = self.delta_node(build, build_idx, ctx, env)?;
+                let input_schema = self.node_schema(input, child_idx, env)?;
+                let build_schema = self.node_schema(build, build_idx, env)?;
+                let mut out = Vec::new();
+                let semi_sign = if *anti { -1 } else { 1 };
+                let index = self.join_index[idx].get_or_insert_with(JoinIndex::default);
+                for (brow, sign) in &db {
+                    let Some(key) = row_key(build_keys, brow, &build_schema, ctx, env)? else {
+                        continue;
+                    };
+                    let present_before = index.right.contains_key(&key);
+                    JoinIndex::fold(&mut index.right, key.clone(), brow, *sign)?;
+                    let present_after = index.right.contains_key(&key);
+                    if present_before != present_after {
+                        if let Some(bucket) = index.left.get(&key) {
+                            let toggle = if present_after { 1 } else { -1 } * semi_sign;
+                            for irow in bucket {
+                                out.push((irow.clone(), toggle));
+                            }
+                        }
+                    }
+                }
+                for (irow, sign) in &din {
+                    let key = row_key(probe_keys, irow, &input_schema, ctx, env)?;
+                    let matched = key.as_ref().is_some_and(|k| index.right.contains_key(k));
+                    if matched != *anti {
+                        out.push((irow.clone(), *sign));
+                    }
+                    if let Some(key) = key {
+                        JoinIndex::fold(&mut index.left, key, irow, *sign)?;
+                    }
+                }
+                Ok(out)
+            }
             PhysicalPlan::RowNumber { input, specs } => {
                 let schema = self.node_schema(input, child_idx, env)?;
                 let din = self.delta_node(input, child_idx, ctx, env)?;
@@ -1955,6 +2082,7 @@ fn batch_schema(
         }
         PhysicalPlan::Filter { input, .. }
         | PhysicalPlan::ExistsSemiJoin { input, .. }
+        | PhysicalPlan::HashSemiJoin { input, .. }
         | PhysicalPlan::Sort { input, .. }
         | PhysicalPlan::Distinct { input } => batch_schema(input, cte_schemas),
         PhysicalPlan::RowNumber { input, specs } => {

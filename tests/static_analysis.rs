@@ -134,6 +134,10 @@ fn visit_mut(plan: &mut PhysicalPlan, f: &mut dyn FnMut(&mut PhysicalPlan)) {
             visit_mut(input, f);
             visit_mut(subplan, f);
         }
+        PhysicalPlan::HashSemiJoin { input, build, .. } => {
+            visit_mut(input, f);
+            visit_mut(build, f);
+        }
         PhysicalPlan::UnionAll(branches) => {
             for b in branches {
                 visit_mut(b, f);
@@ -333,6 +337,7 @@ impl SqlBackend for CorruptingBackend {
             sql: None,
             physical: None,
             columns: Vec::new(),
+            rewrites: Vec::new(),
         }];
         Ok(BackendPlan::new(stages, compiled))
     }
